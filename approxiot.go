@@ -1,0 +1,259 @@
+// Package approxiot is a from-scratch Go implementation of ApproxIoT
+// (Wen et al., ICDCS 2018): approximate stream analytics for edge computing
+// built on weighted hierarchical stratified reservoir sampling.
+//
+// Data from IoT sources flows up a logical tree of edge-computing nodes
+// towards a datacenter root. Every node independently samples each
+// sub-stream within a time interval and compounds a weight that preserves an
+// exact estimate of the original stream volume (the paper's Eq. 8
+// invariant), so the root can answer linear queries — SUM, MEAN, COUNT —
+// over the thinned stream with rigorous error bounds, at a fraction of the
+// bandwidth and compute of exact execution.
+//
+// Three entry points:
+//
+//   - Estimator: single-node online use. Feed items, close windows, read
+//     estimates with confidence intervals.
+//   - Simulate: run a full edge tree on deterministic virtual time with WAN
+//     emulation (latency, bandwidth, saturation) — the form the paper's
+//     evaluation figures use.
+//   - Run: execute the tree live on goroutines chained by an in-memory
+//     Kafka-style broker, mirroring the paper's Kafka Streams prototype.
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md for
+// the paper-figure reproductions.
+package approxiot
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/core"
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/sample"
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+// Re-exported data-model types. Downstream users construct and consume these
+// through the aliases; the implementations live in internal packages.
+type (
+	// SourceID identifies a sub-stream (stratum).
+	SourceID = stream.SourceID
+	// Item is one reading from an IoT source.
+	Item = stream.Item
+	// Batch is a weighted sample batch exchanged between nodes.
+	Batch = stream.Batch
+
+	// TreeSpec declares the logical edge tree (sources, layers, window).
+	TreeSpec = topology.TreeSpec
+	// LayerSpec declares one layer of the tree.
+	LayerSpec = topology.LayerSpec
+
+	// Estimate is a value with its estimated variance.
+	Estimate = stats.Estimate
+	// Confidence selects the error-bound level (68/95/99.7%).
+	Confidence = stats.Confidence
+
+	// QueryKind selects an aggregate: Sum, Mean or Count.
+	QueryKind = query.Kind
+	// Result is one approximate answer with its error bound.
+	Result = query.Result
+	// WindowResult is a root window's set of answers.
+	WindowResult = core.WindowResult
+
+	// Generator produces workload items interval by interval.
+	Generator = workload.Generator
+	// Source is anything that yields the items arriving in an interval:
+	// a synthetic *Generator or a *Replay of a recorded trace.
+	Source = workload.Source
+	// Replay feeds a recorded trace through the pipelines.
+	Replay = workload.Replay
+	// SubstreamSpec configures one generated sub-stream.
+	SubstreamSpec = workload.SubstreamSpec
+
+	// SimConfig / SimResult configure and report virtual-time runs.
+	SimConfig = core.SimConfig
+	// SimResult reports a virtual-time run.
+	SimResult = core.SimResult
+	// LiveConfig / LiveResult configure and report live runs.
+	LiveConfig = core.LiveConfig
+	// LiveResult reports a live run.
+	LiveResult = core.LiveResult
+
+	// FeedbackController adapts the sampling fraction to an error target.
+	FeedbackController = core.FeedbackController
+)
+
+// Query kinds.
+const (
+	Sum   = query.Sum
+	Mean  = query.Mean
+	Count = query.Count
+)
+
+// Confidence levels under the 68-95-99.7 rule.
+const (
+	OneSigma   = stats.OneSigma
+	TwoSigma   = stats.TwoSigma
+	ThreeSigma = stats.ThreeSigma
+)
+
+// Strategy selects the sampling algorithm a pipeline runs.
+type Strategy int
+
+// Available strategies.
+const (
+	// WHS is weighted hierarchical stratified reservoir sampling — the
+	// ApproxIoT algorithm (default).
+	WHS Strategy = iota + 1
+	// SRS is the simple-random-sampling baseline (per-item coin flip).
+	SRS
+	// Native disables sampling (exact execution).
+	Native
+	// ParallelWHS is WHS with per-sub-stream worker parallelism (§III-E).
+	ParallelWHS
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case WHS:
+		return "ApproxIoT"
+	case SRS:
+		return "SRS"
+	case Native:
+		return "Native"
+	case ParallelWHS:
+		return "ApproxIoT-parallel"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Testbed returns the paper's 8-source / 4-2-1 evaluation tree with its WAN
+// parameters (20/40/80 ms RTTs over 1 Gbps links).
+func Testbed() TreeSpec { return topology.Testbed() }
+
+// SingleNode returns a degenerate tree where sources feed the root directly.
+func SingleNode(sources int) TreeSpec { return topology.SingleNode(sources) }
+
+// Config assembles a pipeline configuration from user-level knobs.
+type Config struct {
+	// Tree is the deployment; defaults to Testbed().
+	Tree TreeSpec
+	// Strategy defaults to WHS.
+	Strategy Strategy
+	// Fraction is the end-to-end sampling fraction in (0, 1]; default 0.1.
+	Fraction float64
+	// Workers configures ParallelWHS (default 4).
+	Workers int
+	// Queries defaults to [Sum].
+	Queries []QueryKind
+	// Confidence defaults to TwoSigma (95%).
+	Confidence Confidence
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (c Config) normalize() Config {
+	if c.Tree.Sources == 0 {
+		c.Tree = Testbed()
+	}
+	if c.Strategy == 0 {
+		c.Strategy = WHS
+	}
+	if c.Fraction <= 0 {
+		c.Fraction = 0.1
+	}
+	if c.Fraction > 1 {
+		c.Fraction = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if len(c.Queries) == 0 {
+		c.Queries = []QueryKind{Sum}
+	}
+	if c.Confidence == 0 {
+		c.Confidence = TwoSigma
+	}
+	return c
+}
+
+func (c Config) samplerFactory() core.SamplerFactory {
+	switch c.Strategy {
+	case SRS:
+		return core.SRSFactory(c.Fraction)
+	case Native:
+		return core.NativeFactory()
+	case ParallelWHS:
+		return core.ParallelWHSFactory(c.Workers)
+	default:
+		return core.WHSFactory()
+	}
+}
+
+func (c Config) cost() core.CostFunction {
+	if c.Strategy == Native {
+		return core.FractionBudget{Fraction: 1}
+	}
+	return core.EffectiveFractionBudget{Fraction: c.Fraction}
+}
+
+// streaming reports whether the strategy forwards without edge windows.
+func (c Config) streaming() bool { return c.Strategy == SRS || c.Strategy == Native }
+
+// Simulate runs the configured pipeline on deterministic virtual time for
+// the given duration: source i's items come from source(i), WAN links use
+// the tree's RTT/bandwidth parameters, and every window result is reported.
+func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*SimResult, error) {
+	cfg = cfg.normalize()
+	return core.RunSim(core.SimConfig{
+		Spec:       cfg.Tree,
+		Source:     source,
+		NewSampler: cfg.samplerFactory(),
+		Cost:       cfg.cost(),
+		Duration:   duration,
+		Queries:    cfg.Queries,
+		Confidence: cfg.Confidence,
+		Seed:       cfg.Seed,
+		Streaming:  cfg.streaming(),
+	})
+}
+
+// Run executes the configured pipeline live: one goroutine-backed runtime
+// per edge node, chained by an in-memory broker, processing `items` items.
+func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error) {
+	cfg = cfg.normalize()
+	return core.RunLive(core.LiveConfig{
+		Spec:       cfg.Tree,
+		Source:     source,
+		NewSampler: cfg.samplerFactory(),
+		Cost:       cfg.cost(),
+		Items:      items,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+		Streaming:  cfg.streaming(),
+	})
+}
+
+// NewGenerator builds a workload generator over explicit sub-stream specs.
+func NewGenerator(seed uint64, specs ...SubstreamSpec) *Generator {
+	return workload.New(seed, specs...)
+}
+
+// NewFeedbackController returns the §IV-B adaptive controller: it is a cost
+// function whose fraction moves toward the target relative error as window
+// results are Observed.
+func NewFeedbackController(initialFraction, targetRelError float64) *FeedbackController {
+	return core.NewFeedbackController(initialFraction, targetRelError)
+}
+
+// Compile-time facade checks.
+var (
+	_ = sample.Sampler(sample.Passthrough{})
+	_ = core.CostFunction(core.FixedBudget{})
+)

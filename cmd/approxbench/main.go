@@ -1,0 +1,79 @@
+// Command approxbench regenerates the figures of the ApproxIoT paper's
+// evaluation on this repository's implementation.
+//
+// Usage:
+//
+//	approxbench -fig all            # every paper figure + ablations (quick)
+//	approxbench -fig 5a,10c         # specific figures
+//	approxbench -fig list           # list known figure IDs
+//	approxbench -fig all -full      # paper-scale runs (slower)
+//	approxbench -fig 6 -reps 5      # override repetition count
+//
+// Output is one aligned table per figure — the same series the paper plots.
+// Absolute numbers differ from the paper's 25-node testbed; EXPERIMENTS.md
+// records the expected shapes and the measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/bench"
+)
+
+func main() {
+	var (
+		figs     = flag.String("fig", "all", "comma-separated figure IDs, 'all', or 'list'")
+		full     = flag.Bool("full", false, "paper-scale runs (slower, tighter estimates)")
+		reps     = flag.Int("reps", 0, "override repetitions for accuracy figures")
+		duration = flag.Duration("duration", 0, "override simulated generation span")
+		seed     = flag.Uint64("seed", 0, "override base seed")
+	)
+	flag.Parse()
+
+	scale := bench.Quick()
+	if *full {
+		scale = bench.Full()
+	}
+	if *reps > 0 {
+		scale.Reps = *reps
+	}
+	if *duration > 0 {
+		scale.SimDuration = *duration
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	if *figs == "list" {
+		fmt.Println("known figures:", strings.Join(bench.IDs(), " "))
+		return
+	}
+
+	ids := bench.IDs()
+	if *figs != "all" {
+		ids = strings.Split(*figs, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := bench.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(fig.Format())
+		fmt.Printf("  [generated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+// Adaptive budgets (§IV-B): the paper's feedback mechanism refines the
+// sampling parameters when a window's error bound exceeds the analyst's
+// budget. This example streams a volatile workload through an Estimator
+// whose cost function is a FeedbackController targeting a 0.5% relative
+// error: watch the sampling fraction climb during the high-variance phase
+// and relax again when the stream calms down.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+
+	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func main() {
+	const target = 0.005 // 0.5% relative error at 95% confidence
+
+	controller := approxiot.NewFeedbackController(0.05, target)
+	est := approxiot.NewEstimator(0.05,
+		approxiot.WithSeed(11),
+		approxiot.WithQueries(approxiot.Sum),
+		approxiot.WithAdaptiveBudget(controller),
+	)
+
+	rng := xrand.New(3)
+	fmt.Println("window   fraction   rel-error   phase")
+	for window := 0; window < 30; window++ {
+		// Windows 10–19 are turbulent: value dispersion jumps 50×.
+		sigma, phase := 50.0, "calm"
+		if window >= 10 && window < 20 {
+			sigma, phase = 2500, "volatile"
+		}
+		for i := 0; i < 20000; i++ {
+			est.Add("sensor", rng.Normal(1000, sigma))
+		}
+
+		res := est.Close().Result(approxiot.Sum)
+		rel := 0.0
+		if res.Estimate.Value != 0 {
+			rel = res.Bound() / res.Estimate.Value
+		}
+		fraction := controller.Observe(res) // §IV-B feedback step
+
+		fmt.Printf("%6d   %7.1f%%   %8.4f%%   %s\n",
+			window+1, 100*fraction, 100*rel, phase)
+	}
+
+	fmt.Printf("\ntarget relative error: %.2f%% — the fraction rises through the\n", 100*target)
+	fmt.Println("volatile phase to hold the bound, then decays to save resources.")
+}

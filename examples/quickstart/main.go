@@ -1,0 +1,66 @@
+// Quickstart: approximate windowed aggregates over a sensor stream with the
+// single-node Estimator — ApproxIoT's algorithm in five lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func main() {
+	// Keep 10% of each window, stratified per sensor, 95% confidence.
+	est := approxiot.NewEstimator(0.10,
+		approxiot.WithSeed(42),
+		approxiot.WithQueries(approxiot.Sum, approxiot.Mean, approxiot.Count),
+		approxiot.WithConfidence(approxiot.TwoSigma),
+	)
+
+	// Three sensors with very different scales and rates — the setting
+	// where naive random sampling goes wrong and stratification shines.
+	rng := xrand.New(7)
+	var exactSum float64
+	for i := 0; i < 100000; i++ {
+		v := rng.Normal(20, 5) // a chatty temperature sensor
+		est.Add("temp", v)
+		exactSum += v
+		if i%10 == 0 {
+			v := rng.Normal(1000, 50) // a 10× slower power meter
+			est.Add("power", v)
+			exactSum += v
+		}
+		if i%1000 == 0 {
+			v := rng.Normal(250000, 10000) // a rare but huge flow gauge
+			est.Add("flow", v)
+			exactSum += v
+		}
+	}
+
+	// Close the window: approximate answers with rigorous error bounds.
+	win := est.Close()
+	sum := win.Result(approxiot.Sum)
+	mean := win.Result(approxiot.Mean)
+	count := win.Result(approxiot.Count)
+
+	fmt.Printf("sampled %d items out of %.0f\n\n", win.SampleSize, win.EstimatedInput)
+	fmt.Printf("SUM   = %.6g ± %.4g   (exact %.6g, off by %.4f%%)\n",
+		sum.Estimate.Value, sum.Bound(), exactSum,
+		100*abs(sum.Estimate.Value-exactSum)/exactSum)
+	fmt.Printf("MEAN  = %.6g ± %.4g\n", mean.Estimate.Value, mean.Bound())
+	fmt.Printf("COUNT = %.0f (exact — the Eq. 8 invariant)\n\n", count.Estimate.Value)
+
+	fmt.Println("per-sensor totals:")
+	for src, e := range sum.PerSubstream {
+		fmt.Printf("  %-6s %.6g ± %.4g\n", src, e.Value, e.Bound(approxiot.TwoSigma))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

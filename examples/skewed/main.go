@@ -1,0 +1,67 @@
+// Skewed streams: why stratification matters. Replays the paper's Fig. 10c
+// setting — sub-stream D is 0.01% of the items but, with Poisson(10⁷)
+// values, carries ~99% of the total — and runs ApproxIoT and the SRS
+// baseline side by side at a 10% sampling fraction. SRS routinely loses or
+// over-represents D and its estimate swings wildly; ApproxIoT's stratified
+// reservoirs always keep D represented with the right weight.
+//
+//	go run ./examples/skewed
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+func main() {
+	// 10k items/s per source for 6 s → ~480k items per trial, of which
+	// sub-stream D contributes only ~48 — but ~99% of the total value.
+	source := func(seed uint64) func(i int) approxiot.Source {
+		return func(i int) approxiot.Source {
+			return workload.ExtremeSkew(seed+uint64(i)*211, 10000)
+		}
+	}
+
+	fmt.Println("Extreme skew (Fig. 10c): D = 0.01% of items, ~99% of the value")
+	fmt.Println("10 trials at a 10% sampling fraction, accuracy loss per trial:")
+	fmt.Println()
+	fmt.Printf("%8s  %12s  %12s\n", "trial", "ApproxIoT", "SRS")
+
+	var whsWorst, srsWorst float64
+	for trial := 0; trial < 10; trial++ {
+		seed := 1000 + uint64(trial)*37
+
+		run := func(strategy approxiot.Strategy) float64 {
+			res, err := approxiot.Simulate(approxiot.Config{
+				Strategy: strategy,
+				Fraction: 0.10,
+				Queries:  []approxiot.QueryKind{approxiot.Sum},
+				Seed:     seed,
+			}, source(seed), 6*time.Second)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return 100 * res.AccuracyLoss(approxiot.Sum)
+		}
+
+		whs, srs := run(approxiot.WHS), run(approxiot.SRS)
+		if whs > whsWorst {
+			whsWorst = whs
+		}
+		if srs > srsWorst {
+			srsWorst = srs
+		}
+		fmt.Printf("%8d  %11.4f%%  %11.4f%%\n", trial+1, whs, srs)
+	}
+
+	fmt.Printf("\nworst case:  ApproxIoT %.4f%%   SRS %.4f%%\n", whsWorst, srsWorst)
+	fmt.Println("\nthe paper reports the same contrast: SRS error can exceed 100%")
+	fmt.Println("(it may even overestimate by catching too many D items), while")
+	fmt.Println("ApproxIoT stays below ~0.035% because every stratum keeps a")
+	fmt.Println("reservoir — rare-but-significant data is never lost.")
+}

@@ -1,0 +1,53 @@
+// Extended queries (the paper's §VIII future work, implemented here):
+// top-k group ranking, approximate quantiles, and sliding-window aggregates
+// over the weighted sample — all on a taxi-style workload.
+//
+//	go run ./examples/topzones
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+func main() {
+	est := approxiot.NewEstimator(0.15,
+		approxiot.WithSeed(99),
+		approxiot.WithQueries(approxiot.Sum, approxiot.Count),
+	)
+	slider := approxiot.NewSlider(3) // 3-window sliding total
+
+	gen := workload.NYCTaxi(41, 8, 400)
+	epoch := time.Date(2013, 1, 14, 8, 0, 0, 0, time.UTC)
+
+	fmt.Println("taxi zones — windowed extended queries at a 15% sample")
+	fmt.Println()
+	for w := 0; w < 6; w++ {
+		for _, it := range gen.Generate(epoch.Add(time.Duration(w)*time.Second), time.Second) {
+			est.AddItem(it)
+		}
+		win, theta := est.CloseTheta()
+
+		fmt.Printf("window %d  (%d rides sampled of ~%.0f)\n", w+1, win.SampleSize, win.EstimatedInput)
+
+		// Top-3 zones by estimated fare total.
+		for rank, g := range approxiot.TopK(theta, 3) {
+			fmt.Printf("  #%d %-8s $%9.2f ± %-8.2f (~%.0f rides)\n",
+				rank+1, g.Source, g.Sum.Value, g.Sum.Bound(approxiot.TwoSigma), g.Count)
+		}
+
+		// Fare distribution: median and the heavy tail.
+		med := approxiot.Quantile(theta, 0.5)
+		p95 := approxiot.Quantile(theta, 0.95)
+		fmt.Printf("  fares: median $%.2f [%.2f, %.2f]   p95 $%.2f\n",
+			med.Value, med.Lo, med.Hi, p95.Value)
+
+		// Sliding 3-window total with a combined bound.
+		sliding := slider.Push(win.Result(approxiot.Sum).Estimate)
+		fmt.Printf("  3-window sliding total: $%.2f ± %.2f\n\n",
+			sliding.Value, sliding.Bound(approxiot.TwoSigma))
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/approxiot/approxiot/internal/topology"
+)
+
+// Fig6 reproduces Figure 6: throughput (items/s) vs sampling fraction on
+// the live pipeline, with the datacenter node as the bottleneck. The paper
+// shows ApproxIoT ≈ SRS at every fraction, both ≈ native at 100%, and
+// throughput growing as the fraction shrinks (1.3×–9.9× over 80%→10%)
+// because the saturated root processes only the sampled stream.
+func Fig6(scale Scale) (Figure, error) {
+	fig := Figure{
+		ID:     "6",
+		Title:  "Throughput vs sampling fraction",
+		XLabel: "fraction%",
+		YLabel: "throughput (items/s)",
+		Series: []Series{{Label: "ApproxIoT"}, {Label: "SRS"}, {Label: "Native"}},
+		Notes:  "paper: ApproxIoT ≈ SRS; ≈ native at 100%; ~1/f scaling",
+	}
+	src := gaussianMicroSources(scale.RatePerSubstream, topology.Testbed().Sources)
+	return runFig6(fig, src, scale)
+}
+
+func runFig6(fig Figure, src sourceFunc, scale Scale) (Figure, error) {
+	// Native has no fraction knob: measure once, draw as a flat line.
+	native, err := liveFor(sysNative, 1, src(scale.Seed), scale)
+	if err != nil {
+		return fig, fmt.Errorf("bench: fig6 native: %w", err)
+	}
+	for _, pct := range fractionsWithFullPct {
+		f := pct / 100
+		whs, err := liveFor(sysWHS, f, src(scale.Seed), scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig6 WHS at %.0f%%: %w", pct, err)
+		}
+		srs, err := liveFor(sysSRS, f, src(scale.Seed), scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig6 SRS at %.0f%%: %w", pct, err)
+		}
+		fig.Series[0].Point(pct, whs.Throughput)
+		fig.Series[1].Point(pct, srs.Throughput)
+		fig.Series[2].Point(pct, native.Throughput)
+	}
+	return fig, nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/approxiot/approxiot/internal/metrics"
+	"github.com/approxiot/approxiot/internal/topology"
+)
+
+// Fig7 reproduces Figure 7: network bandwidth saving rate vs sampling
+// fraction. Sampling at the edge means the links above the first edge layer
+// carry only the sampled fraction, so the saving rate is ≈ 100·(1 − f)% for
+// both ApproxIoT and SRS.
+func Fig7(scale Scale) (Figure, error) {
+	fig := Figure{
+		ID:     "7",
+		Title:  "Bandwidth saving vs sampling fraction",
+		XLabel: "fraction%",
+		YLabel: "BW saving rate (%)",
+		Series: []Series{{Label: "ApproxIoT"}, {Label: "SRS"}},
+		Notes:  "paper: saving ≈ 100·(1−f)% on the sampled segments",
+	}
+	src := gaussianMicroSources(scale.RatePerSubstream, topology.Testbed().Sources)
+
+	// Baseline: native bytes on the sampled segments (layers ≥ 1).
+	native, err := simFor(sysNative, 1, src(scale.Seed), scale, nil)
+	if err != nil {
+		return fig, fmt.Errorf("bench: fig7 native: %w", err)
+	}
+	baseline := sampledSegmentBytes(native.LayerBytes)
+
+	for _, pct := range fractionsPct {
+		f := pct / 100
+		whs, err := simFor(sysWHS, f, src(scale.Seed), scale, nil)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig7 WHS: %w", err)
+		}
+		srs, err := simFor(sysSRS, f, src(scale.Seed), scale, nil)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig7 SRS: %w", err)
+		}
+		fig.Series[0].Point(pct, 100*metrics.SavingRate(sampledSegmentBytes(whs.LayerBytes), baseline))
+		fig.Series[1].Point(pct, 100*metrics.SavingRate(sampledSegmentBytes(srs.LayerBytes), baseline))
+	}
+	return fig, nil
+}
+
+// sampledSegmentBytes sums link bytes above the first edge layer — the
+// segments whose load sampling reduces (the source→edge1 hop necessarily
+// carries the full stream).
+func sampledSegmentBytes(layerBytes []int64) int64 {
+	var total int64
+	for l := 1; l < len(layerBytes); l++ {
+		total += layerBytes[l]
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+// taxiSources builds the synthetic NYC-taxi trace (§VI-A substitute): 12
+// dispatch zones per source with geometrically-decaying activity,
+// heavy-tailed log-normal fares, and a diurnal demand cycle.
+func taxiSources(scale Scale, sources int) sourceFunc {
+	base := 4 * scale.RatePerSubstream / float64(sources) / 3.87 // Σ 0.75^i ≈ 3.87 for 12 zones
+	return func(seed uint64) func(i int) workload.Source {
+		return func(i int) workload.Source {
+			return workload.NYCTaxi(seed+uint64(i)*211, 12, base)
+		}
+	}
+}
+
+// pollutionSources builds the synthetic Brasov pollution trace (§VI-B
+// substitute): four pollutant channels with slowly-drifting AR(1) levels.
+// The sensor period is compressed to 1 s so bench runs observe enough items.
+func pollutionSources(scale Scale, sources int) sourceFunc {
+	sensors := int(scale.RatePerSubstream / float64(sources))
+	if sensors < 1 {
+		sensors = 1
+	}
+	return func(seed uint64) func(i int) workload.Source {
+		return func(i int) workload.Source {
+			return workload.BrasovPollution(seed+uint64(i)*211, sensors, 1)
+		}
+	}
+}
+
+// Fig11a reproduces Figure 11(a): ApproxIoT's accuracy loss vs sampling
+// fraction on the two case-study workloads. The paper reports the taxi
+// query at 0.1% loss with a 10% fraction (0.04% at 47%), and the pollution
+// dataset lower and flatter because its values are more stable.
+func Fig11a(scale Scale) (Figure, error) {
+	fig := Figure{
+		ID:     "11a",
+		Title:  "Accuracy loss vs fraction (real-world case studies)",
+		XLabel: "fraction%",
+		YLabel: "accuracy loss (%)",
+		Series: []Series{{Label: "NYC-Taxi"}, {Label: "Brasov-Pollution"}},
+		Notes:  "synthetic trace substitutes; see DESIGN.md §4",
+	}
+	sources := topology.Testbed().Sources
+	taxi := taxiSources(scale, sources)
+	poll := pollutionSources(scale, sources)
+	for _, pct := range fractionsPct {
+		f := pct / 100
+		t, err := meanAccuracyLossPct(sysWHS, f, taxi, scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig11a taxi: %w", err)
+		}
+		p, err := meanAccuracyLossPct(sysWHS, f, poll, scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig11a pollution: %w", err)
+		}
+		fig.Series[0].Point(pct, t)
+		fig.Series[1].Point(pct, p)
+	}
+	return fig, nil
+}
+
+// Fig11b reproduces Figure 11(b): throughput vs sampling fraction for the
+// two case studies on the live pipeline, against the flat native line. The
+// paper reports ~9× native throughput at the 10% fraction.
+func Fig11b(scale Scale) (Figure, error) {
+	fig := Figure{
+		ID:     "11b",
+		Title:  "Throughput vs fraction (real-world case studies)",
+		XLabel: "fraction%",
+		YLabel: "throughput (items/s)",
+		Series: []Series{{Label: "NYC-Taxi"}, {Label: "Brasov-Pollution"}, {Label: "Native"}},
+		Notes:  "paper: ~9–10× native at 10%; native flat",
+	}
+	sources := topology.Testbed().Sources
+	taxi := taxiSources(scale, sources)
+	poll := pollutionSources(scale, sources)
+
+	native, err := liveFor(sysNative, 1, taxi(scale.Seed), scale)
+	if err != nil {
+		return fig, fmt.Errorf("bench: fig11b native: %w", err)
+	}
+	for _, pct := range fractionsWithFullPct {
+		f := pct / 100
+		t, err := liveFor(sysWHS, f, taxi(scale.Seed), scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig11b taxi: %w", err)
+		}
+		p, err := liveFor(sysWHS, f, poll(scale.Seed), scale)
+		if err != nil {
+			return fig, fmt.Errorf("bench: fig11b pollution: %w", err)
+		}
+		fig.Series[0].Point(pct, t.Throughput)
+		fig.Series[1].Point(pct, p.Throughput)
+		fig.Series[2].Point(pct, native.Throughput)
+	}
+	return fig, nil
+}

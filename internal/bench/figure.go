@@ -1,0 +1,133 @@
+// Package bench regenerates every figure of the paper's evaluation
+// (§V microbenchmarks, §VI case studies) plus the ablations DESIGN.md §7
+// calls out. Each FigXX function runs the corresponding experiment on this
+// repository's substrates and returns the same series the paper plots;
+// cmd/approxbench and the top-level bench_test.go are thin wrappers.
+//
+// Absolute numbers differ from the paper (its testbed was 25 machines with
+// tc-shaped WANs; ours is a simulator plus an in-process pipeline), but the
+// shapes the paper claims — who wins, by what factor, where curves bend —
+// are asserted in EXPERIMENTS.md and the figure tests.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	// X and Y are parallel; X values are shared across a figure's series
+	// in most figures but kept per-series for generality.
+	X []float64
+	Y []float64
+}
+
+// Point appends one (x, y) pair.
+func (s *Series) Point(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// At returns the y value for x (NaN-free figures only; -1 if x absent).
+func (s *Series) At(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a reproduced table/figure.
+type Figure struct {
+	ID     string // "5a", "6", "10c", ...
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  string
+}
+
+// Find returns the series with the given label.
+func (f Figure) Find(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the figure as an aligned text table, one row per x value,
+// one column per series — the form the harness prints.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "  (%s)\n", f.Notes)
+	}
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+
+	// Collect the union of x values in first-series order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.6g", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "  %-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  [y-axis: %s]\n", f.YLabel)
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	return s
+}
+
+// fractions is the paper's x-axis sweep for the fraction figures (percent).
+var fractionsPct = []float64{10, 20, 40, 60, 80, 90}
+
+// fractionsWithFullPct extends the sweep to 100% for the throughput and
+// latency figures that include it.
+var fractionsWithFullPct = []float64{10, 20, 40, 60, 80, 100}

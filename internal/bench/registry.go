@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one figure at a scale.
+type Runner func(Scale) (Figure, error)
+
+// registry maps figure IDs to runners.
+var registry = map[string]Runner{
+	"5a":  Fig5a,
+	"5b":  Fig5b,
+	"6":   Fig6,
+	"7":   Fig7,
+	"8":   Fig8,
+	"9":   Fig9,
+	"10a": Fig10a,
+	"10b": Fig10b,
+	"10c": Fig10c,
+	"11a": Fig11a,
+	"11b": Fig11b,
+	"A1":  AblationHierarchy,
+	"A2":  AblationAllocator,
+	"A3":  AblationParallelWorkers,
+	"A4":  AblationAlignment,
+}
+
+// IDs returns all known figure IDs, paper figures first, then ablations.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ai, aj := ids[i][0] == 'A', ids[j][0] == 'A'
+		if ai != aj {
+			return !ai // paper figures before ablations
+		}
+		return lessFig(ids[i], ids[j])
+	})
+	return ids
+}
+
+func lessFig(a, b string) bool {
+	na, sa := splitFig(a)
+	nb, sb := splitFig(b)
+	if na != nb {
+		return na < nb
+	}
+	return sa < sb
+}
+
+func splitFig(id string) (int, string) {
+	n := 0
+	i := 0
+	for i < len(id) && id[i] >= '0' && id[i] <= '9' {
+		n = n*10 + int(id[i]-'0')
+		i++
+	}
+	return n, id[i:]
+}
+
+// Run executes the runner registered under id.
+func Run(id string, scale Scale) (Figure, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown figure %q (known: %v)", id, IDs())
+	}
+	return r(scale)
+}

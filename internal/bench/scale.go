@@ -1,0 +1,50 @@
+package bench
+
+import "time"
+
+// Scale sizes the experiments. Quick keeps the full suite under a couple of
+// minutes on a laptop; Full runs longer for tighter estimates (closer to
+// the paper's minutes-long testbed runs).
+type Scale struct {
+	// Reps averages accuracy metrics over this many seeded repetitions.
+	Reps int
+	// SimDuration is the generation span of simulated runs.
+	SimDuration time.Duration
+	// RatePerSubstream is each synthetic sub-stream's total arrival rate
+	// (items/second summed across the 8 source nodes).
+	RatePerSubstream float64
+	// LiveItems is the item count for live (throughput) runs.
+	LiveItems int64
+	// RootWork is the per-item query cost at the root in live runs.
+	RootWork time.Duration
+	// Seed is the base seed; repetitions offset it.
+	Seed uint64
+}
+
+// Quick returns the fast preset used by `go test -bench` and CI.
+func Quick() Scale {
+	return Scale{
+		Reps:             3,
+		SimDuration:      8 * time.Second,
+		RatePerSubstream: 1000,
+		LiveItems:        24000,
+		RootWork:         40 * time.Microsecond,
+		Seed:             2018,
+	}
+}
+
+// Full returns the slower preset for paper-style runs (cmd/approxbench
+// -full).
+func Full() Scale {
+	return Scale{
+		Reps:             5,
+		SimDuration:      40 * time.Second,
+		RatePerSubstream: 4000,
+		LiveItems:        200000,
+		RootWork:         10 * time.Microsecond,
+		Seed:             2018,
+	}
+}
+
+// seedFor derives the seed of repetition r.
+func (s Scale) seedFor(r int) uint64 { return s.Seed + uint64(r)*7919 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stats"
+)
+
+func TestFractionBudget(t *testing.T) {
+	tests := []struct {
+		f        float64
+		observed int
+		want     int
+	}{
+		{0.5, 100, 50},
+		{0.1, 99, 10}, // ceil
+		{1.0, 77, 77},
+		{1.5, 10, 10},  // clamp to all
+		{0, 100, 0},    // zero fraction
+		{-1, 100, 0},   // negative fraction
+		{0.5, 0, 0},    // nothing observed
+		{0.001, 10, 1}, // ceil keeps at least one
+	}
+	for _, tc := range tests {
+		if got := (FractionBudget{Fraction: tc.f}).SampleSize(tc.observed); got != tc.want {
+			t.Errorf("FractionBudget(%g).SampleSize(%d) = %d, want %d", tc.f, tc.observed, got, tc.want)
+		}
+	}
+}
+
+func TestFixedBudget(t *testing.T) {
+	if got := (FixedBudget{Size: 40}).SampleSize(99999); got != 40 {
+		t.Fatalf("FixedBudget = %d, want 40", got)
+	}
+	if got := (FixedBudget{Size: -1}).SampleSize(10); got != 0 {
+		t.Fatalf("negative FixedBudget = %d, want 0", got)
+	}
+}
+
+func TestEffectiveFractionBudget(t *testing.T) {
+	e := EffectiveFractionBudget{Fraction: 0.2}
+	if got := e.SampleSizeWeighted(1000); got != 200 {
+		t.Fatalf("SampleSizeWeighted(1000) = %d, want 200", got)
+	}
+	if got := e.SampleSize(1000); got != 200 {
+		t.Fatalf("SampleSize fallback = %d, want 200", got)
+	}
+	if got := e.SampleSizeWeighted(0); got != 0 {
+		t.Fatalf("zero volume = %d, want 0", got)
+	}
+	over := EffectiveFractionBudget{Fraction: 3}
+	if got := over.SampleSizeWeighted(100); got != 100 {
+		t.Fatalf("fraction > 1 = %d, want clamp to 100", got)
+	}
+}
+
+func feedbackResult(value, variance float64, n int64) query.Result {
+	return query.Result{
+		Kind:       query.Sum,
+		Estimate:   stats.Estimate{Value: value, Variance: variance},
+		Confidence: stats.TwoSigma,
+		SampleSize: n,
+	}
+}
+
+func TestFeedbackRaisesFractionOnHighError(t *testing.T) {
+	fc := NewFeedbackController(0.1, 0.01)
+	// rel error = 2·sqrt(10000)/1000 = 0.2 >> 0.01 target.
+	got := fc.Observe(feedbackResult(1000, 10000, 50))
+	if got <= 0.1 {
+		t.Fatalf("fraction = %g after high error, want raised above 0.1", got)
+	}
+}
+
+func TestFeedbackLowersFractionOnLowError(t *testing.T) {
+	fc := NewFeedbackController(0.5, 0.1)
+	// rel error = 2·sqrt(1)/10000 = 0.0002 << target/2.
+	got := fc.Observe(feedbackResult(10000, 1, 50))
+	if got >= 0.5 {
+		t.Fatalf("fraction = %g after tiny error, want lowered below 0.5", got)
+	}
+}
+
+func TestFeedbackDeadBand(t *testing.T) {
+	fc := NewFeedbackController(0.3, 0.1)
+	// rel error = 2·sqrt(properly tuned)… pick variance so rel ∈ (target/2, target):
+	// 2·sqrt(v)/1000 = 0.07 → v = 1225.
+	got := fc.Observe(feedbackResult(1000, 1225, 50))
+	if got != 0.3 {
+		t.Fatalf("fraction = %g inside dead band, want unchanged 0.3", got)
+	}
+}
+
+func TestFeedbackRespectsBounds(t *testing.T) {
+	fc := NewFeedbackController(0.9, 0.001, WithFractionBounds(0.05, 0.95))
+	for i := 0; i < 20; i++ {
+		fc.Observe(feedbackResult(1000, 1e9, 50)) // huge error, keeps raising
+	}
+	if got := fc.Fraction(); got != 0.95 {
+		t.Fatalf("fraction = %g, want capped at 0.95", got)
+	}
+	fc2 := NewFeedbackController(0.1, 10, WithFractionBounds(0.05, 0.95))
+	for i := 0; i < 20; i++ {
+		fc2.Observe(feedbackResult(1e9, 1, 50)) // tiny error, keeps lowering
+	}
+	if got := fc2.Fraction(); got != 0.05 {
+		t.Fatalf("fraction = %g, want floored at 0.05", got)
+	}
+}
+
+func TestFeedbackIgnoresUninformativeWindows(t *testing.T) {
+	fc := NewFeedbackController(0.2, 0.01)
+	if got := fc.Observe(feedbackResult(0, 100, 50)); got != 0.2 {
+		t.Fatalf("zero-value window moved fraction to %g", got)
+	}
+	if got := fc.Observe(feedbackResult(100, 100, 0)); got != 0.2 {
+		t.Fatalf("empty-sample window moved fraction to %g", got)
+	}
+}
+
+func TestFeedbackIsACostFunction(t *testing.T) {
+	var _ CostFunction = NewFeedbackController(0.25, 0.01)
+	fc := NewFeedbackController(0.25, 0.01)
+	if got := fc.SampleSize(1000); got != 250 {
+		t.Fatalf("SampleSize = %d, want 250", got)
+	}
+}
+
+func TestFeedbackGainOption(t *testing.T) {
+	fc := NewFeedbackController(0.1, 0.001, WithGain(2))
+	fc.Observe(feedbackResult(1000, 1e9, 50))
+	if got := fc.Fraction(); got != 0.2 {
+		t.Fatalf("fraction = %g, want doubled to 0.2", got)
+	}
+}

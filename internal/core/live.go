@@ -1,0 +1,374 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/streams"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+// LiveConfig describes a live-mode run: the tree is instantiated as real
+// goroutines — one streams.Runtime per edge node, chained by mq topics —
+// exactly mirroring the paper's Kafka/Kafka-Streams deployment (Fig. 4).
+// Live mode measures compute throughput; WAN characteristics are the
+// simulated mode's job.
+type LiveConfig struct {
+	// Spec gives the tree structure (link parameters are ignored live).
+	Spec topology.TreeSpec
+	// Source builds source node i's generator. Required.
+	Source func(i int) workload.Source
+	// NewSampler builds each node's strategy. Required.
+	NewSampler SamplerFactory
+	// Cost is the budget policy shared by all nodes. Required.
+	Cost CostFunction
+	// Items is the total number of items to produce across all sources.
+	Items int64
+	// Window is the live sampling/query interval (default 50 ms — wall
+	// time is expensive, simulated seconds are not).
+	Window time.Duration
+	// RootWork is the artificial per-item query execution cost at the
+	// datacenter, modelling the paper's saturated root (default 0).
+	RootWork time.Duration
+	// Queries lists the root's aggregates (default SUM).
+	Queries []query.Kind
+	// Streaming forwards per batch without windowing (SRS / native).
+	Streaming bool
+	// Seed drives all samplers and generators.
+	Seed uint64
+}
+
+// LiveResult reports a live run's measurements.
+type LiveResult struct {
+	// Produced counts items generated and published by the sources.
+	Produced int64
+	// RootProcessed counts items the root aggregated (post sampling).
+	RootProcessed int64
+	// Elapsed spans first publish to last root-side processing.
+	Elapsed time.Duration
+	// Throughput is Produced/Elapsed — the paper's "items processed per
+	// second" with the pipeline as the bottleneck.
+	Throughput float64
+	// Windows holds the root's non-empty window results.
+	Windows []WindowResult
+	// TruthSum is the exact total of generated item values.
+	TruthSum float64
+	// EstimateSum totals the SUM estimates across windows.
+	EstimateSum float64
+	// EstimateCount totals the estimated input counts across windows.
+	EstimateCount float64
+}
+
+// live-mode errors.
+var ErrNoItems = errors.New("core: LiveConfig.Items must be positive")
+
+// topicName names the mq topic feeding node (layer, idx).
+func topicName(layer, idx int) string {
+	return fmt.Sprintf("layer%d-node%d", layer, idx)
+}
+
+// samplingProcessor adapts a core.Node to the streams.Processor contract:
+// batches arrive as wire-encoded messages, windows flush on punctuation (or
+// immediately in streaming mode).
+type samplingProcessor struct {
+	node      *Node
+	window    time.Duration
+	streaming bool
+	ctx       streams.ProcessorContext
+	cancel    func()
+}
+
+var _ streams.Processor = (*samplingProcessor)(nil)
+
+func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
+	p.ctx = ctx
+	if !p.streaming {
+		p.cancel = ctx.Schedule(p.window, func(time.Time) { p.flush() })
+	}
+	return nil
+}
+
+func (p *samplingProcessor) Process(msg streams.Message) error {
+	b, err := stream.UnmarshalBatch(msg.Value)
+	if err != nil {
+		return fmt.Errorf("core: node %s: %w", p.node.ID(), err)
+	}
+	p.node.IngestBatch(b)
+	if p.streaming {
+		p.flush()
+	}
+	return nil
+}
+
+func (p *samplingProcessor) flush() {
+	for _, b := range p.node.CloseInterval() {
+		p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: b.Marshal(), Ts: p.ctx.Now()})
+	}
+}
+
+func (p *samplingProcessor) Close() error {
+	if p.cancel != nil {
+		p.cancel()
+	}
+	return nil
+}
+
+// RunLive executes one live experiment.
+func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid tree spec: %w", err)
+	}
+	if cfg.Source == nil {
+		return nil, ErrNoSourceFunc
+	}
+	if cfg.NewSampler == nil {
+		return nil, ErrNoSampler
+	}
+	if cfg.Cost == nil {
+		return nil, ErrNoCost
+	}
+	if cfg.Items <= 0 {
+		return nil, ErrNoItems
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = []query.Kind{query.Sum}
+	}
+
+	spec := cfg.Spec
+	rootLayer := spec.RootLayer()
+	broker := mq.NewBroker()
+	defer broker.Close()
+
+	// One topic per computing node, created before any runtime subscribes.
+	for l, ls := range spec.Layers {
+		for i := 0; i < ls.Nodes; i++ {
+			if _, err := broker.CreateTopic(topicName(l, i), 1, mq.WithRetention(4096)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Edge layers: one streams.Runtime per node.
+	var runtimes []*streams.Runtime
+	stopAll := func() {
+		for i := len(runtimes) - 1; i >= 0; i-- {
+			_ = runtimes[i].Stop()
+		}
+	}
+	for l := 0; l < rootLayer; l++ {
+		ls := spec.Layers[l]
+		for i := 0; i < ls.Nodes; i++ {
+			id := fmt.Sprintf("%s-%d", ls.Name, i)
+			node := NewNode(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost)
+			proc := &samplingProcessor{node: node, window: cfg.Window, streaming: cfg.Streaming}
+			parentTopic := topicName(l+1, topology.ParentIndex(ls.Nodes, spec.Layers[l+1].Nodes, i))
+			topo, err := streams.NewTopology().
+				Source("in", topicName(l, i)).
+				Processor("sampler", func() streams.Processor { return proc }, "in").
+				Sink("out", parentTopic, "sampler").
+				Build()
+			if err != nil {
+				stopAll()
+				return nil, err
+			}
+			rt, err := streams.NewRuntime(broker, topo, id,
+				streams.WithPollWait(time.Millisecond),
+				streams.WithPollBatch(512))
+			if err != nil {
+				stopAll()
+				return nil, err
+			}
+			if err := rt.Start(); err != nil {
+				stopAll()
+				return nil, err
+			}
+			runtimes = append(runtimes, rt)
+		}
+	}
+
+	// Root consumer: record-at-a-time aggregation with optional per-item
+	// work, window results on a wall-clock ticker.
+	engine := query.NewEngine()
+	root := NewRoot("root", cfg.NewSampler(rootLayer, 0, cfg.Seed), cfg.Cost, engine, cfg.Queries...)
+	rootConsumer, err := mq.NewGroupConsumer(broker, topicName(rootLayer, 0), "root")
+	if err != nil {
+		stopAll()
+		return nil, err
+	}
+	defer rootConsumer.Close()
+
+	res := &LiveResult{}
+	var (
+		rootProcessed atomic.Int64
+		lastActivity  atomic.Int64 // unix nanos of last root processing
+		rootBusy      atomic.Bool  // root is mid-burst (spinning through records)
+		rootMu        sync.Mutex   // guards root + res.Windows
+	)
+	closeWindow := func() {
+		rootMu.Lock()
+		win, _ := root.CloseWindow(time.Now())
+		if win.SampleSize > 0 {
+			res.Windows = append(res.Windows, win)
+		}
+		rootMu.Unlock()
+	}
+
+	rootCtx, cancelRoot := context.WithCancel(context.Background())
+	var rootWG sync.WaitGroup
+	rootWG.Add(1)
+	go func() {
+		defer rootWG.Done()
+		ticker := time.NewTicker(cfg.Window)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rootCtx.Done():
+				return
+			case <-ticker.C:
+				closeWindow()
+			default:
+			}
+			recs, err := rootConsumer.TryPoll(512)
+			if err != nil {
+				return
+			}
+			if len(recs) == 0 {
+				select {
+				case <-rootCtx.Done():
+					return
+				case <-time.After(time.Millisecond):
+				}
+				continue
+			}
+			rootBusy.Store(true)
+			lastActivity.Store(time.Now().UnixNano())
+			for _, rec := range recs {
+				b, err := stream.UnmarshalBatch(rec.Value)
+				if err != nil {
+					continue
+				}
+				spin(time.Duration(len(b.Items)) * cfg.RootWork)
+				rootMu.Lock()
+				root.IngestBatch(b)
+				rootMu.Unlock()
+				rootProcessed.Add(int64(len(b.Items)))
+				lastActivity.Store(time.Now().UnixNano())
+			}
+			rootBusy.Store(false)
+		}
+	}()
+
+	// Sources: produce Items total, split across source nodes, publishing
+	// one batch per sub-stream per chunk.
+	start := time.Now()
+	lastActivity.Store(start.UnixNano())
+	perSource := cfg.Items / int64(spec.Sources)
+	var (
+		produced atomic.Int64
+		truthMu  sync.Mutex
+		srcWG    sync.WaitGroup
+	)
+	chunk := cfg.Window / 4
+	if chunk <= 0 {
+		chunk = cfg.Window
+	}
+	for s := 0; s < spec.Sources; s++ {
+		s := s
+		srcWG.Add(1)
+		go func() {
+			defer srcWG.Done()
+			gen := cfg.Source(s)
+			producer := mq.NewProducer(broker)
+			topic := topicName(0, topology.ParentIndex(spec.Sources, spec.Layers[0].Nodes, s))
+			var sent int64
+			now := start
+			var localTruth float64
+			for sent < perSource {
+				items := gen.Generate(now, chunk)
+				now = now.Add(chunk)
+				if len(items) == 0 {
+					continue
+				}
+				if int64(len(items)) > perSource-sent {
+					items = items[:perSource-sent]
+				}
+				for _, it := range items {
+					localTruth += it.Value
+				}
+				for lo := 0; lo < len(items); {
+					hi := lo + 1
+					src := items[lo].Source
+					for hi < len(items) && items[hi].Source == src {
+						hi++
+					}
+					b := stream.Batch{Source: src, Weight: 1, Items: items[lo:hi]}
+					if _, _, err := producer.Send(topic, []byte(src), b.Marshal()); err != nil {
+						return
+					}
+					lo = hi
+				}
+				sent += int64(len(items))
+			}
+			produced.Add(sent)
+			truthMu.Lock()
+			res.TruthSum += localTruth
+			truthMu.Unlock()
+		}()
+	}
+	srcWG.Wait()
+
+	// Drain: wait until every layer is caught up and the root has been
+	// idle for several windows (final punctuation flushes included).
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		var lag int64
+		for _, rt := range runtimes {
+			lag += rt.Lag()
+		}
+		lag += rootConsumer.Lag()
+		idle := time.Since(time.Unix(0, lastActivity.Load()))
+		if lag == 0 && !rootBusy.Load() && idle > 4*cfg.Window {
+			break
+		}
+		time.Sleep(cfg.Window / 4)
+	}
+	end := time.Unix(0, lastActivity.Load())
+
+	cancelRoot()
+	rootWG.Wait()
+	closeWindow() // final partial window
+	stopAll()
+
+	res.Produced = produced.Load()
+	res.RootProcessed = rootProcessed.Load()
+	res.Elapsed = end.Sub(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Produced) / res.Elapsed.Seconds()
+	}
+	for _, w := range res.Windows {
+		res.EstimateSum += w.Result(query.Sum).Estimate.Value
+		res.EstimateCount += w.EstimatedInput
+	}
+	return res, nil
+}
+
+// spin burns CPU for roughly d, modelling per-item query execution cost.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

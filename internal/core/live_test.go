@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/topology"
+)
+
+func liveConfig(items int64, fraction float64) LiveConfig {
+	return LiveConfig{
+		Spec:       topology.Testbed(),
+		Source:     microSource(11, 1000),
+		NewSampler: WHSFactory(),
+		Cost:       EffectiveFractionBudget{Fraction: fraction},
+		Items:      items,
+		Window:     30 * time.Millisecond,
+		Queries:    []query.Kind{query.Sum, query.Count},
+		Seed:       3,
+	}
+}
+
+func TestLiveValidatesConfig(t *testing.T) {
+	cfg := liveConfig(100, 0.5)
+	cfg.Items = 0
+	if _, err := RunLive(cfg); !errors.Is(err, ErrNoItems) {
+		t.Fatalf("err = %v, want ErrNoItems", err)
+	}
+	cfg = liveConfig(100, 0.5)
+	cfg.Source = nil
+	if _, err := RunLive(cfg); !errors.Is(err, ErrNoSourceFunc) {
+		t.Fatalf("err = %v, want ErrNoSourceFunc", err)
+	}
+}
+
+func TestLivePipelineCountInvariant(t *testing.T) {
+	res, err := RunLive(liveConfig(16000, 0.25))
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.Produced != 16000 {
+		t.Fatalf("produced %d items, want 16000", res.Produced)
+	}
+	// Eq. 8 composed across the live pipeline: estimated input == produced.
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("estimated count %.1f vs produced %d (rel %.2e)", res.EstimateCount, res.Produced, rel)
+	}
+	// Sampling really happened: root saw roughly a quarter of the stream.
+	ratio := float64(res.RootProcessed) / float64(res.Produced)
+	if ratio < 0.15 || ratio > 0.4 {
+		t.Fatalf("root processed ratio = %.2f, want ~0.25", ratio)
+	}
+}
+
+func TestLiveSumEstimateNearTruth(t *testing.T) {
+	res, err := RunLive(liveConfig(16000, 0.5))
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.TruthSum == 0 {
+		t.Fatal("no ground truth accumulated")
+	}
+	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
+	if loss > 0.05 {
+		t.Fatalf("live accuracy loss = %.3f, want < 5%% at fraction 0.5", loss)
+	}
+}
+
+func TestLiveNativePassthrough(t *testing.T) {
+	cfg := liveConfig(8000, 1)
+	cfg.NewSampler = NativeFactory()
+	cfg.Cost = FractionBudget{Fraction: 1}
+	cfg.Streaming = true
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.RootProcessed != res.Produced {
+		t.Fatalf("native root processed %d of %d", res.RootProcessed, res.Produced)
+	}
+	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
+	if loss > 1e-9 {
+		t.Fatalf("native loss = %g, want exact", loss)
+	}
+}
+
+func TestLiveSRSStreaming(t *testing.T) {
+	cfg := liveConfig(16000, 0.2)
+	cfg.NewSampler = SRSFactory(0.2)
+	cfg.Streaming = true
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	ratio := float64(res.RootProcessed) / float64(res.Produced)
+	if ratio < 0.1 || ratio > 0.35 {
+		t.Fatalf("SRS root ratio = %.2f, want ~0.2", ratio)
+	}
+	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
+	if loss > 0.2 {
+		t.Fatalf("SRS loss = %.3f, implausibly bad on balanced Gaussian", loss)
+	}
+}
+
+func TestLiveThroughputImprovesWithSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock throughput comparison")
+	}
+	run := func(fraction float64) float64 {
+		cfg := liveConfig(30000, fraction)
+		cfg.RootWork = 20 * time.Microsecond // saturate the datacenter
+		res, err := RunLive(cfg)
+		if err != nil {
+			t.Fatalf("RunLive: %v", err)
+		}
+		return res.Throughput
+	}
+	sampled := run(0.1)
+	native := func() float64 {
+		cfg := liveConfig(30000, 1)
+		cfg.NewSampler = NativeFactory()
+		cfg.Cost = FractionBudget{Fraction: 1}
+		cfg.Streaming = true
+		cfg.RootWork = 20 * time.Microsecond
+		res, err := RunLive(cfg)
+		if err != nil {
+			t.Fatalf("RunLive: %v", err)
+		}
+		return res.Throughput
+	}()
+	if sampled < 1.5*native {
+		t.Fatalf("10%% sampling throughput %.0f not well above native %.0f", sampled, native)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"time"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/sample"
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// Node executes Algorithm 2 on one computing node of the logical tree. Per
+// time interval it accumulates the Ψ store — (W^in, items) pairs, one per
+// weight lineage of each sub-stream — and on CloseInterval derives the
+// sample size from its cost function, runs its sampler (WHS for ApproxIoT,
+// coin-flip for the SRS baseline, passthrough for native execution), and
+// hands the weighted sample batches to the caller for forwarding upstream.
+//
+// The node keeps the latest W^in per sub-stream across intervals, so items
+// that arrive in a later interval than their weight (the Fig. 3 case) are
+// processed with the carried, up-to-date weight.
+//
+// Node is not safe for concurrent use; runners own each node from a single
+// goroutine (live mode) or the event loop (simulated mode).
+type Node struct {
+	id      string
+	sampler sample.Sampler
+	cost    CostFunction
+
+	weights  stream.WeightMap
+	psi      []stream.Batch
+	lineage  map[lineageKey]int // (source, weight) → index into psi
+	observed int
+
+	totalObserved int64
+	totalEmitted  int64
+	intervals     int64
+}
+
+type lineageKey struct {
+	src stream.SourceID
+	w   float64
+}
+
+// NewNode returns a node with the given sampling strategy and budget.
+func NewNode(id string, sampler sample.Sampler, cost CostFunction) *Node {
+	return &Node{
+		id:      id,
+		sampler: sampler,
+		cost:    cost,
+		weights: make(stream.WeightMap),
+		lineage: make(map[lineageKey]int),
+	}
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// IngestBatch receives a weighted batch from a downstream node: the weight
+// map is updated (line 4's Ψ bookkeeping) and the pair joins the current
+// interval, merging with an existing pair of the same lineage.
+func (n *Node) IngestBatch(b stream.Batch) {
+	if len(b.Items) == 0 {
+		return
+	}
+	n.weights.Set(b.Source, b.Weight)
+	n.addPair(b.Source, b.Weight, b.Items)
+}
+
+// IngestItems receives raw items (from sources, or items whose weight
+// arrived in an earlier interval): each sub-stream's pair uses the last
+// known weight, defaulting to 1 at the original source (§III-C).
+func (n *Node) IngestItems(items []stream.Item) {
+	for start := 0; start < len(items); {
+		end := start + 1
+		src := items[start].Source
+		for end < len(items) && items[end].Source == src {
+			end++
+		}
+		n.addPair(src, n.weights.Get(src), items[start:end])
+		start = end
+	}
+}
+
+func (n *Node) addPair(src stream.SourceID, w float64, items []stream.Item) {
+	key := lineageKey{src: src, w: w}
+	if idx, ok := n.lineage[key]; ok {
+		n.psi[idx].Items = append(n.psi[idx].Items, items...)
+	} else {
+		n.lineage[key] = len(n.psi)
+		batch := stream.Batch{Source: src, Weight: w}
+		batch.Items = append(batch.Items, items...) // own the storage
+		n.psi = append(n.psi, batch)
+	}
+	n.observed += len(items)
+	n.totalObserved += int64(len(items))
+}
+
+// Observed returns the number of items received in the current interval.
+func (n *Node) Observed() int { return n.observed }
+
+// LastWeight returns the carried W^in for a sub-stream (1 if never seen).
+func (n *Node) LastWeight(src stream.SourceID) float64 { return n.weights.Get(src) }
+
+// CloseInterval ends the current interval: the sampler reduces Ψ under the
+// cost function's budget and the node resets for the next interval. The
+// returned batches carry W^out and are ready to forward to the parent (or,
+// at the root, to append to Θ).
+func (n *Node) CloseInterval() []stream.Batch {
+	n.intervals++
+	if len(n.psi) == 0 {
+		return nil
+	}
+	budget := n.cost.SampleSize(n.observed)
+	if wc, ok := n.cost.(WeightedCostFunction); ok {
+		var est float64
+		for _, p := range n.psi {
+			est += p.Weight * float64(len(p.Items))
+		}
+		budget = wc.SampleSizeWeighted(est)
+	}
+	out := n.sampler.SampleInterval(n.psi, budget)
+	for _, b := range out {
+		n.totalEmitted += int64(len(b.Items))
+	}
+	n.psi = nil
+	n.lineage = make(map[lineageKey]int)
+	n.observed = 0
+	return out
+}
+
+// Stats reports lifetime counters for instrumentation.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Observed:  n.totalObserved,
+		Emitted:   n.totalEmitted,
+		Intervals: n.intervals,
+	}
+}
+
+// NodeStats are lifetime counters of one node.
+type NodeStats struct {
+	// Observed counts every item the node received.
+	Observed int64
+	// Emitted counts every item the node forwarded after sampling.
+	Emitted int64
+	// Intervals counts CloseInterval calls.
+	Intervals int64
+}
+
+// WindowResult is what the root writes per window: the approximate answers
+// with error bounds, plus bookkeeping the benchmarks consume.
+type WindowResult struct {
+	// At is the window-close instant.
+	At time.Time
+	// Results holds one entry per registered query kind, in order.
+	Results []query.Result
+	// SampleSize is the number of items aggregated (ζ over all strata).
+	SampleSize int64
+	// EstimatedInput is Σ ĉ — the estimated number of original items.
+	EstimatedInput float64
+}
+
+// Result returns the window's answer for one query kind (zero Result if the
+// kind was not registered).
+func (w WindowResult) Result(kind query.Kind) query.Result {
+	for _, r := range w.Results {
+		if r.Kind == kind {
+			return r
+		}
+	}
+	return query.Result{}
+}
+
+// Root is the datacenter node: it samples its input once more (the root
+// runs the same sampling module, §IV-B), accumulates Θ, and at each window
+// close executes the registered queries and estimates their error bounds.
+type Root struct {
+	node   *Node
+	engine *query.Engine
+	kinds  []query.Kind
+}
+
+// NewRoot returns a root node evaluating the given query kinds per window.
+func NewRoot(id string, sampler sample.Sampler, cost CostFunction, engine *query.Engine, kinds ...query.Kind) *Root {
+	if len(kinds) == 0 {
+		kinds = []query.Kind{query.Sum}
+	}
+	return &Root{node: NewNode(id, sampler, cost), engine: engine, kinds: kinds}
+}
+
+// Node exposes the embedded sampling node (ingest endpoints, stats).
+func (r *Root) Node() *Node { return r.node }
+
+// IngestBatch forwards to the underlying node.
+func (r *Root) IngestBatch(b stream.Batch) { r.node.IngestBatch(b) }
+
+// IngestItems forwards to the underlying node.
+func (r *Root) IngestItems(items []stream.Item) { r.node.IngestItems(items) }
+
+// CloseWindow ends the window: the root samples Ψ into Θ (line 16), runs
+// the query job over Θ (line 22), and returns result ± error (line 25)
+// together with the window's sampled items for latency accounting.
+func (r *Root) CloseWindow(at time.Time) (WindowResult, []stream.Batch) {
+	theta := r.node.CloseInterval()
+	res := WindowResult{At: at, Results: r.engine.RunAll(r.kinds, theta)}
+	if len(res.Results) > 0 {
+		res.SampleSize = res.Results[0].SampleSize
+		res.EstimatedInput = res.Results[0].EstimatedInput
+	}
+	return res, theta
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/metrics"
+	"github.com/approxiot/approxiot/internal/netsim"
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/sample"
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/vclock"
+	"github.com/approxiot/approxiot/internal/workload"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// SamplerFactory builds the sampling strategy for one node of the tree.
+// layer is -1 for none (unused), 0..rootLayer otherwise.
+type SamplerFactory func(layer, node int, seed uint64) sample.Sampler
+
+// WHSFactory configures every node with weighted hierarchical sampling —
+// the ApproxIoT system. The default allocator is WaterFill so unbalanced
+// sub-streams cannot strand budget; pass sample.WithAllocator to override.
+func WHSFactory(opts ...sample.WHSOption) SamplerFactory {
+	return func(layer, node int, seed uint64) sample.Sampler {
+		all := make([]sample.WHSOption, 0, len(opts)+1)
+		all = append(all, sample.WithAllocator(sample.WaterFill{}))
+		all = append(all, opts...)
+		return sample.NewWHS(xrandFor(layer, node, seed), all...)
+	}
+}
+
+// SRSFactory configures the SRS baseline: the first edge layer flips a coin
+// per item at the configured fraction (thinning the stream to the system's
+// end-to-end sampling fraction, matching ApproxIoT's effective budget) and
+// layers above forward the survivors. SRS needs no window, so it pairs with
+// SimConfig.Streaming.
+func SRSFactory(fraction float64) SamplerFactory {
+	return func(layer, node int, seed uint64) sample.Sampler {
+		if layer == 0 {
+			return sample.NewCoinFlipFraction(xrandFor(layer, node, seed), fraction)
+		}
+		return sample.Passthrough{}
+	}
+}
+
+// SRSBudgetFactory configures coin-flip sampling whose keep probability
+// tracks the node's interval budget instead of a fixed fraction (windowed
+// operation).
+func SRSBudgetFactory() SamplerFactory {
+	return func(layer, node int, seed uint64) sample.Sampler {
+		return sample.NewCoinFlip(xrandFor(layer, node, seed))
+	}
+}
+
+// NativeFactory disables sampling everywhere — the native baseline.
+func NativeFactory() SamplerFactory {
+	return func(int, int, uint64) sample.Sampler { return sample.Passthrough{} }
+}
+
+// ParallelWHSFactory configures nodes with the §III-E parallel sampler.
+func ParallelWHSFactory(workers int) SamplerFactory {
+	return func(layer, node int, seed uint64) sample.Sampler {
+		return sample.NewParallelWHS(workers, nodeSeed(layer, node, seed))
+	}
+}
+
+// Failure takes one node offline for a period: while down, the node drops
+// everything it would have forwarded (crash of a sampling node).
+type Failure struct {
+	Layer int
+	Node  int
+	At    time.Duration // offset from simulation start
+	For   time.Duration
+}
+
+// SimConfig describes one simulated experiment.
+type SimConfig struct {
+	// Spec is the tree deployment (topology.Testbed() reproduces §V-A).
+	Spec topology.TreeSpec
+	// Source returns the workload generator for source node i. Required.
+	Source func(i int) workload.Source
+	// NewSampler builds each node's strategy. Required.
+	NewSampler SamplerFactory
+	// Cost is the budget→sample-size policy, shared by all nodes. Required.
+	Cost CostFunction
+	// Duration is how long sources generate. After it, the pipeline drains.
+	Duration time.Duration
+	// RootServiceRate is the datacenter's processing capacity in
+	// items/second (0 = infinite). The saturation experiments set this.
+	RootServiceRate float64
+	// ChunksPerWindow is the source send granularity (default 8).
+	ChunksPerWindow int
+	// Queries lists the aggregates the root runs per window (default SUM).
+	Queries []query.Kind
+	// Streaming makes edge nodes forward immediately instead of buffering
+	// a window: each arriving batch is sampled and shipped on the spot.
+	// This models the SRS and native baselines, which need no window at
+	// the edge layers (the Fig. 9 contrast) — only the root's query window
+	// remains. Reservoir-based strategies need Streaming=false.
+	Streaming bool
+	// Confidence for error bounds (default 95%).
+	Confidence stats.Confidence
+	// Seed drives all samplers.
+	Seed uint64
+	// OnWindow, if set, observes every window result as it is produced.
+	OnWindow func(WindowResult)
+	// Failures optionally crash nodes mid-run.
+	Failures []Failure
+	// LinkJitter perturbs every link's propagation delay by a seeded
+	// uniform ± amount (0 = none). Batches may arrive out of order.
+	LinkJitter time.Duration
+	// LinkLoss drops each link message independently with this
+	// probability (0 = lossless). Lost batches are simply gone — the
+	// estimate degrades but the pipeline keeps running.
+	LinkLoss float64
+	// DrainWindows is how many extra windows to run after Duration so
+	// in-flight data reaches the root (default: layers + 2).
+	DrainWindows int
+}
+
+// SimResult is everything a simulated run measured.
+type SimResult struct {
+	// Windows holds every root window result in order.
+	Windows []WindowResult
+	// Latency is the end-to-end item latency distribution (source
+	// timestamp → root query execution), over sampled items.
+	Latency *metrics.Histogram
+	// LayerBytes[l] is the total bytes carried by the links into layer l.
+	LayerBytes []int64
+	// LayerMessages[l] counts link-level messages into layer l.
+	LayerMessages []int64
+	// Generated counts items produced at the sources.
+	Generated int64
+	// TruthSum and TruthCount are exact per-sub-stream ground truth
+	// accumulated at generation time.
+	TruthSum   map[stream.SourceID]float64
+	TruthCount map[stream.SourceID]int64
+	// RootObserved counts items that reached the root (post edge
+	// sampling, pre root sampling).
+	RootObserved int64
+	// Elapsed is the simulated time covered (duration + drain).
+	Elapsed time.Duration
+}
+
+// TotalTruth returns the exact total of all generated item values.
+func (r *SimResult) TotalTruth() float64 {
+	var t float64
+	for _, v := range r.TruthSum {
+		t += v
+	}
+	return t
+}
+
+// TotalEstimate sums a query kind's estimates across windows. For SUM and
+// COUNT this estimates the run total.
+func (r *SimResult) TotalEstimate(kind query.Kind) float64 {
+	var t float64
+	for _, w := range r.Windows {
+		t += w.Result(kind).Estimate.Value
+	}
+	return t
+}
+
+// AccuracyLoss returns the paper's accuracy-loss metric for the run total
+// of a SUM or COUNT query: |approx − exact| / exact.
+func (r *SimResult) AccuracyLoss(kind query.Kind) float64 {
+	var exact float64
+	switch kind {
+	case query.Sum:
+		exact = r.TotalTruth()
+	case query.Count:
+		for _, c := range r.TruthCount {
+			exact += float64(c)
+		}
+	default:
+		return 0
+	}
+	return stats.AccuracyLoss(r.TotalEstimate(kind), exact)
+}
+
+// TotalBytes sums link traffic across all layers.
+func (r *SimResult) TotalBytes() int64 {
+	var t int64
+	for _, b := range r.LayerBytes {
+		t += b
+	}
+	return t
+}
+
+// Configuration errors.
+var (
+	ErrNoSourceFunc = errors.New("core: SimConfig.Source is required")
+	ErrNoSampler    = errors.New("core: SimConfig.NewSampler is required")
+	ErrNoCost       = errors.New("core: SimConfig.Cost is required")
+	ErrNoDuration   = errors.New("core: SimConfig.Duration must be positive")
+)
+
+func nodeSeed(layer, node int, seed uint64) uint64 {
+	return seed ^ (uint64(layer+1) << 32) ^ uint64(node+1)
+}
+
+func xrandFor(layer, node int, seed uint64) *xrand.Rand {
+	return xrand.New(nodeSeed(layer, node, seed))
+}
+
+// simNode is one computing node plus its uplink.
+type simNode struct {
+	node   *Node
+	uplink *netsim.Link
+	parent *simNode // nil for root
+	isRoot bool
+	root   *Root
+	// downs lists [from, to) windows during which the node is crashed.
+	downs []timeRange
+}
+
+type timeRange struct{ from, to time.Time }
+
+// down reports whether the node is inside a failure window at instant t.
+func (sn *simNode) down(t time.Time) bool {
+	for _, r := range sn.downs {
+		if !t.Before(r.from) && t.Before(r.to) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSim executes one experiment and returns its measurements.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid tree spec: %w", err)
+	}
+	if cfg.Source == nil {
+		return nil, ErrNoSourceFunc
+	}
+	if cfg.NewSampler == nil {
+		return nil, ErrNoSampler
+	}
+	if cfg.Cost == nil {
+		return nil, ErrNoCost
+	}
+	if cfg.Duration <= 0 {
+		return nil, ErrNoDuration
+	}
+	if cfg.ChunksPerWindow <= 0 {
+		cfg.ChunksPerWindow = 8
+	}
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = []query.Kind{query.Sum}
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = stats.TwoSigma
+	}
+	if cfg.DrainWindows <= 0 {
+		cfg.DrainWindows = len(cfg.Spec.Layers) + 2
+	}
+
+	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+	sim := vclock.NewSim(epoch)
+	spec := cfg.Spec
+	rootLayer := spec.RootLayer()
+
+	res := &SimResult{
+		Latency:       metrics.NewHistogram(),
+		LayerBytes:    make([]int64, len(spec.Layers)),
+		LayerMessages: make([]int64, len(spec.Layers)),
+		TruthSum:      make(map[stream.SourceID]float64),
+		TruthCount:    make(map[stream.SourceID]int64),
+	}
+
+	// Build the tree bottom-up.
+	layers := make([][]*simNode, len(spec.Layers))
+	var root *simNode
+	for l := len(spec.Layers) - 1; l >= 0; l-- {
+		ls := spec.Layers[l]
+		layers[l] = make([]*simNode, ls.Nodes)
+		for i := 0; i < ls.Nodes; i++ {
+			id := fmt.Sprintf("%s-%d", ls.Name, i)
+			sn := &simNode{}
+			if l == rootLayer {
+				engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
+				sn.isRoot = true
+				sn.root = NewRoot(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost, engine, cfg.Queries...)
+				root = sn
+			} else {
+				sn.node = NewNode(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost)
+				sn.parent = layers[l+1][topology.ParentIndex(ls.Nodes, spec.Layers[l+1].Nodes, i)]
+			}
+			layers[l][i] = sn
+		}
+	}
+
+	// Links into each layer: one per child (sources feed layer 0).
+	linkSeq := uint64(0)
+	mkLink := func(ls topology.LayerSpec) *netsim.Link {
+		linkSeq++
+		opts := []netsim.LinkOption{
+			netsim.WithRTT(ls.LinkRTT),
+			netsim.WithBandwidth(ls.LinkBandwidth),
+		}
+		if cfg.LinkJitter > 0 {
+			opts = append(opts, netsim.WithJitter(cfg.LinkJitter, cfg.Seed^linkSeq))
+		}
+		if cfg.LinkLoss > 0 {
+			opts = append(opts, netsim.WithLoss(cfg.LinkLoss, cfg.Seed^(linkSeq<<16)))
+		}
+		return netsim.NewLink(sim, opts...)
+	}
+	sourceLinks := make([]*netsim.Link, spec.Sources)
+	sourceParents := make([]*simNode, spec.Sources)
+	for s := 0; s < spec.Sources; s++ {
+		sourceLinks[s] = mkLink(spec.Layers[0])
+		sourceParents[s] = layers[0][topology.ParentIndex(spec.Sources, spec.Layers[0].Nodes, s)]
+	}
+	for l := 1; l < len(spec.Layers); l++ {
+		for _, child := range layers[l-1] {
+			child.uplink = mkLink(spec.Layers[l])
+		}
+	}
+
+	// Root service model: arriving batches queue behind a server with a
+	// fixed per-item cost before landing in the root's window store. An
+	// item's end-to-end latency is measured the moment the root processes
+	// it into the window aggregate (record-at-a-time, as in Kafka
+	// Streams) — edge-window waits, network, and service queueing all
+	// count; waiting for the window result to be emitted does not.
+	var rootBusy time.Time
+	ingestAtRoot := func(b stream.Batch) {
+		now := sim.Now()
+		for _, it := range b.Items {
+			res.Latency.Observe(now.Sub(it.Ts))
+		}
+		root.root.IngestBatch(b)
+	}
+	deliverToRoot := func(b stream.Batch) {
+		res.RootObserved += int64(len(b.Items))
+		if cfg.RootServiceRate <= 0 {
+			ingestAtRoot(b)
+			return
+		}
+		start := sim.Now()
+		if rootBusy.After(start) {
+			start = rootBusy
+		}
+		work := time.Duration(float64(len(b.Items)) / cfg.RootServiceRate * float64(time.Second))
+		rootBusy = start.Add(work)
+		sim.At(rootBusy, func() { ingestAtRoot(b) })
+	}
+
+	// forward sends one batch from a child node over its uplink; deliver
+	// hands a batch to an edge node, either buffering it into the node's
+	// window (default) or sampling-and-relaying immediately (Streaming).
+	var deliver func(sn *simNode, layerIdx int, b stream.Batch)
+	forward := func(child *simNode, layerIdx int, b stream.Batch) {
+		size := b.WireSize()
+		res.LayerBytes[layerIdx+1] += int64(size)
+		res.LayerMessages[layerIdx+1]++
+		parent := child.parent
+		child.uplink.Send(size, func() {
+			if parent.isRoot {
+				deliverToRoot(b)
+			} else {
+				deliver(parent, layerIdx+1, b)
+			}
+		})
+	}
+	deliver = func(sn *simNode, layerIdx int, b stream.Batch) {
+		sn.node.IngestBatch(b)
+		if !cfg.Streaming {
+			return
+		}
+		out := sn.node.CloseInterval()
+		if sn.down(sim.Now()) {
+			return
+		}
+		for _, ob := range out {
+			forward(sn, layerIdx, ob)
+		}
+	}
+
+	end := epoch.Add(cfg.Duration)
+	drainEnd := end.Add(time.Duration(cfg.DrainWindows) * spec.Window)
+
+	// Sources: every chunk, generate items and ship one batch per
+	// sub-stream to the leaf layer.
+	chunk := spec.Window / time.Duration(cfg.ChunksPerWindow)
+	if chunk <= 0 {
+		chunk = spec.Window
+	}
+	for s := 0; s < spec.Sources; s++ {
+		s := s
+		gen := cfg.Source(s)
+		link, parent := sourceLinks[s], sourceParents[s]
+		var tick func()
+		tick = func() {
+			now := sim.Now()
+			if !now.Before(end) {
+				return
+			}
+			items := gen.Generate(now, chunk)
+			res.Generated += int64(len(items))
+			for _, it := range items {
+				res.TruthSum[it.Source] += it.Value
+				res.TruthCount[it.Source]++
+			}
+			// One wire message per sub-stream present in the chunk.
+			for start := 0; start < len(items); {
+				endIdx := start + 1
+				src := items[start].Source
+				for endIdx < len(items) && items[endIdx].Source == src {
+					endIdx++
+				}
+				b := stream.Batch{Source: src, Weight: 1, Items: items[start:endIdx]}
+				size := b.WireSize()
+				res.LayerBytes[0] += int64(size)
+				res.LayerMessages[0]++
+				if parent.isRoot {
+					link.Send(size, func() { deliverToRoot(b) })
+				} else {
+					link.Send(size, func() { deliver(parent, 0, b) })
+				}
+				start = endIdx
+			}
+			sim.After(chunk, tick)
+		}
+		sim.At(epoch, tick)
+	}
+
+	// Failures: record each node's crash windows.
+	for _, f := range cfg.Failures {
+		if f.Layer < 0 || f.Layer >= len(layers) || f.Node < 0 || f.Node >= len(layers[f.Layer]) {
+			return nil, fmt.Errorf("core: failure targets unknown node (%d,%d)", f.Layer, f.Node)
+		}
+		sn := layers[f.Layer][f.Node]
+		sn.downs = append(sn.downs, timeRange{from: epoch.Add(f.At), to: epoch.Add(f.At + f.For)})
+	}
+
+	// Window ticks for sampling layers (streaming mode forwards inline).
+	for l := 0; l < rootLayer && !cfg.Streaming; l++ {
+		l := l
+		for _, sn := range layers[l] {
+			sn := sn
+			var tick func()
+			tick = func() {
+				now := sim.Now()
+				out := sn.node.CloseInterval()
+				if !sn.down(now) {
+					for _, b := range out {
+						forward(sn, l, b)
+					}
+				}
+				if !now.Add(spec.Window).After(drainEnd) {
+					sim.After(spec.Window, tick)
+				}
+			}
+			sim.At(epoch.Add(spec.Window), tick)
+		}
+	}
+
+	// Root window ticks: run the queries over Θ. Only windows that
+	// aggregated at least one item are reported (the warm-up and drain
+	// windows at the edges of the run are empty by construction).
+	{
+		var tick func()
+		tick = func() {
+			now := sim.Now()
+			result, _ := root.root.CloseWindow(now)
+			if result.SampleSize > 0 {
+				res.Windows = append(res.Windows, result)
+				if cfg.OnWindow != nil {
+					cfg.OnWindow(result)
+				}
+			}
+			if !now.Add(spec.Window).After(drainEnd) {
+				sim.After(spec.Window, tick)
+			}
+		}
+		sim.At(epoch.Add(spec.Window), tick)
+	}
+
+	sim.Run()
+	res.Elapsed = sim.Now().Sub(epoch)
+	return res, nil
+}

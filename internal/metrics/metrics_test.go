@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+
+func TestThroughputRate(t *testing.T) {
+	m := NewThroughput(epoch)
+	m.Add(500, epoch.Add(time.Second))
+	m.Add(500, epoch.Add(2*time.Second))
+	if got := m.Rate(); got != 500 {
+		t.Fatalf("Rate = %g items/s, want 500", got)
+	}
+	if got := m.Count(); got != 1000 {
+		t.Fatalf("Count = %d, want 1000", got)
+	}
+}
+
+func TestThroughputEmptySpan(t *testing.T) {
+	m := NewThroughput(epoch)
+	m.Add(100, epoch) // zero elapsed
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate over empty span = %g, want 0", got)
+	}
+	if got := m.RateOver(2 * time.Second); got != 50 {
+		t.Fatalf("RateOver(2s) = %g, want 50", got)
+	}
+	if got := m.RateOver(0); got != 0 {
+		t.Fatalf("RateOver(0) = %g, want 0", got)
+	}
+}
+
+func TestThroughputConcurrent(t *testing.T) {
+	m := NewThroughput(epoch)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1, epoch.Add(time.Second))
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", m.Count())
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Mean() != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v, want 10ms/30ms", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000 ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		rel := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if rel > 0.08 {
+			t.Errorf("Quantile(%g) = %v, want %v ± 8%% (off by %.1f%%)", tc.q, got, tc.want, rel*100)
+		}
+	}
+}
+
+func TestHistogramQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	if got := h.Quantile(0); got != 5*time.Millisecond {
+		t.Fatalf("Quantile(0) = %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 50*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want max", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram returned non-zero stats")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample recorded as %v, want clamped to 0", h.Min())
+	}
+}
+
+func TestHistogramHugeDuration(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(2000 * time.Second) // beyond the top decade
+	if h.Count() != 1 {
+		t.Fatal("out-of-range sample dropped")
+	}
+	if got := h.Quantile(0.5); got != 2000*time.Second {
+		t.Fatalf("Quantile = %v, want clamped to max", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d, want 4000", h.Count())
+	}
+}
+
+func TestBandwidthAccount(t *testing.T) {
+	b := NewBandwidthAccount()
+	b.Add("l1", 100)
+	b.Add("l1", 50)
+	b.Add("l2", 25)
+	if b.Link("l1") != 150 || b.Link("l2") != 25 {
+		t.Fatalf("per-link = %d/%d, want 150/25", b.Link("l1"), b.Link("l2"))
+	}
+	if b.Total() != 175 {
+		t.Fatalf("Total = %d, want 175", b.Total())
+	}
+}
+
+func TestSavingRate(t *testing.T) {
+	tests := []struct {
+		sampled, baseline int64
+		want              float64
+	}{
+		{100, 1000, 0.9},
+		{1000, 1000, 0},
+		{0, 1000, 1},
+		{500, 0, 0},     // no baseline
+		{2000, 1000, 0}, // sampled exceeded baseline; clamp
+	}
+	for _, tc := range tests {
+		if got := SavingRate(tc.sampled, tc.baseline); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("SavingRate(%d,%d) = %g, want %g", tc.sampled, tc.baseline, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Millisecond)
+	}
+}

@@ -1,0 +1,88 @@
+package mq
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDeleteTopic(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	if err := b.DeleteTopic("t"); err != nil {
+		t.Fatalf("DeleteTopic: %v", err)
+	}
+	if _, err := b.Topic("t"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("topic survived deletion: %v", err)
+	}
+	if err := b.DeleteTopic("t"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("double delete err = %v, want ErrUnknownTopic", err)
+	}
+	// The name is reusable after deletion.
+	if _, err := b.CreateTopic("t", 1); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+}
+
+func TestDeleteTopicWakesBlockedConsumers(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	c, _ := NewConsumer(b, "t")
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Poll(context.Background(), 1)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := b.DeleteTopic("t"); err != nil {
+		t.Fatalf("DeleteTopic: %v", err)
+	}
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("poll err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("consumer never woke after topic deletion")
+	}
+}
+
+func TestGroupsListing(t *testing.T) {
+	b := NewBroker()
+	topic := newTestTopic(t, b, "t", 2)
+	if got := topic.Groups(); len(got) != 0 {
+		t.Fatalf("fresh topic has groups %v", got)
+	}
+	c1, _ := NewGroupConsumer(b, "t", "zeta")
+	c2, _ := NewGroupConsumer(b, "t", "alpha")
+	defer c1.Close()
+	defer c2.Close()
+	got := topic.Groups()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Groups() = %v, want sorted [alpha zeta]", got)
+	}
+}
+
+func TestGroupLag(t *testing.T) {
+	b := NewBroker()
+	topic := newTestTopic(t, b, "t", 1)
+	p := NewProducer(b)
+	c, _ := NewGroupConsumer(b, "t", "g")
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		p.Send("t", nil, []byte{byte(i)})
+	}
+	lag, err := topic.GroupLag("g")
+	if err != nil || lag != 10 {
+		t.Fatalf("GroupLag = (%d, %v), want 10", lag, err)
+	}
+	c.Poll(context.Background(), 4)
+	lag, _ = topic.GroupLag("g")
+	if lag != 6 {
+		t.Fatalf("GroupLag after consuming 4 = %d, want 6", lag)
+	}
+	if _, err := topic.GroupLag("ghost"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}

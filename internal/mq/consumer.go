@@ -1,0 +1,268 @@
+package mq
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// group coordinates the members of one consumer group on one topic: it
+// tracks committed offsets per partition and deals partitions out to members
+// round-robin, rebalancing whenever membership changes.
+type group struct {
+	mu        sync.Mutex
+	nextID    int
+	members   []string
+	committed []int64
+}
+
+func newGroup(partitions int) *group {
+	return &group{committed: make([]int64, partitions)}
+}
+
+func (g *group) join() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := fmt.Sprintf("member-%d", g.nextID)
+	g.nextID++
+	g.members = append(g.members, id)
+	sort.Strings(g.members)
+	return id
+}
+
+func (g *group) leave(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == id {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// assignment returns the partitions currently owned by member id:
+// partition p belongs to the member at index p mod len(members).
+func (g *group) assignment(id string, partitions int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := -1
+	for i, m := range g.members {
+		if m == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(g.members) == 0 {
+		return nil
+	}
+	var owned []int
+	for p := 0; p < partitions; p++ {
+		if p%len(g.members) == idx {
+			owned = append(owned, p)
+		}
+	}
+	return owned
+}
+
+func (g *group) committedOffset(p int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.committed[p]
+}
+
+// commit advances the committed offset for partition p, never regressing.
+func (g *group) commit(p int, offset int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if offset > g.committed[p] {
+		g.committed[p] = offset
+	}
+}
+
+// Consumer reads records from one topic, either as a member of a consumer
+// group (partitions split among members, offsets committed group-wide) or
+// standalone (all partitions, private positions).
+type Consumer struct {
+	topic *Topic
+	grp   *group
+	id    string
+
+	mu        sync.Mutex
+	positions map[int]int64 // standalone mode read positions
+	rrStart   int           // fairness rotation across partitions
+	closed    bool
+}
+
+// NewConsumer returns a standalone consumer over every partition of topic,
+// starting at the current low watermarks.
+func NewConsumer(b *Broker, topic string) (*Consumer, error) {
+	t, err := b.Topic(topic)
+	if err != nil {
+		return nil, err
+	}
+	c := &Consumer{topic: t, positions: make(map[int]int64, t.Partitions())}
+	for p := 0; p < t.Partitions(); p++ {
+		c.positions[p] = t.LowWatermark(p)
+	}
+	return c, nil
+}
+
+// NewGroupConsumer returns a consumer that joins the named group on topic.
+// Partitions are rebalanced across the group's live members.
+func NewGroupConsumer(b *Broker, topic, groupName string) (*Consumer, error) {
+	t, err := b.Topic(topic)
+	if err != nil {
+		return nil, err
+	}
+	g := t.group(groupName)
+	return &Consumer{topic: t, grp: g, id: g.join()}, nil
+}
+
+// Assignment returns the partitions this consumer currently owns.
+func (c *Consumer) Assignment() []int {
+	if c.grp == nil {
+		parts := make([]int, c.topic.Partitions())
+		for i := range parts {
+			parts[i] = i
+		}
+		return parts
+	}
+	return c.grp.assignment(c.id, c.topic.Partitions())
+}
+
+// Poll returns up to max records, blocking until at least one record is
+// available, ctx is cancelled, or the topic closes. Group consumers read
+// from and advance the group's committed offsets (auto-commit);
+// standalone consumers advance private positions.
+func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.mu.Unlock()
+
+		wait := c.topic.waitCh() // arm before reading to avoid lost wakeups
+		recs, err := c.pollOnce(max)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			return recs, nil
+		}
+		if c.topic.isClosed() {
+			return nil, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-wait:
+		}
+	}
+}
+
+// TryPoll is a non-blocking Poll; it returns (nil, nil) when no records are
+// ready.
+func (c *Consumer) TryPoll(max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	return c.pollOnce(max)
+}
+
+func (c *Consumer) pollOnce(max int) ([]Record, error) {
+	owned := c.Assignment()
+	if len(owned) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	start := c.rrStart % len(owned)
+	c.rrStart++
+	c.mu.Unlock()
+
+	var out []Record
+	for i := 0; i < len(owned) && len(out) < max; i++ {
+		p := owned[(start+i)%len(owned)]
+		from := c.position(p)
+		recs, err := c.topic.Fetch(p, from, max-len(out))
+		if err == ErrOutOfRange {
+			// The log was compacted past our position; skip forward.
+			c.setPosition(p, c.topic.LowWatermark(p))
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		c.setPosition(p, recs[len(recs)-1].Offset+1)
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+func (c *Consumer) position(p int) int64 {
+	if c.grp != nil {
+		return c.grp.committedOffset(p)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.positions[p]
+}
+
+func (c *Consumer) setPosition(p int, offset int64) {
+	if c.grp != nil {
+		c.grp.commit(p, offset)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.positions[p] = offset
+}
+
+// Seek moves a standalone consumer's position for partition p. It returns
+// ErrNotSubscribed for group consumers, whose offsets are group-owned.
+func (c *Consumer) Seek(p int, offset int64) error {
+	if c.grp != nil {
+		return ErrNotSubscribed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.positions[p] = offset
+	return nil
+}
+
+// Lag returns the total number of records between this consumer's positions
+// and the high watermarks of its owned partitions.
+func (c *Consumer) Lag() int64 {
+	var lag int64
+	for _, p := range c.Assignment() {
+		d := c.topic.HighWatermark(p) - c.position(p)
+		if d > 0 {
+			lag += d
+		}
+	}
+	return lag
+}
+
+// Close releases the consumer; group members leave the group, triggering a
+// rebalance for the remaining members.
+func (c *Consumer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	if c.grp != nil {
+		c.grp.leave(c.id)
+	}
+}

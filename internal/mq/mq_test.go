@@ -1,0 +1,497 @@
+package mq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestTopic(t *testing.T, b *Broker, name string, parts int, opts ...TopicOption) *Topic {
+	t.Helper()
+	topic, err := b.CreateTopic(name, parts, opts...)
+	if err != nil {
+		t.Fatalf("CreateTopic(%q): %v", name, err)
+	}
+	return topic
+}
+
+func TestCreateTopicValidation(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.CreateTopic("t", 0); !errors.Is(err, ErrNoPartitions) {
+		t.Fatalf("zero partitions: err = %v, want ErrNoPartitions", err)
+	}
+	newTestTopic(t, b, "t", 2)
+	if _, err := b.CreateTopic("t", 2); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate: err = %v, want ErrTopicExists", err)
+	}
+	if _, err := b.Topic("missing"); !errors.Is(err, ErrUnknownTopic) {
+		t.Fatalf("missing: err = %v, want ErrUnknownTopic", err)
+	}
+}
+
+func TestProduceAssignsMonotonicOffsets(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	p := NewProducer(b)
+	for i := 0; i < 10; i++ {
+		_, off, err := p.Send("t", nil, []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if off != int64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+}
+
+func TestKeyHashingIsSticky(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 4)
+	p := NewProducer(b)
+	first, _, err := p.Send("t", []byte("source-7"), []byte("a"))
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		part, _, err := p.Send("t", []byte("source-7"), []byte("b"))
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if part != first {
+			t.Fatalf("same key landed on partitions %d and %d", first, part)
+		}
+	}
+}
+
+func TestEmptyKeyRoundRobins(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 4)
+	p := NewProducer(b)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		part, _, err := p.Send("t", nil, []byte("x"))
+		if err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		seen[part] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round robin used %d/4 partitions", len(seen))
+	}
+}
+
+func TestSendToValidatesPartition(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 2)
+	p := NewProducer(b)
+	if _, err := p.SendTo("t", 5, nil, []byte("x")); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+	if _, err := p.SendTo("t", -1, nil, []byte("x")); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestStandaloneConsumerReadsEverything(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 3)
+	p := NewProducer(b)
+	for i := 0; i < 30; i++ {
+		if _, _, err := p.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	c, err := NewConsumer(b, "t")
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer c.Close()
+	got := 0
+	for got < 30 {
+		recs, err := c.Poll(context.Background(), 10)
+		if err != nil {
+			t.Fatalf("Poll: %v", err)
+		}
+		got += len(recs)
+	}
+	if got != 30 {
+		t.Fatalf("consumed %d records, want 30", got)
+	}
+	if c.Lag() != 0 {
+		t.Fatalf("Lag = %d after draining, want 0", c.Lag())
+	}
+}
+
+func TestPollBlocksUntilProduce(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	c, err := NewConsumer(b, "t")
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer c.Close()
+
+	done := make(chan []Record, 1)
+	go func() {
+		recs, err := c.Poll(context.Background(), 1)
+		if err != nil {
+			t.Errorf("Poll: %v", err)
+		}
+		done <- recs
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("Poll returned before any record was produced")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if _, _, err := NewProducer(b).Send("t", nil, []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case recs := <-done:
+		if len(recs) != 1 || string(recs[0].Value) != "hello" {
+			t.Fatalf("got %v, want the produced record", recs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Poll never woke after produce")
+	}
+}
+
+func TestPollHonorsContextCancellation(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	c, _ := NewConsumer(b, "t")
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Poll(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPollWakesOnBrokerClose(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	c, _ := NewConsumer(b, "t")
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Poll(context.Background(), 1)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Poll never woke on broker close")
+	}
+}
+
+func TestTryPollNonBlocking(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	c, _ := NewConsumer(b, "t")
+	defer c.Close()
+	recs, err := c.TryPoll(5)
+	if err != nil || recs != nil {
+		t.Fatalf("TryPoll on empty = (%v, %v), want (nil, nil)", recs, err)
+	}
+}
+
+func TestGroupSplitsPartitions(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 4)
+	c1, err := NewGroupConsumer(b, "t", "g")
+	if err != nil {
+		t.Fatalf("NewGroupConsumer: %v", err)
+	}
+	defer c1.Close()
+	c2, err := NewGroupConsumer(b, "t", "g")
+	if err != nil {
+		t.Fatalf("NewGroupConsumer: %v", err)
+	}
+	defer c2.Close()
+
+	a1, a2 := c1.Assignment(), c2.Assignment()
+	if len(a1)+len(a2) != 4 {
+		t.Fatalf("assignments %v + %v do not cover 4 partitions", a1, a2)
+	}
+	overlap := map[int]bool{}
+	for _, p := range a1 {
+		overlap[p] = true
+	}
+	for _, p := range a2 {
+		if overlap[p] {
+			t.Fatalf("partition %d assigned to both members", p)
+		}
+	}
+}
+
+func TestGroupConsumesEachRecordOnce(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 4)
+	p := NewProducer(b)
+	const total = 200
+	for i := 0; i < total; i++ {
+		if _, _, err := p.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var wg sync.WaitGroup
+	consume := func(c *Consumer) {
+		defer wg.Done()
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			recs, err := c.Poll(ctx, 16)
+			cancel()
+			if err != nil {
+				return // timeout: drained
+			}
+			mu.Lock()
+			for _, r := range recs {
+				seen[fmt.Sprintf("%d/%d", r.Partition, r.Offset)]++
+			}
+			mu.Unlock()
+		}
+	}
+	c1, _ := NewGroupConsumer(b, "t", "g")
+	c2, _ := NewGroupConsumer(b, "t", "g")
+	defer c1.Close()
+	defer c2.Close()
+	wg.Add(2)
+	go consume(c1)
+	go consume(c2)
+	wg.Wait()
+
+	if len(seen) != total {
+		t.Fatalf("consumed %d distinct records, want %d", len(seen), total)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %s consumed %d times", key, n)
+		}
+	}
+}
+
+func TestGroupRebalanceOnLeave(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 4)
+	c1, _ := NewGroupConsumer(b, "t", "g")
+	c2, _ := NewGroupConsumer(b, "t", "g")
+	c2.Close()
+	if got := len(c1.Assignment()); got != 4 {
+		t.Fatalf("after peer left, assignment = %d partitions, want 4", got)
+	}
+	c1.Close()
+}
+
+func TestGroupOffsetsSurviveMemberChurn(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	p := NewProducer(b)
+	for i := 0; i < 5; i++ {
+		p.Send("t", nil, []byte{byte(i)})
+	}
+	c1, _ := NewGroupConsumer(b, "t", "g")
+	recs, err := c1.Poll(context.Background(), 3)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("first poll = (%d recs, %v)", len(recs), err)
+	}
+	c1.Close()
+
+	c2, _ := NewGroupConsumer(b, "t", "g")
+	defer c2.Close()
+	recs, err = c2.Poll(context.Background(), 10)
+	if err != nil {
+		t.Fatalf("second poll: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Value[0] != 3 {
+		t.Fatalf("new member resumed at wrong offset: got %d recs starting %v", len(recs), recs[0].Value)
+	}
+}
+
+func TestSeekStandaloneOnly(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	p := NewProducer(b)
+	for i := 0; i < 5; i++ {
+		p.Send("t", nil, []byte{byte(i)})
+	}
+	c, _ := NewConsumer(b, "t")
+	defer c.Close()
+	if err := c.Seek(0, 3); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	recs, _ := c.TryPoll(10)
+	if len(recs) != 2 || recs[0].Offset != 3 {
+		t.Fatalf("after Seek(3): %v", recs)
+	}
+
+	gc, _ := NewGroupConsumer(b, "t", "g")
+	defer gc.Close()
+	if err := gc.Seek(0, 0); !errors.Is(err, ErrNotSubscribed) {
+		t.Fatalf("group Seek err = %v, want ErrNotSubscribed", err)
+	}
+}
+
+func TestRetentionCompactsConsumedPrefix(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1, WithRetention(10))
+	p := NewProducer(b)
+	c, _ := NewGroupConsumer(b, "t", "g")
+	defer c.Close()
+
+	for i := 0; i < 500; i++ {
+		if _, _, err := p.Send("t", nil, []byte{byte(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if i%50 == 49 {
+			for c.Lag() > 0 {
+				if _, err := c.Poll(context.Background(), 64); err != nil {
+					t.Fatalf("Poll: %v", err)
+				}
+			}
+		}
+	}
+	topic, _ := b.Topic("t")
+	if lw := topic.LowWatermark(0); lw == 0 {
+		t.Fatal("retention never compacted the log")
+	}
+	if hw := topic.HighWatermark(0); hw != 500 {
+		t.Fatalf("high watermark = %d, want 500", hw)
+	}
+}
+
+func TestFetchBelowLowWatermark(t *testing.T) {
+	b := NewBroker()
+	topic := newTestTopic(t, b, "t", 1, WithRetention(1))
+	p := NewProducer(b)
+	c, _ := NewGroupConsumer(b, "t", "g")
+	for i := 0; i < 100; i++ {
+		p.Send("t", nil, []byte{byte(i)})
+		c.Poll(context.Background(), 64)
+	}
+	c.Close()
+	if _, err := topic.Fetch(0, 0, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Fetch(0) after compaction: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestConcurrentProducersAndGroup(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 8)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := NewProducer(b)
+			for j := 0; j < perProducer; j++ {
+				if _, _, err := p.Send("t", []byte(fmt.Sprintf("%d-%d", id, j)), []byte("v")); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	var consumed sync.Map
+	var total int64
+	var cwg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 3; i++ {
+		c, err := NewGroupConsumer(b, "t", "g")
+		if err != nil {
+			t.Fatalf("NewGroupConsumer: %v", err)
+		}
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			defer c.Close()
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+				recs, err := c.Poll(ctx, 32)
+				cancel()
+				if err != nil {
+					return
+				}
+				for _, r := range recs {
+					consumed.Store(fmt.Sprintf("%d/%d", r.Partition, r.Offset), true)
+				}
+				mu.Lock()
+				total += int64(len(recs))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+
+	distinct := 0
+	consumed.Range(func(_, _ any) bool { distinct++; return true })
+	if distinct != producers*perProducer {
+		t.Fatalf("consumed %d distinct records, want %d", distinct, producers*perProducer)
+	}
+}
+
+func TestProducerTimestampInjection(t *testing.T) {
+	b := NewBroker()
+	newTestTopic(t, b, "t", 1)
+	fixed := time.Date(2018, 7, 2, 12, 0, 0, 0, time.UTC)
+	p := NewProducer(b, WithNow(func() time.Time { return fixed }))
+	p.Send("t", nil, []byte("x"))
+	topic, _ := b.Topic("t")
+	recs, _ := topic.Fetch(0, 0, 1)
+	if !recs[0].Ts.Equal(fixed) {
+		t.Fatalf("Ts = %v, want %v", recs[0].Ts, fixed)
+	}
+}
+
+func BenchmarkProduce(b *testing.B) {
+	br := NewBroker()
+	br.CreateTopic("t", 4, WithRetention(1024))
+	p := NewProducer(br)
+	val := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Send("t", nil, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProduceConsume(b *testing.B) {
+	br := NewBroker()
+	br.CreateTopic("t", 1, WithRetention(4096))
+	p := NewProducer(br)
+	c, _ := NewGroupConsumer(br, "t", "g")
+	defer c.Close()
+	val := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Send("t", nil, val); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			for c.Lag() > 0 {
+				if _, err := c.Poll(context.Background(), 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package mq
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// Producer appends records to a broker's topics, choosing partitions by key
+// hash (same key → same partition, preserving per-source ordering the way
+// the paper's per-sub-stream topics do) or round-robin for empty keys.
+type Producer struct {
+	broker *Broker
+	rr     atomic.Uint64
+	nowFn  func() time.Time
+}
+
+// ProducerOption customizes a Producer.
+type ProducerOption func(*Producer)
+
+// WithNow overrides the timestamp source (used by simulated-time tests).
+func WithNow(now func() time.Time) ProducerOption {
+	return func(p *Producer) { p.nowFn = now }
+}
+
+// NewProducer returns a producer bound to broker.
+func NewProducer(broker *Broker, opts ...ProducerOption) *Producer {
+	p := &Producer{broker: broker, nowFn: time.Now}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Send appends value under key to the topic and returns the record's
+// position. An empty key round-robins across partitions.
+func (p *Producer) Send(topic string, key, value []byte) (partition int, offset int64, err error) {
+	t, err := p.broker.Topic(topic)
+	if err != nil {
+		return 0, 0, err
+	}
+	partition = p.pick(t, key)
+	offset, err = t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn()})
+	return partition, offset, err
+}
+
+// SendTo appends directly to a specific partition.
+func (p *Producer) SendTo(topic string, partition int, key, value []byte) (int64, error) {
+	t, err := p.broker.Topic(topic)
+	if err != nil {
+		return 0, err
+	}
+	if partition < 0 || partition >= t.Partitions() {
+		return 0, ErrOutOfRange
+	}
+	return t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn()})
+}
+
+func (p *Producer) pick(t *Topic, key []byte) int {
+	n := t.Partitions()
+	if n == 1 {
+		return 0
+	}
+	if len(key) == 0 {
+		return int(p.rr.Add(1)-1) % n
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}

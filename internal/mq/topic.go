@@ -1,0 +1,272 @@
+package mq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	// Key selects the partition (hashed); an empty key round-robins.
+	Key []byte
+	// Value is the payload, opaque to the broker.
+	Value []byte
+	// Ts is the producer-assigned timestamp.
+	Ts time.Time
+	// Partition and Offset locate the record once appended.
+	Partition int
+	Offset    int64
+}
+
+// TopicOption customizes topic creation.
+type TopicOption func(*Topic)
+
+// WithRetention bounds each partition to at most n fully-consumed records:
+// once every registered consumer group has committed past them, older
+// records may be discarded down to the most recent n. Without this option
+// logs grow without bound, as in Kafka with unlimited retention.
+func WithRetention(n int) TopicOption {
+	return func(t *Topic) { t.retain = n }
+}
+
+// Topic is a named, partitioned, append-only log.
+type Topic struct {
+	name   string
+	parts  []*partition
+	retain int // 0 = unlimited
+
+	mu     sync.Mutex
+	groups map[string]*group
+	closed bool
+	// changed is closed and replaced whenever any partition receives an
+	// append, waking blocked consumers.
+	changed chan struct{}
+}
+
+func newTopic(name string, partitions int, opts ...TopicOption) *Topic {
+	t := &Topic{
+		name:    name,
+		parts:   make([]*partition, partitions),
+		groups:  make(map[string]*group),
+		changed: make(chan struct{}),
+	}
+	for i := range t.parts {
+		t.parts[i] = &partition{}
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Partitions returns the partition count.
+func (t *Topic) Partitions() int { return len(t.parts) }
+
+// append adds a record to partition p and wakes blocked consumers.
+func (t *Topic) append(p int, rec Record) (int64, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return 0, ErrClosed
+	}
+	offset := t.parts[p].append(rec, p)
+	old := t.changed
+	t.changed = make(chan struct{})
+	t.mu.Unlock()
+	close(old)
+
+	if t.retain > 0 {
+		t.maybeCompact(p)
+	}
+	return offset, nil
+}
+
+// waitCh returns a channel closed on the next append (or immediately if the
+// topic is closed).
+func (t *Topic) waitCh() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.changed
+}
+
+func (t *Topic) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	close(t.changed)
+	t.changed = make(chan struct{}) // keep waitCh non-nil for stragglers
+}
+
+func (t *Topic) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// HighWatermark returns the next offset to be assigned in partition p.
+func (t *Topic) HighWatermark(p int) int64 {
+	return t.parts[p].highWatermark()
+}
+
+// LowWatermark returns the oldest retained offset in partition p.
+func (t *Topic) LowWatermark(p int) int64 {
+	return t.parts[p].lowWatermark()
+}
+
+// Fetch reads up to max records from partition p starting at offset from.
+// It never blocks; an empty result means the caller is at the high
+// watermark. Reading below the low watermark returns ErrOutOfRange.
+func (t *Topic) Fetch(p int, from int64, max int) ([]Record, error) {
+	return t.parts[p].fetch(from, max)
+}
+
+// maybeCompact drops records that every group has committed past, keeping at
+// least the latest retain records. Compaction runs only once a partition has
+// accumulated twice its retention, so its cost is amortized O(1) per append.
+func (t *Topic) maybeCompact(p int) {
+	if t.parts[p].length() < 2*t.retain {
+		return
+	}
+	t.mu.Lock()
+	minCommitted := int64(-1)
+	for _, g := range t.groups {
+		c := g.committedOffset(p)
+		if minCommitted == -1 || c < minCommitted {
+			minCommitted = c
+		}
+	}
+	t.mu.Unlock()
+	if minCommitted <= 0 {
+		return
+	}
+	t.parts[p].truncate(minCommitted, t.retain)
+}
+
+// Groups returns the names of the consumer groups registered on the topic,
+// sorted for deterministic output.
+func (t *Topic) Groups() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.groups))
+	for name := range t.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GroupLag returns the total records between a group's committed offsets and
+// the high watermarks, or an error for an unknown group.
+func (t *Topic) GroupLag(name string) (int64, error) {
+	t.mu.Lock()
+	g, ok := t.groups[name]
+	t.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("mq: unknown group %q on topic %q", name, t.name)
+	}
+	var lag int64
+	for p := range t.parts {
+		d := t.HighWatermark(p) - g.committedOffset(p)
+		if d > 0 {
+			lag += d
+		}
+	}
+	return lag, nil
+}
+
+// group returns (creating if needed) the named consumer group.
+func (t *Topic) group(name string) *group {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.groups[name]
+	if !ok {
+		g = newGroup(len(t.parts))
+		t.groups[name] = g
+	}
+	return g
+}
+
+// partition is a single append-only log with a sliding base offset.
+type partition struct {
+	mu      sync.Mutex
+	records []Record
+	base    int64 // offset of records[0]
+}
+
+func (p *partition) append(rec Record, idx int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec.Partition = idx
+	rec.Offset = p.base + int64(len(p.records))
+	p.records = append(p.records, rec)
+	return rec.Offset
+}
+
+func (p *partition) highWatermark() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base + int64(len(p.records))
+}
+
+func (p *partition) lowWatermark() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base
+}
+
+func (p *partition) fetch(from int64, max int) ([]Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from < p.base {
+		return nil, ErrOutOfRange
+	}
+	start := from - p.base
+	if start >= int64(len(p.records)) {
+		return nil, nil
+	}
+	end := start + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	out := make([]Record, end-start)
+	copy(out, p.records[start:end])
+	return out, nil
+}
+
+// length returns the number of retained records.
+func (p *partition) length() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.records)
+}
+
+// truncate drops records with offset < upTo, retaining at least keep
+// records. The surviving records are copied down in place and the freed
+// tail zeroed so payload memory is reclaimable — no reallocation.
+func (p *partition) truncate(upTo int64, keep int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	limit := p.base + int64(len(p.records)) - int64(keep)
+	if upTo > limit {
+		upTo = limit
+	}
+	if upTo <= p.base {
+		return
+	}
+	drop := upTo - p.base
+	n := copy(p.records, p.records[drop:])
+	tail := p.records[n:]
+	for i := range tail {
+		tail[i] = Record{}
+	}
+	p.records = p.records[:n]
+	p.base = upTo
+}

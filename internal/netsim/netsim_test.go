@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/vclock"
+)
+
+var epoch = time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+
+func TestPropagationDelayOnly(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithDelay(10*time.Millisecond))
+	var arrived time.Time
+	l.Send(1000, func() { arrived = sim.Now() })
+	sim.Run()
+	if want := epoch.Add(10 * time.Millisecond); !arrived.Equal(want) {
+		t.Fatalf("arrival = %v, want %v", arrived, want)
+	}
+}
+
+func TestRTTHalved(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithRTT(20*time.Millisecond))
+	at := l.Send(0, nil)
+	if want := epoch.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("arrival = %v, want one-way 10ms (%v)", at, want)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	// 1 Mbps link: 1250 bytes = 10000 bits = 10 ms on the wire.
+	l := NewLink(sim, WithBandwidth(Mbps(1)))
+	at := l.Send(1250, nil)
+	if want := epoch.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+func TestFIFOQueueingBuildsBacklog(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithBandwidth(Mbps(1))) // 10ms per 1250B message
+	var arrivals []time.Time
+	for i := 0; i < 3; i++ {
+		l.Send(1250, func() { arrivals = append(arrivals, sim.Now()) })
+	}
+	if got := l.Backlog(); got != 30*time.Millisecond {
+		t.Fatalf("Backlog = %v, want 30ms", got)
+	}
+	sim.Run()
+	for i, want := range []time.Duration{10, 20, 30} {
+		if !arrivals[i].Equal(epoch.Add(want * time.Millisecond)) {
+			t.Fatalf("arrival %d = %v, want +%dms", i, arrivals[i], want)
+		}
+	}
+}
+
+func TestCombinedDelayAndBandwidth(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithDelay(40*time.Millisecond), WithBandwidth(Mbps(1)))
+	at := l.Send(1250, nil)
+	// 10 ms serialization + 40 ms propagation.
+	if want := epoch.Add(50 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+func TestUnlimitedBandwidthNoSerialization(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithDelay(time.Millisecond))
+	a := l.Send(1<<30, nil)
+	b := l.Send(1<<30, nil)
+	if !a.Equal(b) {
+		t.Fatalf("unlimited link serialized: %v vs %v", a, b)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim)
+	l.Send(100, nil)
+	l.Send(250, nil)
+	if l.BytesSent() != 350 {
+		t.Fatalf("BytesSent = %d, want 350", l.BytesSent())
+	}
+	if l.MessagesSent() != 2 {
+		t.Fatalf("MessagesSent = %d, want 2", l.MessagesSent())
+	}
+	l.ResetCounters()
+	if l.BytesSent() != 0 || l.MessagesSent() != 0 {
+		t.Fatal("ResetCounters left residue")
+	}
+}
+
+func TestBacklogDrainsOverTime(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithBandwidth(Mbps(1)))
+	l.Send(1250, nil) // 10ms of wire time
+	sim.RunFor(4 * time.Millisecond)
+	if got := l.Backlog(); got != 6*time.Millisecond {
+		t.Fatalf("Backlog after 4ms = %v, want 6ms", got)
+	}
+	sim.RunFor(10 * time.Millisecond)
+	if got := l.Backlog(); got != 0 {
+		t.Fatalf("Backlog after drain = %v, want 0", got)
+	}
+}
+
+func TestUtilizationSaturatedLink(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithBandwidth(Mbps(1)))
+	// Offer 10 back-to-back messages at t=0: the wire is busy 100% of the
+	// span from first send to the end of the last transmission.
+	for i := 0; i < 10; i++ {
+		l.Send(1250, nil)
+	}
+	sim.Run()
+	if u := l.Utilization(); u < 0.99 {
+		t.Fatalf("Utilization = %g, want ~1.0", u)
+	}
+}
+
+func TestUtilizationIdleLink(t *testing.T) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithBandwidth(Gbps(1)))
+	// Two tiny sends 1 second apart: utilization should be ~0.
+	l.Send(125, nil)
+	sim.RunFor(time.Second)
+	l.Send(125, nil)
+	sim.Run()
+	if u := l.Utilization(); u > 0.01 {
+		t.Fatalf("Utilization = %g, want ~0", u)
+	}
+}
+
+func TestGbpsMbpsHelpers(t *testing.T) {
+	if Gbps(1) != 1e9 || Mbps(100) != 1e8 {
+		t.Fatal("unit helpers wrong")
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	sim := vclock.NewSim(epoch)
+	l := NewLink(sim, WithDelay(10*time.Millisecond), WithBandwidth(Gbps(1)))
+	for i := 0; i < b.N; i++ {
+		l.Send(512, nil)
+	}
+}

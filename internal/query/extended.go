@@ -1,0 +1,123 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// This file implements the query classes the paper defers to future work
+// (§VIII: "we plan to extend the system to support more complex queries
+// such as joins, top-k, etc."): approximate quantiles and top-k over the
+// weighted Θ store. Both are estimators over the Horvitz–Thompson-weighted
+// sample, so they compose with the same hierarchical sampling pipeline.
+
+// QuantileResult is an approximate quantile with an order-statistic
+// confidence interval.
+type QuantileResult struct {
+	// Q is the requested quantile in (0, 1).
+	Q float64
+	// Value is the weighted sample quantile.
+	Value float64
+	// Lo and Hi bound the quantile with ~95% confidence, from the normal
+	// approximation to the rank distribution (rank ± 2·√(q(1−q)·ζ)).
+	Lo, Hi float64
+	// SampleSize is ζ, the number of sampled items used.
+	SampleSize int64
+}
+
+// Quantile estimates the q-th quantile of the original stream's values from
+// a weighted Θ store: items are ranked by value and weights accumulate until
+// q·Ŵ of the estimated total weight is covered. An empty store or invalid q
+// yields a zero result.
+func Quantile(theta []stream.Batch, q float64) QuantileResult {
+	if q <= 0 || q >= 1 {
+		return QuantileResult{Q: q}
+	}
+	var (
+		items       []weightedValue
+		totalWeight float64
+	)
+	for _, b := range theta {
+		for _, it := range b.Items {
+			items = append(items, weightedValue{v: it.Value, w: b.Weight})
+			totalWeight += b.Weight
+		}
+	}
+	if len(items) == 0 || totalWeight <= 0 {
+		return QuantileResult{Q: q}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+
+	res := QuantileResult{Q: q, SampleSize: int64(len(items))}
+	res.Value = weightedRankValue(items, q*totalWeight)
+
+	// Rank confidence interval: the number of sampled items below the true
+	// quantile is ~Binomial(ζ, q); two standard deviations of rank map to
+	// a value interval through the same cumulative-weight walk.
+	zeta := float64(len(items))
+	span := 2 * math.Sqrt(q*(1-q)*zeta) / zeta // rank fraction half-width
+	loQ, hiQ := q-span, q+span
+	if loQ < 0 {
+		loQ = 0
+	}
+	if hiQ > 1 {
+		hiQ = 1
+	}
+	res.Lo = weightedRankValue(items, loQ*totalWeight)
+	res.Hi = weightedRankValue(items, hiQ*totalWeight)
+	return res
+}
+
+type weightedValue struct{ v, w float64 }
+
+// weightedRankValue walks the sorted weighted items until the cumulative
+// weight reaches target and returns that item's value.
+func weightedRankValue(items []weightedValue, target float64) float64 {
+	var cum float64
+	for _, it := range items {
+		cum += it.w
+		if cum >= target {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}
+
+// GroupEstimate is one sub-stream's entry in a top-k answer.
+type GroupEstimate struct {
+	Source stream.SourceID
+	// Sum is the estimated SUM of the group's items (Eq. 3) with its
+	// Eq. 11 variance.
+	Sum stats.Estimate
+	// Count is the estimated number of original items in the group.
+	Count float64
+}
+
+// TopK estimates the k sub-streams with the largest SUM. Because every
+// sub-stream keeps a reservoir, even rare groups are ranked — the property
+// simple random sampling loses. Ties rank lexicographically for
+// reproducibility; k <= 0 or k beyond the group count returns all groups.
+func TopK(theta []stream.Batch, k int) []GroupEstimate {
+	strata, sources := Strata(theta)
+	groups := make([]GroupEstimate, len(sources))
+	for i, src := range sources {
+		groups[i] = GroupEstimate{
+			Source: src,
+			Sum:    stats.Sum(strata[i : i+1]),
+			Count:  strata[i].EstimatedCount(),
+		}
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].Sum.Value != groups[j].Sum.Value {
+			return groups[i].Sum.Value > groups[j].Sum.Value
+		}
+		return groups[i].Source < groups[j].Source
+	})
+	if k > 0 && k < len(groups) {
+		groups = groups[:k]
+	}
+	return groups
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func TestQuantileUnweightedMedian(t *testing.T) {
+	theta := []stream.Batch{{Source: "s", Weight: 1, Items: items("s", 1, 2, 3, 4, 5, 6, 7, 8, 9)}}
+	res := Quantile(theta, 0.5)
+	if res.Value != 5 {
+		t.Fatalf("median = %g, want 5", res.Value)
+	}
+	if res.SampleSize != 9 {
+		t.Fatalf("SampleSize = %d, want 9", res.SampleSize)
+	}
+	if res.Lo > res.Value || res.Hi < res.Value {
+		t.Fatalf("interval [%g,%g] excludes the estimate %g", res.Lo, res.Hi, res.Value)
+	}
+}
+
+func TestQuantileRespectsWeights(t *testing.T) {
+	// Value 100 carries weight 9, value 1 carries weight 1: every quantile
+	// above 0.1 must be 100.
+	theta := []stream.Batch{
+		{Source: "a", Weight: 1, Items: items("a", 1)},
+		{Source: "b", Weight: 9, Items: items("b", 100)},
+	}
+	if got := Quantile(theta, 0.5).Value; got != 100 {
+		t.Fatalf("weighted median = %g, want 100", got)
+	}
+	if got := Quantile(theta, 0.05).Value; got != 1 {
+		t.Fatalf("5th percentile = %g, want 1", got)
+	}
+}
+
+func TestQuantileInvalidInputs(t *testing.T) {
+	theta := []stream.Batch{{Source: "s", Weight: 1, Items: items("s", 1)}}
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		if res := Quantile(theta, q); res.Value != 0 || res.SampleSize != 0 {
+			t.Errorf("Quantile(q=%g) = %+v, want zero result", q, res)
+		}
+	}
+	if res := Quantile(nil, 0.5); res.Value != 0 {
+		t.Errorf("Quantile(empty) = %+v", res)
+	}
+}
+
+func TestQuantileOnSampledStreamApproximatesTruth(t *testing.T) {
+	// Sample 10% of a known distribution with weights 10; the weighted
+	// sample quantile must approximate the population quantile.
+	rng := xrand.New(9)
+	var population []float64
+	for i := 0; i < 20000; i++ {
+		population = append(population, rng.Normal(500, 100))
+	}
+	var kept []stream.Item
+	for _, v := range population {
+		if rng.Bernoulli(0.1) {
+			kept = append(kept, stream.Item{Source: "s", Value: v})
+		}
+	}
+	theta := []stream.Batch{{Source: "s", Weight: 10, Items: kept}}
+	sort.Float64s(population)
+
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		truth := population[int(q*float64(len(population)))]
+		got := Quantile(theta, q)
+		if math.Abs(got.Value-truth) > 15 { // ~0.15σ tolerance
+			t.Errorf("q=%g: estimate %.1f vs truth %.1f", q, got.Value, truth)
+		}
+		if got.Lo > truth || got.Hi < truth {
+			// The 95% interval can miss occasionally; only flag wild misses.
+			if math.Abs(got.Value-truth) > 30 {
+				t.Errorf("q=%g: interval [%.1f,%.1f] far from truth %.1f", q, got.Lo, got.Hi, truth)
+			}
+		}
+	}
+}
+
+func TestTopKRanking(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "small", Weight: 1, Items: items("small", 5)},           // 5
+		{Source: "big", Weight: 10, Items: items("big", 100, 200)},       // 3000
+		{Source: "mid", Weight: 2, Items: items("mid", 50, 60, 70)},      // 360
+		{Source: "rare-huge", Weight: 1, Items: items("rare-huge", 9e6)}, // 9e6
+	}
+	top := TopK(theta, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d groups", len(top))
+	}
+	if top[0].Source != "rare-huge" || top[1].Source != "big" {
+		t.Fatalf("ranking = [%s, %s], want [rare-huge, big]", top[0].Source, top[1].Source)
+	}
+	if top[0].Sum.Value != 9e6 {
+		t.Fatalf("top sum = %g, want 9e6", top[0].Sum.Value)
+	}
+	if top[1].Count != 20 { // 2 items × weight 10
+		t.Fatalf("big count = %g, want 20", top[1].Count)
+	}
+}
+
+func TestTopKDefaultsToAllGroups(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "a", Weight: 1, Items: items("a", 1)},
+		{Source: "b", Weight: 1, Items: items("b", 2)},
+	}
+	if got := len(TopK(theta, 0)); got != 2 {
+		t.Fatalf("TopK(0) returned %d groups, want all 2", got)
+	}
+	if got := len(TopK(theta, 99)); got != 2 {
+		t.Fatalf("TopK(99) returned %d groups, want 2", got)
+	}
+}
+
+func TestTopKTieBreaksLexicographically(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "zeta", Weight: 1, Items: items("zeta", 7)},
+		{Source: "alpha", Weight: 1, Items: items("alpha", 7)},
+	}
+	top := TopK(theta, 2)
+	if top[0].Source != "alpha" {
+		t.Fatalf("tie broken to %s, want alpha first", top[0].Source)
+	}
+}
+
+func TestTopKEmpty(t *testing.T) {
+	if got := TopK(nil, 3); len(got) != 0 {
+		t.Fatalf("TopK(nil) = %v", got)
+	}
+}

@@ -1,0 +1,160 @@
+// Package query executes the approximate linear queries ApproxIoT's root
+// node supports — SUM, MEAN, and COUNT over a window's Θ store of weighted
+// batches (§III-C) — and attaches the §III-D error bounds to every answer.
+// The paper's prototype ran these as Kafka Streams DSL jobs; here they are
+// direct aggregations over the stratified estimates.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// Kind selects the aggregate a query computes.
+type Kind int
+
+// Supported linear queries (the paper defers joins/top-k to future work).
+const (
+	Sum Kind = iota + 1
+	Mean
+	Count
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Sum:
+		return "SUM"
+	case Mean:
+		return "MEAN"
+	case Count:
+		return "COUNT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Result is one approximate answer in the paper's "result ± error" form.
+type Result struct {
+	Kind       Kind
+	Estimate   stats.Estimate
+	Confidence stats.Confidence
+	// SampleSize is ζ summed over sub-streams: items the root aggregated.
+	SampleSize int64
+	// EstimatedInput is Σ ĉ_{i,b}: the estimated original item count.
+	EstimatedInput float64
+	// PerSubstream holds the per-stratum estimates when requested.
+	PerSubstream map[stream.SourceID]stats.Estimate
+}
+
+// Bound returns the half-width of the confidence interval.
+func (r Result) Bound() float64 { return r.Estimate.Bound(r.Confidence) }
+
+// Interval returns the [lo, hi] confidence interval.
+func (r Result) Interval() (lo, hi float64) { return r.Estimate.Interval(r.Confidence) }
+
+// String formats the answer the way the root node writes it.
+func (r Result) String() string {
+	return fmt.Sprintf("%s = %.6g ± %.6g (%s, ζ=%d)",
+		r.Kind, r.Estimate.Value, r.Bound(), r.Confidence, r.SampleSize)
+}
+
+// Engine evaluates queries over Θ stores.
+type Engine struct {
+	conf         stats.Confidence
+	perSubstream bool
+}
+
+// Option customizes an Engine.
+type Option func(*Engine)
+
+// WithConfidence sets the error-bound level (default TwoSigma / 95%).
+func WithConfidence(c stats.Confidence) Option {
+	return func(e *Engine) { e.conf = c }
+}
+
+// WithPerSubstream includes per-stratum estimates in every Result.
+func WithPerSubstream() Option {
+	return func(e *Engine) { e.perSubstream = true }
+}
+
+// NewEngine returns a query engine.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{conf: stats.TwoSigma}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Strata folds a Θ store into per-sub-stream accumulators, sorted by source
+// for deterministic iteration.
+func Strata(theta []stream.Batch) ([]*stats.Stratum, []stream.SourceID) {
+	bySource := make(map[stream.SourceID]*stats.Stratum)
+	for _, b := range theta {
+		s, ok := bySource[b.Source]
+		if !ok {
+			s = &stats.Stratum{}
+			bySource[b.Source] = s
+		}
+		s.AddBatch(b.Weight, b.Values())
+	}
+	sources := make([]stream.SourceID, 0, len(bySource))
+	for src := range bySource {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	strata := make([]*stats.Stratum, len(sources))
+	for i, src := range sources {
+		strata[i] = bySource[src]
+	}
+	return strata, sources
+}
+
+// Run evaluates one query over the window's Θ store.
+func (e *Engine) Run(kind Kind, theta []stream.Batch) Result {
+	strata, sources := Strata(theta)
+	res := Result{Kind: kind, Confidence: e.conf}
+	for _, s := range strata {
+		res.SampleSize += s.SampleCount()
+		res.EstimatedInput += s.EstimatedCount()
+	}
+	switch kind {
+	case Sum:
+		res.Estimate = stats.Sum(strata)
+	case Mean:
+		res.Estimate = stats.Mean(strata)
+	case Count:
+		res.Estimate = stats.Count(strata)
+	default:
+		res.Estimate = stats.Estimate{}
+	}
+	if e.perSubstream {
+		res.PerSubstream = make(map[stream.SourceID]stats.Estimate, len(sources))
+		for i, src := range sources {
+			one := []*stats.Stratum{strata[i]}
+			switch kind {
+			case Sum:
+				res.PerSubstream[src] = stats.Sum(one)
+			case Mean:
+				res.PerSubstream[src] = stats.Mean(one)
+			case Count:
+				res.PerSubstream[src] = stats.Count(one)
+			}
+		}
+	}
+	return res
+}
+
+// RunAll evaluates several query kinds over the same Θ store, sharing the
+// stratification pass.
+func (e *Engine) RunAll(kinds []Kind, theta []stream.Batch) []Result {
+	out := make([]Result, len(kinds))
+	for i, k := range kinds {
+		out[i] = e.Run(k, theta)
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+func items(src stream.SourceID, vals ...float64) []stream.Item {
+	out := make([]stream.Item, len(vals))
+	for i, v := range vals {
+		out[i] = stream.Item{Source: src, Value: v}
+	}
+	return out
+}
+
+func TestSumOverWeightedTheta(t *testing.T) {
+	// Paper Fig. 3: Θ = {(3, {5}), (3, {3})} → SUM = 24.
+	theta := []stream.Batch{
+		{Source: "s", Weight: 3, Items: items("s", 5)},
+		{Source: "s", Weight: 3, Items: items("s", 3)},
+	}
+	res := NewEngine().Run(Sum, theta)
+	if res.Estimate.Value != 24 {
+		t.Fatalf("SUM = %g, want 24", res.Estimate.Value)
+	}
+	if res.SampleSize != 2 {
+		t.Fatalf("SampleSize = %d, want 2", res.SampleSize)
+	}
+	if res.EstimatedInput != 6 {
+		t.Fatalf("EstimatedInput = %g, want 6", res.EstimatedInput)
+	}
+}
+
+func TestSumAcrossSubstreams(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "a", Weight: 2, Items: items("a", 1, 2, 3)}, // 12
+		{Source: "b", Weight: 1, Items: items("b", 10)},      // 10
+	}
+	res := NewEngine().Run(Sum, theta)
+	if res.Estimate.Value != 22 {
+		t.Fatalf("SUM = %g, want 22", res.Estimate.Value)
+	}
+}
+
+func TestMeanQuery(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "a", Weight: 2, Items: items("a", 1, 3)}, // ĉ=4, mean 2
+		{Source: "b", Weight: 1, Items: items("b", 10)},   // ĉ=1, mean 10
+	}
+	res := NewEngine().Run(Mean, theta)
+	want := (4.0*2 + 1.0*10) / 5.0
+	if math.Abs(res.Estimate.Value-want) > 1e-12 {
+		t.Fatalf("MEAN = %g, want %g", res.Estimate.Value, want)
+	}
+}
+
+func TestCountQuery(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "a", Weight: 5, Items: items("a", 1, 1)},
+		{Source: "b", Weight: 1, Items: items("b", 1)},
+	}
+	res := NewEngine().Run(Count, theta)
+	if res.Estimate.Value != 11 {
+		t.Fatalf("COUNT = %g, want 11", res.Estimate.Value)
+	}
+	if res.Estimate.Variance != 0 {
+		t.Fatalf("COUNT variance = %g, want 0", res.Estimate.Variance)
+	}
+}
+
+func TestEmptyTheta(t *testing.T) {
+	res := NewEngine().Run(Sum, nil)
+	if res.Estimate.Value != 0 || res.SampleSize != 0 {
+		t.Fatalf("empty Θ produced %+v", res)
+	}
+}
+
+func TestPerSubstreamBreakdown(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "a", Weight: 2, Items: items("a", 1, 2)},
+		{Source: "b", Weight: 3, Items: items("b", 10)},
+	}
+	res := NewEngine(WithPerSubstream()).Run(Sum, theta)
+	if got := res.PerSubstream["a"].Value; got != 6 {
+		t.Fatalf("per-substream a = %g, want 6", got)
+	}
+	if got := res.PerSubstream["b"].Value; got != 30 {
+		t.Fatalf("per-substream b = %g, want 30", got)
+	}
+}
+
+func TestPerSubstreamOffByDefault(t *testing.T) {
+	res := NewEngine().Run(Sum, []stream.Batch{{Source: "a", Weight: 1, Items: items("a", 1)}})
+	if res.PerSubstream != nil {
+		t.Fatal("PerSubstream populated without WithPerSubstream")
+	}
+}
+
+func TestConfidencePropagates(t *testing.T) {
+	theta := []stream.Batch{{Source: "a", Weight: 2, Items: items("a", 1, 5, 9)}}
+	res99 := NewEngine(WithConfidence(stats.ThreeSigma)).Run(Sum, theta)
+	res68 := NewEngine(WithConfidence(stats.OneSigma)).Run(Sum, theta)
+	if res99.Confidence != stats.ThreeSigma {
+		t.Fatalf("Confidence = %v, want ThreeSigma", res99.Confidence)
+	}
+	if !(res99.Bound() > res68.Bound()) {
+		t.Fatalf("3σ bound %g not wider than 1σ bound %g", res99.Bound(), res68.Bound())
+	}
+}
+
+func TestRunAllSharesTheta(t *testing.T) {
+	theta := []stream.Batch{{Source: "a", Weight: 2, Items: items("a", 1, 3)}}
+	results := NewEngine().RunAll([]Kind{Sum, Mean, Count}, theta)
+	if len(results) != 3 {
+		t.Fatalf("RunAll returned %d results", len(results))
+	}
+	if results[0].Kind != Sum || results[1].Kind != Mean || results[2].Kind != Count {
+		t.Fatal("RunAll result order mismatch")
+	}
+	if results[0].Estimate.Value != 8 || results[2].Estimate.Value != 4 {
+		t.Fatalf("SUM=%g COUNT=%g, want 8 and 4", results[0].Estimate.Value, results[2].Estimate.Value)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	theta := []stream.Batch{{Source: "a", Weight: 1, Items: items("a", 2)}}
+	s := NewEngine().Run(Sum, theta).String()
+	if !strings.Contains(s, "SUM") || !strings.Contains(s, "±") {
+		t.Fatalf("Result.String() = %q, want form 'SUM = x ± y'", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Sum.String() != "SUM" || Mean.String() != "MEAN" || Count.String() != "COUNT" {
+		t.Fatal("Kind.String() wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatal("unknown Kind should include the number")
+	}
+}
+
+func TestUnknownKindYieldsZeroEstimate(t *testing.T) {
+	theta := []stream.Batch{{Source: "a", Weight: 1, Items: items("a", 2)}}
+	res := NewEngine().Run(Kind(42), theta)
+	if res.Estimate.Value != 0 {
+		t.Fatalf("unknown kind produced %g", res.Estimate.Value)
+	}
+}
+
+func TestStrataSortedDeterministic(t *testing.T) {
+	theta := []stream.Batch{
+		{Source: "z", Weight: 1, Items: items("z", 1)},
+		{Source: "a", Weight: 1, Items: items("a", 1)},
+		{Source: "m", Weight: 1, Items: items("m", 1)},
+	}
+	_, sources := Strata(theta)
+	if sources[0] != "a" || sources[1] != "m" || sources[2] != "z" {
+		t.Fatalf("sources = %v, want sorted", sources)
+	}
+}
+
+func BenchmarkSumQuery(b *testing.B) {
+	var theta []stream.Batch
+	for s := 0; s < 8; s++ {
+		src := stream.SourceID(string(rune('a' + s)))
+		vals := make([]float64, 500)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		theta = append(theta, stream.Batch{Source: src, Weight: 2, Items: items(src, vals...)})
+	}
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(Sum, theta)
+	}
+}

@@ -1,0 +1,62 @@
+package query
+
+import "github.com/approxiot/approxiot/internal/stats"
+
+// Slider composes consecutive tumbling-window (pane) estimates into a
+// sliding-window aggregate, the pane-based technique of the sliding-window
+// literature the paper builds on ([10], [11]): a sliding window of length
+// k·pane is the combination of the last k panes. Because panes are sampled
+// independently, SUM/COUNT estimates and their variances both add, so the
+// sliding answer keeps a rigorous error bound with no re-aggregation.
+//
+// Slider works for additive aggregates (Sum, Count). The zero value is not
+// usable; construct with NewSlider.
+type Slider struct {
+	panes    []stats.Estimate
+	capacity int
+	head     int
+	filled   int
+}
+
+// NewSlider returns a slider over the last k panes. k < 1 is treated as 1.
+func NewSlider(k int) *Slider {
+	if k < 1 {
+		k = 1
+	}
+	return &Slider{panes: make([]stats.Estimate, k), capacity: k}
+}
+
+// Panes returns the configured window length in panes.
+func (s *Slider) Panes() int { return s.capacity }
+
+// Len returns how many panes are currently in the window.
+func (s *Slider) Len() int { return s.filled }
+
+// Push appends the newest pane estimate, evicting the oldest when full, and
+// returns the current sliding estimate.
+func (s *Slider) Push(pane stats.Estimate) stats.Estimate {
+	s.panes[s.head] = pane
+	s.head = (s.head + 1) % s.capacity
+	if s.filled < s.capacity {
+		s.filled++
+	}
+	return s.Current()
+}
+
+// Current returns the sliding aggregate over the panes in the window:
+// values and variances summed.
+func (s *Slider) Current() stats.Estimate {
+	var out stats.Estimate
+	for i := 0; i < s.filled; i++ {
+		p := s.panes[(s.head-1-i+s.capacity*2)%s.capacity]
+		out.Value += p.Value
+		out.Variance += p.Variance
+	}
+	return out
+}
+
+// Reset empties the window.
+func (s *Slider) Reset() {
+	s.head = 0
+	s.filled = 0
+}

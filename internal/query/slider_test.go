@@ -1,0 +1,92 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func est(v, variance float64) stats.Estimate {
+	return stats.Estimate{Value: v, Variance: variance}
+}
+
+func TestSliderSumsLastKPanes(t *testing.T) {
+	s := NewSlider(3)
+	s.Push(est(1, 0.1))
+	s.Push(est(2, 0.2))
+	got := s.Push(est(3, 0.3))
+	if got.Value != 6 {
+		t.Fatalf("sliding value = %g, want 6", got.Value)
+	}
+	if diff := got.Variance - 0.6; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sliding variance = %g, want 0.6", got.Variance)
+	}
+
+	// Fourth pane evicts the first.
+	got = s.Push(est(10, 1))
+	if got.Value != 15 { // 2+3+10
+		t.Fatalf("after slide, value = %g, want 15", got.Value)
+	}
+}
+
+func TestSliderPartialWindow(t *testing.T) {
+	s := NewSlider(4)
+	got := s.Push(est(5, 0.5))
+	if got.Value != 5 || s.Len() != 1 {
+		t.Fatalf("partial window = %+v len %d", got, s.Len())
+	}
+}
+
+func TestSliderSinglePaneDegeneratesToTumbling(t *testing.T) {
+	s := NewSlider(1)
+	s.Push(est(7, 1))
+	got := s.Push(est(9, 2))
+	if got.Value != 9 || got.Variance != 2 {
+		t.Fatalf("1-pane slider = %+v, want the newest pane only", got)
+	}
+}
+
+func TestSliderInvalidK(t *testing.T) {
+	s := NewSlider(0)
+	if s.Panes() != 1 {
+		t.Fatalf("Panes = %d, want clamp to 1", s.Panes())
+	}
+}
+
+func TestSliderReset(t *testing.T) {
+	s := NewSlider(2)
+	s.Push(est(1, 1))
+	s.Reset()
+	if s.Len() != 0 || s.Current().Value != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
+// Property: after >= k pushes, Current equals the plain sum of the last k
+// pane values regardless of push history.
+func TestSliderMatchesDirectSum(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := 1 + int(kRaw)%8
+		n := int(nRaw)%50 + k
+		rng := xrand.New(seed)
+		s := NewSlider(k)
+		vals := make([]float64, 0, n)
+		var got stats.Estimate
+		for i := 0; i < n; i++ {
+			v := rng.Normal(0, 100)
+			vals = append(vals, v)
+			got = s.Push(est(v, 1))
+		}
+		var want float64
+		for _, v := range vals[len(vals)-k:] {
+			want += v
+		}
+		diff := got.Value - want
+		return diff < 1e-6 && diff > -1e-6 && got.Variance == float64(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

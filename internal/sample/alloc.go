@@ -1,0 +1,234 @@
+package sample
+
+import (
+	"sort"
+
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// Allocator decides the per-sub-stream reservoir sizes N_i given the node's
+// total sample budget — the getSampleSize step of Algorithm 1 (line 7). The
+// paper leaves the policy open; this package provides the fair equal split
+// used by the evaluation plus alternatives benchmarked in the allocation
+// ablation (DESIGN.md §7).
+type Allocator interface {
+	// Allocate splits total across the observed sub-stream item counts.
+	// Implementations must be deterministic, never return a negative size,
+	// and — unless total <= 0 — give every sub-stream at least one slot so
+	// no stratum is neglected (§III-A).
+	Allocate(total int, counts map[stream.SourceID]int) map[stream.SourceID]int
+}
+
+// sortedSources returns map keys in sorted order for deterministic iteration.
+func sortedSources(counts map[stream.SourceID]int) []stream.SourceID {
+	sources := make([]stream.SourceID, 0, len(counts))
+	for src := range counts {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	return sources
+}
+
+// EqualSplit divides the budget evenly across sub-streams, the fairness
+// policy stratified sampling is built on: every stratum gets the same
+// reservoir regardless of its arrival rate, so infrequent-but-significant
+// sub-streams (Fig. 10c's sub-stream D) are never starved.
+type EqualSplit struct{}
+
+var _ Allocator = EqualSplit{}
+
+// Allocate gives each sub-stream total/k slots, distributing the remainder
+// to the lexicographically-first sub-streams, with a minimum of one slot.
+func (EqualSplit) Allocate(total int, counts map[stream.SourceID]int) map[stream.SourceID]int {
+	alloc := make(map[stream.SourceID]int, len(counts))
+	k := len(counts)
+	if k == 0 {
+		return alloc
+	}
+	if total <= 0 {
+		for src := range counts {
+			alloc[src] = 0
+		}
+		return alloc
+	}
+	base, rem := total/k, total%k
+	for i, src := range sortedSources(counts) {
+		n := base
+		if i < rem {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		alloc[src] = n
+	}
+	return alloc
+}
+
+// WaterFill allocates max-min fairly: every sub-stream receives an equal
+// share, and budget a small sub-stream cannot use (its count is below the
+// share) is redistributed to the larger ones. This keeps the node's total
+// sample at exactly min(budget, input) even when sub-stream rates are very
+// unbalanced (Fig. 10's settings), while preserving EqualSplit's guarantee
+// that no sub-stream is neglected.
+type WaterFill struct{}
+
+var _ Allocator = WaterFill{}
+
+// Allocate implements max-min fair (water-filling) allocation.
+func (WaterFill) Allocate(total int, counts map[stream.SourceID]int) map[stream.SourceID]int {
+	alloc := make(map[stream.SourceID]int, len(counts))
+	if len(counts) == 0 {
+		return alloc
+	}
+	if total <= 0 {
+		for src := range counts {
+			alloc[src] = 0
+		}
+		return alloc
+	}
+	// Sort sources by ascending count; satisfy small sub-streams in full,
+	// then split what remains evenly among the rest.
+	sources := sortedSources(counts)
+	sort.SliceStable(sources, func(i, j int) bool { return counts[sources[i]] < counts[sources[j]] })
+	remaining := total
+	for i, src := range sources {
+		left := len(sources) - i
+		share := remaining / left
+		if rem := remaining % left; rem > 0 {
+			share++ // spread the remainder across the first few
+		}
+		n := counts[src]
+		if n > share {
+			n = share
+		}
+		if n < 1 {
+			n = 1 // fairness floor: never neglect a sub-stream
+		}
+		alloc[src] = n
+		remaining -= n
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return alloc
+}
+
+// ValueAware is an optional Allocator extension: policies that use the
+// sub-streams' observed value dispersion in addition to their counts.
+// WHSampler computes per-stratum standard deviations and prefers this
+// method when the configured allocator implements it.
+type ValueAware interface {
+	Allocator
+	// AllocateByVariance splits total using both counts and per-stratum
+	// sample standard deviations.
+	AllocateByVariance(total int, counts map[stream.SourceID]int, stddev map[stream.SourceID]float64) map[stream.SourceID]int
+}
+
+// Neyman implements optimal (Neyman) allocation, the classical
+// variance-minimizing split for stratified estimation of a total:
+// N_i ∝ c_i·s_i. Sub-streams that are large *and* volatile get bigger
+// reservoirs; constant-valued sub-streams need almost none. This is an
+// extension beyond the paper (its evaluation uses fair allocation), wired
+// into the allocation ablation.
+type Neyman struct{}
+
+var _ ValueAware = Neyman{}
+
+// Allocate falls back to water-filling when no variances are available.
+func (Neyman) Allocate(total int, counts map[stream.SourceID]int) map[stream.SourceID]int {
+	return WaterFill{}.Allocate(total, counts)
+}
+
+// AllocateByVariance splits total with N_i ∝ c_i·s_i (minimum one slot).
+// Zero-variance strata still receive a floor so their counts stay exact.
+func (Neyman) AllocateByVariance(total int, counts map[stream.SourceID]int, stddev map[stream.SourceID]float64) map[stream.SourceID]int {
+	alloc := make(map[stream.SourceID]int, len(counts))
+	if len(counts) == 0 {
+		return alloc
+	}
+	if total <= 0 {
+		for src := range counts {
+			alloc[src] = 0
+		}
+		return alloc
+	}
+	var denom float64
+	for src, c := range counts {
+		denom += float64(c) * stddev[src]
+	}
+	if denom == 0 {
+		return WaterFill{}.Allocate(total, counts)
+	}
+	remaining := total
+	for _, src := range sortedSources(counts) {
+		n := int(float64(total)*float64(counts[src])*stddev[src]/denom + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		if n > counts[src] {
+			n = counts[src] // a census of the stratum is enough
+		}
+		if n > remaining {
+			n = remaining
+		}
+		if n < 1 {
+			n = 1
+		}
+		alloc[src] = n
+		remaining -= n
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return alloc
+}
+
+// Proportional sizes each reservoir in proportion to the sub-stream's item
+// count in the interval. This mimics what simple random sampling achieves in
+// expectation and serves as the contrast arm of the allocation ablation: it
+// starves rare sub-streams exactly the way Fig. 10c punishes.
+type Proportional struct{}
+
+var _ Allocator = Proportional{}
+
+// Allocate gives each sub-stream round(total·c_i/Σc) slots, minimum one.
+func (Proportional) Allocate(total int, counts map[stream.SourceID]int) map[stream.SourceID]int {
+	alloc := make(map[stream.SourceID]int, len(counts))
+	if len(counts) == 0 {
+		return alloc
+	}
+	if total <= 0 {
+		for src := range counts {
+			alloc[src] = 0
+		}
+		return alloc
+	}
+	var sum int
+	for _, c := range counts {
+		sum += c
+	}
+	if sum == 0 {
+		for src := range counts {
+			alloc[src] = 1
+		}
+		return alloc
+	}
+	remaining := total
+	sources := sortedSources(counts)
+	for _, src := range sources {
+		n := int(float64(total)*float64(counts[src])/float64(sum) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		if n > remaining {
+			n = remaining
+		}
+		if n < 1 {
+			n = 1 // fairness floor even when the budget has run out
+		}
+		alloc[src] = n
+		remaining -= n
+	}
+	return alloc
+}

@@ -1,0 +1,168 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func sumAlloc(alloc map[stream.SourceID]int) int {
+	total := 0
+	for _, n := range alloc {
+		total += n
+	}
+	return total
+}
+
+func TestWaterFillExactBudgetWhenOversubscribed(t *testing.T) {
+	counts := map[stream.SourceID]int{"a": 1000, "b": 1000, "c": 1000}
+	alloc := WaterFill{}.Allocate(600, counts)
+	if got := sumAlloc(alloc); got != 600 {
+		t.Fatalf("allocated %d, want exactly 600", got)
+	}
+	for src, n := range alloc {
+		if n < 199 || n > 201 {
+			t.Fatalf("alloc[%s] = %d, want ~200 (fair)", src, n)
+		}
+	}
+}
+
+func TestWaterFillRedistributesUnusedShare(t *testing.T) {
+	// Setting1-style imbalance: tiny sub-streams can't use their share;
+	// the surplus must flow to the big ones.
+	counts := map[stream.SourceID]int{"A": 50000, "B": 25000, "C": 12500, "D": 625}
+	budget := 52875 // 60% of the total 88125
+	alloc := WaterFill{}.Allocate(budget, counts)
+	if got := sumAlloc(alloc); got != budget {
+		t.Fatalf("allocated %d, want exactly %d", got, budget)
+	}
+	if alloc["D"] != 625 {
+		t.Fatalf("alloc[D] = %d, want full census 625", alloc["D"])
+	}
+	if alloc["C"] != 12500 {
+		t.Fatalf("alloc[C] = %d, want full census 12500", alloc["C"])
+	}
+	// A and B split the rest roughly evenly (both above the water level).
+	if alloc["A"] < 19000 || alloc["B"] < 19000 {
+		t.Fatalf("big sub-streams starved: A=%d B=%d", alloc["A"], alloc["B"])
+	}
+}
+
+func TestWaterFillBudgetExceedsInput(t *testing.T) {
+	counts := map[stream.SourceID]int{"a": 10, "b": 20}
+	alloc := WaterFill{}.Allocate(1000, counts)
+	if alloc["a"] < 10 || alloc["b"] < 20 {
+		t.Fatalf("census denied under surplus budget: %v", alloc)
+	}
+}
+
+func TestWaterFillZeroBudgetAndEmpty(t *testing.T) {
+	alloc := WaterFill{}.Allocate(0, map[stream.SourceID]int{"a": 5})
+	if alloc["a"] != 0 {
+		t.Fatalf("zero budget allocated %d", alloc["a"])
+	}
+	empty := WaterFill{}.Allocate(10, nil)
+	if len(empty) != 0 {
+		t.Fatalf("empty counts produced %v", empty)
+	}
+}
+
+func TestWaterFillNeverNeglects(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint16) bool {
+		rng := xrand.New(seed)
+		counts := map[stream.SourceID]int{}
+		k := 1 + rng.Intn(8)
+		for i := 0; i < k; i++ {
+			counts[stream.SourceID(string(rune('a'+i)))] = 1 + rng.Intn(10000)
+		}
+		budget := 1 + int(budgetRaw)
+		alloc := WaterFill{}.Allocate(budget, counts)
+		for _, n := range alloc {
+			if n < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeymanFavorsVolatileStrata(t *testing.T) {
+	counts := map[stream.SourceID]int{"calm": 1000, "wild": 1000}
+	stddev := map[stream.SourceID]float64{"calm": 1, "wild": 99}
+	alloc := Neyman{}.AllocateByVariance(500, counts, stddev)
+	if alloc["wild"] <= alloc["calm"] {
+		t.Fatalf("Neyman gave wild=%d calm=%d, want wild ≫ calm", alloc["wild"], alloc["calm"])
+	}
+	if alloc["calm"] < 1 {
+		t.Fatal("calm stratum neglected")
+	}
+}
+
+func TestNeymanCapsAtCensus(t *testing.T) {
+	counts := map[stream.SourceID]int{"tiny": 10, "big": 10000}
+	stddev := map[stream.SourceID]float64{"tiny": 1000, "big": 1}
+	alloc := Neyman{}.AllocateByVariance(5000, counts, stddev)
+	if alloc["tiny"] > 10 {
+		t.Fatalf("allocated %d slots to a 10-item stratum", alloc["tiny"])
+	}
+}
+
+func TestNeymanZeroVarianceFallsBack(t *testing.T) {
+	counts := map[stream.SourceID]int{"a": 100, "b": 100}
+	stddev := map[stream.SourceID]float64{"a": 0, "b": 0}
+	alloc := Neyman{}.AllocateByVariance(50, counts, stddev)
+	if sumAlloc(alloc) == 0 {
+		t.Fatal("zero-variance strata got nothing; want water-fill fallback")
+	}
+}
+
+func TestNeymanPlainAllocateDelegates(t *testing.T) {
+	counts := map[stream.SourceID]int{"a": 100, "b": 100}
+	got := Neyman{}.Allocate(50, counts)
+	want := WaterFill{}.Allocate(50, counts)
+	for src := range counts {
+		if got[src] != want[src] {
+			t.Fatalf("Allocate = %v, want water-fill %v", got, want)
+		}
+	}
+}
+
+func TestWHSWithNeymanAllocator(t *testing.T) {
+	// A calm stratum (constant values) and a wild one: Neyman should put
+	// nearly all budget on the wild one while keeping both estimable.
+	rng := xrand.New(4)
+	var pairs []stream.Batch
+	calm := make([]stream.Item, 2000)
+	wild := make([]stream.Item, 2000)
+	for i := range calm {
+		calm[i] = stream.Item{Source: "calm", Value: 100}
+		wild[i] = stream.Item{Source: "wild", Value: rng.Normal(100, 80)}
+	}
+	pairs = append(pairs, stream.Batch{Source: "calm", Weight: 1, Items: calm})
+	pairs = append(pairs, stream.Batch{Source: "wild", Weight: 1, Items: wild})
+
+	s := NewWHS(xrand.New(5), WithAllocator(Neyman{}))
+	out := s.SampleInterval(pairs, 400)
+	var nCalm, nWild int
+	for _, b := range out {
+		switch b.Source {
+		case "calm":
+			nCalm += len(b.Items)
+		case "wild":
+			nWild += len(b.Items)
+		}
+	}
+	if nWild <= nCalm {
+		t.Fatalf("Neyman WHS kept calm=%d wild=%d, want wild ≫ calm", nCalm, nWild)
+	}
+	// Invariant must still hold.
+	want := 4000.0
+	if got := estimatedCount(out); got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("estimated count = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func mkPairs(spec ...struct {
+	src stream.SourceID
+	w   float64
+	n   int
+}) []stream.Batch {
+	var out []stream.Batch
+	for _, s := range spec {
+		out = append(out, stream.Batch{Source: s.src, Weight: s.w, Items: mkItems(s.src, s.n)})
+	}
+	return out
+}
+
+type pairSpec = struct {
+	src stream.SourceID
+	w   float64
+	n   int
+}
+
+func TestWHSIntervalInvariant(t *testing.T) {
+	f := func(seed uint64, budgetRaw uint16) bool {
+		budget := 1 + int(budgetRaw)%500
+		rng := xrand.New(seed)
+		var pairs []stream.Batch
+		want := 0.0
+		k := 1 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			src := stream.SourceID(string(rune('a' + rng.Intn(3)))) // collisions on purpose
+			n := 1 + rng.Intn(300)
+			w := 1 + rng.Float64()*4
+			pairs = append(pairs, stream.Batch{Source: src, Weight: w, Items: mkItems(src, n)})
+			want += w * float64(n)
+		}
+		out := NewWHS(xrand.New(seed+1)).SampleInterval(pairs, budget)
+		return math.Abs(estimatedCount(out)-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWHSIntervalRespectsBudgetApproximately(t *testing.T) {
+	pairs := mkPairs(
+		pairSpec{"a", 1, 10000},
+		pairSpec{"b", 1, 10000},
+	)
+	out := NewWHS(xrand.New(1)).SampleInterval(pairs, 200)
+	kept := 0
+	for _, b := range out {
+		kept += len(b.Items)
+	}
+	if kept < 190 || kept > 210 {
+		t.Fatalf("kept %d items on budget 200", kept)
+	}
+}
+
+func TestWHSIntervalLineagesStayDistinct(t *testing.T) {
+	// Same sub-stream, two lineages (Fig. 3's split-interval case):
+	// output batches must keep separate weights.
+	pairs := mkPairs(
+		pairSpec{"s", 1.5, 60},
+		pairSpec{"s", 3.0, 40},
+	)
+	out := NewWHS(xrand.New(2)).SampleInterval(pairs, 20)
+	if len(out) != 2 {
+		t.Fatalf("got %d output batches, want 2 lineages", len(out))
+	}
+	want := 1.5*60 + 3.0*40
+	if got := estimatedCount(out); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("estimated count = %g, want %g", got, want)
+	}
+}
+
+func TestWHSIntervalZeroBudget(t *testing.T) {
+	pairs := mkPairs(pairSpec{"a", 1, 100})
+	if out := NewWHS(xrand.New(3)).SampleInterval(pairs, 0); out != nil {
+		t.Fatalf("zero budget produced %d batches", len(out))
+	}
+}
+
+func TestWHSIntervalSkipsEmptyPairs(t *testing.T) {
+	pairs := []stream.Batch{
+		{Source: "a", Weight: 2, Items: nil},
+		{Source: "b", Weight: 1, Items: mkItems("b", 5)},
+	}
+	out := NewWHS(xrand.New(4)).SampleInterval(pairs, 10)
+	if len(out) != 1 || out[0].Source != "b" {
+		t.Fatalf("empty pair not skipped: %v", out)
+	}
+}
+
+func TestParallelWHSIntervalInvariant(t *testing.T) {
+	pairs := mkPairs(
+		pairSpec{"a", 2, 500},
+		pairSpec{"b", 1, 300},
+	)
+	out := NewParallelWHS(4, 9).SampleInterval(pairs, 100)
+	want := 2.0*500 + 1.0*300
+	if got := estimatedCount(out); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("estimated count = %g, want %g", got, want)
+	}
+}
+
+func TestCoinFlipIntervalBudgetDriven(t *testing.T) {
+	pairs := mkPairs(pairSpec{"a", 1, 5000}, pairSpec{"b", 1, 5000})
+	out := NewCoinFlip(xrand.New(5)).SampleInterval(pairs, 1000) // p = 0.1
+	kept := 0
+	for _, b := range out {
+		kept += len(b.Items)
+		if math.Abs(b.Weight-10) > 1e-9 {
+			t.Fatalf("weight = %g, want 10", b.Weight)
+		}
+	}
+	if kept < 800 || kept > 1200 {
+		t.Fatalf("kept %d, want ~1000", kept)
+	}
+}
+
+func TestCoinFlipIntervalScalesLineageWeight(t *testing.T) {
+	pairs := mkPairs(pairSpec{"a", 4, 10000})
+	out := NewCoinFlipFraction(xrand.New(6), 0.5).SampleInterval(pairs, 0)
+	if len(out) != 1 {
+		t.Fatalf("got %d batches", len(out))
+	}
+	if out[0].Weight != 8 { // W_in / p = 4 / 0.5
+		t.Fatalf("weight = %g, want 8", out[0].Weight)
+	}
+}
+
+func TestCoinFlipIntervalEmpty(t *testing.T) {
+	if out := NewCoinFlip(xrand.New(7)).SampleInterval(nil, 100); out != nil {
+		t.Fatalf("empty Ψ produced %v", out)
+	}
+}
+
+func TestPassthroughIntervalIdentity(t *testing.T) {
+	pairs := mkPairs(pairSpec{"a", 2.5, 7}, pairSpec{"b", 1, 3})
+	var native Passthrough
+	out := native.SampleInterval(pairs, 0)
+	if len(out) != 2 {
+		t.Fatalf("got %d batches, want 2", len(out))
+	}
+	if out[0].Weight != 2.5 || len(out[0].Items) != 7 {
+		t.Fatalf("native execution altered the stream: %+v", out[0])
+	}
+}
+
+func TestPassthroughIntervalDropsEmpty(t *testing.T) {
+	pairs := []stream.Batch{{Source: "a", Weight: 1}}
+	var native Passthrough
+	if out := native.SampleInterval(pairs, 0); len(out) != 0 {
+		t.Fatalf("empty pair forwarded: %v", out)
+	}
+}

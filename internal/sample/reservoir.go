@@ -1,0 +1,77 @@
+package sample
+
+import (
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// Reservoir selects a uniform random sample of at most Cap items from an
+// unbounded stream using Vitter's Algorithm R [7] (§II-B2): the first Cap
+// items are kept; the i-th item thereafter replaces a random slot with
+// probability Cap/i. Every item ends up in the reservoir with probability
+// Cap/Seen.
+type Reservoir struct {
+	rng   *xrand.Rand
+	cap   int
+	items []stream.Item
+	seen  int64
+}
+
+// NewReservoir returns a reservoir of the given capacity. A capacity <= 0
+// keeps nothing (the degenerate zero-budget case).
+func NewReservoir(capacity int, rng *xrand.Rand) *Reservoir {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Reservoir{rng: rng, cap: capacity, items: make([]stream.Item, 0, capacity)}
+}
+
+// Add offers one item to the reservoir.
+func (r *Reservoir) Add(it stream.Item) {
+	r.seen++
+	if r.cap == 0 {
+		return
+	}
+	if len(r.items) < r.cap {
+		r.items = append(r.items, it)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = it
+	}
+}
+
+// AddAll offers a slice of items in order.
+func (r *Reservoir) AddAll(items []stream.Item) {
+	for _, it := range items {
+		r.Add(it)
+	}
+}
+
+// Items returns the current sample. The returned slice is owned by the
+// reservoir; callers that retain it across Reset must copy.
+func (r *Reservoir) Items() []stream.Item { return r.items }
+
+// Seen returns the number of items offered so far (c_i in Algorithm 1).
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Cap returns the reservoir capacity (N_i in Algorithm 1).
+func (r *Reservoir) Cap() int { return r.cap }
+
+// Len returns the number of items currently held (c̃_i; min(c, N)).
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Weight returns the local weight w_i of Equation 1: c/N when the stream
+// overflowed the reservoir, 1 otherwise.
+func (r *Reservoir) Weight() float64 {
+	if r.seen > int64(r.cap) && r.cap > 0 {
+		return float64(r.seen) / float64(r.cap)
+	}
+	return 1
+}
+
+// Reset empties the reservoir for the next interval, retaining capacity.
+func (r *Reservoir) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+}

@@ -1,0 +1,138 @@
+// Package sample implements ApproxIoT's sampling algorithms and the
+// baselines the paper evaluates against:
+//
+//   - Reservoir: Vitter's Algorithm R (§II-B2), the building block.
+//   - WHSampler: the paper's core contribution, weighted hierarchical
+//     stratified reservoir sampling (Algorithm 1). Runs independently on
+//     every node of the edge tree with no cross-node coordination.
+//   - ParallelWHS: the §III-E distributed-execution extension (w workers per
+//     sub-stream, each with a reservoir of at most N_i/w).
+//   - CoinFlip: the simple-random-sampling baseline [19].
+//   - Passthrough: the native (no sampling) baseline.
+//
+// All samplers implement Sampler, so an edge node is configured with a
+// strategy the same way the prototype swapped Kafka processors.
+package sample
+
+import (
+	"sort"
+
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// Sampler is the contract edge nodes drive once per time interval
+// (Algorithm 2, lines 5–19): pairs is the Ψ store — the (W^in, items) pairs
+// received in the interval, each pair one weight lineage of one sub-stream —
+// and budget is the interval's total sample size from the node's cost
+// function. The result is the interval's outgoing (W^out, sample) batches.
+//
+// Implementations must preserve the Eq. 8 invariant per pair:
+// Σ |out.Items|·out.Weight over a pair's outputs = in.Weight·|in.Items|.
+type Sampler interface {
+	SampleInterval(pairs []stream.Batch, budget int) []stream.Batch
+}
+
+// stratify groups items by source, preserving arrival order, and returns the
+// sources in sorted order so all downstream iteration is deterministic.
+func stratify(items []stream.Item) (map[stream.SourceID][]stream.Item, []stream.SourceID) {
+	strata := make(map[stream.SourceID][]stream.Item)
+	for _, it := range items {
+		strata[it.Source] = append(strata[it.Source], it)
+	}
+	sources := make([]stream.SourceID, 0, len(strata))
+	for src := range strata {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	return strata, sources
+}
+
+// Passthrough implements the paper's native-execution baseline: every item is
+// forwarded with its input weight unchanged.
+type Passthrough struct{}
+
+var _ Sampler = Passthrough{}
+
+// Sample forwards all items grouped per sub-stream; budget is ignored.
+func (Passthrough) Sample(items []stream.Item, weights stream.WeightMap, _ int) []stream.Batch {
+	strata, sources := stratify(items)
+	batches := make([]stream.Batch, 0, len(sources))
+	for _, src := range sources {
+		batches = append(batches, stream.Batch{
+			Source: src,
+			Weight: weights.Get(src),
+			Items:  strata[src],
+		})
+	}
+	return batches
+}
+
+// CoinFlip implements the simple random sampling baseline used throughout
+// the paper's evaluation ("SRS"): every item independently survives a coin
+// flip [19]. Kept items carry weight W^in/p so the root's Horvitz–Thompson
+// estimate is unbiased; the variance, however, is unprotected against skewed
+// sub-streams — the effect Figures 5 and 10 measure.
+type CoinFlip struct {
+	rng *xrand.Rand
+	// fraction, when > 0, fixes the keep probability. Otherwise the
+	// probability is derived per interval as budget/len(items), which
+	// matches ApproxIoT's budget for a fair comparison (§V-B).
+	fraction float64
+}
+
+var _ Sampler = (*CoinFlip)(nil)
+
+// NewCoinFlip returns an SRS sampler whose keep probability tracks the
+// interval budget (expected sample size = budget).
+func NewCoinFlip(rng *xrand.Rand) *CoinFlip {
+	return &CoinFlip{rng: rng}
+}
+
+// NewCoinFlipFraction returns an SRS sampler with a fixed keep probability p,
+// clamped to (0, 1].
+func NewCoinFlipFraction(rng *xrand.Rand, p float64) *CoinFlip {
+	if p <= 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &CoinFlip{rng: rng, fraction: p}
+}
+
+// Sample keeps each item with the configured probability.
+func (c *CoinFlip) Sample(items []stream.Item, weights stream.WeightMap, budget int) []stream.Batch {
+	if len(items) == 0 {
+		return nil
+	}
+	p := c.fraction
+	if p == 0 {
+		p = float64(budget) / float64(len(items))
+		if p > 1 {
+			p = 1
+		}
+	}
+	if p <= 0 {
+		return nil
+	}
+	strata, sources := stratify(items)
+	batches := make([]stream.Batch, 0, len(sources))
+	for _, src := range sources {
+		var kept []stream.Item
+		for _, it := range strata[src] {
+			if c.rng.Bernoulli(p) {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == 0 {
+			continue // sub-stream silently lost — SRS's failure mode
+		}
+		batches = append(batches, stream.Batch{
+			Source: src,
+			Weight: weights.Get(src) / p,
+			Items:  kept,
+		})
+	}
+	return batches
+}

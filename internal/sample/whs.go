@@ -1,0 +1,90 @@
+package sample
+
+import (
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// WHSampler implements Algorithm 1, weighted hierarchical sampling — the
+// paper's core contribution. For one interval on one node it:
+//
+//  1. stratifies the input items into sub-streams by source (line 5),
+//  2. allocates a reservoir size N_i per sub-stream from the total budget
+//     (line 7, the getSampleSize step),
+//  3. reservoir-samples each sub-stream independently (line 10), and
+//  4. updates the weight: W^out = W^in·(c_i/N_i) when the sub-stream
+//     overflowed its reservoir, W^out = W^in otherwise (Eq. 1–2).
+//
+// The algorithm needs no coordination with other nodes; weights compound
+// multiplicatively hop by hop, which is what preserves the Eq. 8 count
+// invariant end to end.
+type WHSampler struct {
+	rng   *xrand.Rand
+	alloc Allocator
+}
+
+var _ Sampler = (*WHSampler)(nil)
+
+// WHSOption customizes a WHSampler.
+type WHSOption func(*WHSampler)
+
+// WithAllocator overrides the budget-split policy (default EqualSplit).
+func WithAllocator(a Allocator) WHSOption {
+	return func(s *WHSampler) { s.alloc = a }
+}
+
+// NewWHS returns a weighted hierarchical sampler driven by rng.
+func NewWHS(rng *xrand.Rand, opts ...WHSOption) *WHSampler {
+	s := &WHSampler{rng: rng, alloc: EqualSplit{}}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Sample runs WHSamp (Algorithm 1) over one (W^in, items) pair.
+func (s *WHSampler) Sample(items []stream.Item, weights stream.WeightMap, budget int) []stream.Batch {
+	if len(items) == 0 {
+		return nil
+	}
+	strata, sources := stratify(items)
+	counts := make(map[stream.SourceID]int, len(strata))
+	for src, its := range strata {
+		counts[src] = len(its)
+	}
+	sizes := s.alloc.Allocate(budget, counts)
+
+	batches := make([]stream.Batch, 0, len(sources))
+	for _, src := range sources {
+		ni := sizes[src]
+		if ni <= 0 {
+			continue // zero budget: sub-stream contributes nothing
+		}
+		res := NewReservoir(ni, s.rng)
+		res.AddAll(strata[src])
+		wOut := weights.Get(src) * res.Weight() // Eq. 2
+		batches = append(batches, stream.Batch{
+			Source: src,
+			Weight: wOut,
+			Items:  res.Items(),
+		})
+	}
+	return batches
+}
+
+// SampleBatches applies Algorithm 2's inner loop: each (W^in, items) pair in
+// Ψ is sampled independently, sharing the interval budget. This is the entry
+// point nodes use when multiple upstream batches for the same sub-stream
+// arrive within one interval (the Fig. 3 split-interval case); each pair
+// keeps its own weight lineage.
+func (s *WHSampler) SampleBatches(pairs []stream.Batch, budget int) []stream.Batch {
+	if len(pairs) == 0 {
+		return nil
+	}
+	var out []stream.Batch
+	for _, pair := range pairs {
+		weights := stream.WeightMap{pair.Source: pair.Weight}
+		out = append(out, s.Sample(pair.Items, weights, budget)...)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+func testBatch() Batch {
+	ts := time.Date(2018, 7, 2, 10, 0, 0, 123456789, time.UTC)
+	return Batch{
+		Source: "sensor-42",
+		Weight: 1.5,
+		Items: []Item{
+			{Source: "sensor-42", Value: 3.25, Ts: ts},
+			{Source: "sensor-42", Value: -17, Ts: ts.Add(time.Millisecond)},
+			{Source: "sensor-42", Value: 0, Ts: ts.Add(2 * time.Millisecond)},
+		},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := testBatch()
+	out, err := UnmarshalBatch(in.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalBatch: %v", err)
+	}
+	if out.Source != in.Source || out.Weight != in.Weight || len(out.Items) != len(in.Items) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.Items {
+		if out.Items[i].Value != in.Items[i].Value {
+			t.Errorf("item %d value = %g, want %g", i, out.Items[i].Value, in.Items[i].Value)
+		}
+		if !out.Items[i].Ts.Equal(in.Items[i].Ts) {
+			t.Errorf("item %d ts = %v, want %v", i, out.Items[i].Ts, in.Items[i].Ts)
+		}
+		if out.Items[i].Source != in.Source {
+			t.Errorf("item %d source = %q, want %q", i, out.Items[i].Source, in.Source)
+		}
+	}
+}
+
+func TestMarshalEmptyBatch(t *testing.T) {
+	in := Batch{Source: "s", Weight: 1}
+	out, err := UnmarshalBatch(in.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalBatch: %v", err)
+	}
+	if len(out.Items) != 0 || out.Source != "s" || out.Weight != 1 {
+		t.Fatalf("empty batch mangled: %+v", out)
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	b := testBatch()
+	if got, want := b.WireSize(), len(b.Marshal()); got != want {
+		t.Fatalf("WireSize = %d, encoded length = %d", got, want)
+	}
+}
+
+func TestWireSizeMatchesEncodingProperty(t *testing.T) {
+	f := func(seed uint64, srcLen uint16, n uint8) bool {
+		r := xrand.New(seed)
+		src := make([]byte, int(srcLen)%300) // cross the uvarint 1→2 byte boundary
+		for i := range src {
+			src[i] = byte('a' + r.Intn(26))
+		}
+		b := Batch{Source: SourceID(src), Weight: r.Float64() * 10}
+		for i := 0; i < int(n); i++ {
+			b.Items = append(b.Items, Item{Value: r.Normal(0, 1e6), Ts: time.Unix(0, int64(r.Uint64()>>1)).UTC()})
+		}
+		enc := b.Marshal()
+		if len(enc) != b.WireSize() {
+			return false
+		}
+		out, err := UnmarshalBatch(enc)
+		return err == nil && out.Source == b.Source && len(out.Items) == len(b.Items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsBadVersion(t *testing.T) {
+	enc := testBatch().Marshal()
+	enc[0] = 99
+	if _, err := UnmarshalBatch(enc); !errors.Is(err, ErrCodecVersion) {
+		t.Fatalf("err = %v, want ErrCodecVersion", err)
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	enc := testBatch().Marshal()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := UnmarshalBatch(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(enc))
+		}
+	}
+}
+
+func TestUnmarshalEmptyInput(t *testing.T) {
+	if _, err := UnmarshalBatch(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchValues(t *testing.T) {
+	b := testBatch()
+	vals := b.Values()
+	want := []float64{3.25, -17, 0}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values() = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestBatchCloneIsDeep(t *testing.T) {
+	b := testBatch()
+	c := b.Clone()
+	c.Items[0].Value = 999
+	if b.Items[0].Value == 999 {
+		t.Fatal("Clone shares item storage with original")
+	}
+}
+
+func TestWeightMapDefaultsToOne(t *testing.T) {
+	var m WeightMap
+	if got := m.Get("unknown"); got != 1 {
+		t.Fatalf("nil map Get = %g, want 1 (paper: W_in=1 at sources)", got)
+	}
+	m.Set("a", 2.5)
+	if got := m.Get("a"); got != 2.5 {
+		t.Fatalf("Get after Set = %g, want 2.5", got)
+	}
+	if got := m.Get("b"); got != 1 {
+		t.Fatalf("Get missing = %g, want 1", got)
+	}
+}
+
+func TestWeightMapSetOnNil(t *testing.T) {
+	var m WeightMap
+	m.Set("x", 3)
+	if m.Get("x") != 3 {
+		t.Fatal("Set on nil map did not allocate")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	batch := Batch{Source: "src-1", Weight: 2}
+	for i := 0; i < 128; i++ {
+		batch.Items = append(batch.Items, Item{Value: float64(i), Ts: time.Unix(0, int64(i))})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	batch := Batch{Source: "src-1", Weight: 2}
+	for i := 0; i < 128; i++ {
+		batch.Items = append(batch.Items, Item{Value: float64(i), Ts: time.Unix(0, int64(i))})
+	}
+	enc := batch.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package streams
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the "High-Level Streams DSL" layer (§IV-A): the paper's
+// prototype used Kafka Streams' DSL to build the pub/sub plumbing and the
+// root's computation engine, and the low-level Processor API (topology.go /
+// runtime.go here) for the sampling module. The DSL compiles fluent
+// Stream/Filter/Map/GroupByKey/WindowedAggregate chains down to the same
+// Topology the low-level API builds.
+
+// StreamBuilder accumulates DSL operations and compiles them to a Topology.
+type StreamBuilder struct {
+	tb  *TopologyBuilder
+	seq int
+}
+
+// NewStreamBuilder returns an empty DSL builder.
+func NewStreamBuilder() *StreamBuilder {
+	return &StreamBuilder{tb: NewTopology()}
+}
+
+func (b *StreamBuilder) next(kind string) string {
+	b.seq++
+	return fmt.Sprintf("%s-%d", kind, b.seq)
+}
+
+// Build compiles the accumulated operations into an executable Topology.
+func (b *StreamBuilder) Build() (*Topology, error) { return b.tb.Build() }
+
+// KStream is a fluent handle on a record stream flowing through the DSL.
+type KStream struct {
+	b    *StreamBuilder
+	node string
+}
+
+// Stream starts a KStream from a topic.
+func (b *StreamBuilder) Stream(topic string) *KStream {
+	name := b.next("source")
+	b.tb.Source(name, topic)
+	return &KStream{b: b, node: name}
+}
+
+// Filter keeps only messages satisfying pred.
+func (s *KStream) Filter(pred func(Message) bool) *KStream {
+	name := s.b.next("filter")
+	s.b.tb.Processor(name, func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			if pred(msg) {
+				ctx.Forward(msg)
+			}
+			return nil
+		})
+	}, s.node)
+	return &KStream{b: s.b, node: name}
+}
+
+// Map transforms each message one-to-one.
+func (s *KStream) Map(fn func(Message) Message) *KStream {
+	name := s.b.next("map")
+	s.b.tb.Processor(name, func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			ctx.Forward(fn(msg))
+			return nil
+		})
+	}, s.node)
+	return &KStream{b: s.b, node: name}
+}
+
+// FlatMap transforms each message into zero or more messages.
+func (s *KStream) FlatMap(fn func(Message) []Message) *KStream {
+	name := s.b.next("flatmap")
+	s.b.tb.Processor(name, func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			for _, out := range fn(msg) {
+				ctx.Forward(out)
+			}
+			return nil
+		})
+	}, s.node)
+	return &KStream{b: s.b, node: name}
+}
+
+// Peek observes each message without changing the stream.
+func (s *KStream) Peek(fn func(Message)) *KStream {
+	name := s.b.next("peek")
+	s.b.tb.Processor(name, func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			fn(msg)
+			ctx.Forward(msg)
+			return nil
+		})
+	}, s.node)
+	return &KStream{b: s.b, node: name}
+}
+
+// Merge combines this stream with others into one.
+func (s *KStream) Merge(others ...*KStream) *KStream {
+	name := s.b.next("merge")
+	parents := make([]string, 0, len(others)+1)
+	parents = append(parents, s.node)
+	for _, o := range others {
+		parents = append(parents, o.node)
+	}
+	s.b.tb.Processor(name, func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			ctx.Forward(msg)
+			return nil
+		})
+	}, parents...)
+	return &KStream{b: s.b, node: name}
+}
+
+// Process attaches a custom low-level Processor — the DSL escape hatch the
+// paper's sampling module used.
+func (s *KStream) Process(supplier func() Processor) *KStream {
+	name := s.b.next("process")
+	s.b.tb.Processor(name, supplier, s.node)
+	return &KStream{b: s.b, node: name}
+}
+
+// To terminates the stream into a topic.
+func (s *KStream) To(topic string) {
+	s.b.tb.Sink(s.b.next("sink"), topic, s.node)
+}
+
+// GroupByKey prepares the stream for keyed windowed aggregation.
+func (s *KStream) GroupByKey() *KGroupedStream {
+	return &KGroupedStream{b: s.b, node: s.node}
+}
+
+// KGroupedStream is a keyed stream awaiting an aggregation.
+type KGroupedStream struct {
+	b    *StreamBuilder
+	node string
+}
+
+// Aggregation state lives in a KeyValueStore, the Kafka Streams state-store
+// analogue. The windowed aggregator owns one store instance per runtime.
+type KeyValueStore interface {
+	Get(key string) (any, bool)
+	Put(key string, value any)
+	Delete(key string)
+	// Keys returns all keys in sorted order.
+	Keys() []string
+	// Clear removes everything.
+	Clear()
+}
+
+// memStore is the in-memory KeyValueStore.
+type memStore struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewMemStore returns an empty in-memory state store.
+func NewMemStore() KeyValueStore {
+	return &memStore{m: make(map[string]any)}
+}
+
+func (s *memStore) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *memStore) Put(key string, value any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = value
+}
+
+func (s *memStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+}
+
+func (s *memStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *memStore) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]any)
+}
+
+// WindowedAggregate folds messages per key into state and, every window,
+// emits one message per key via emit and clears the window's state. init
+// creates a key's zero accumulator; agg folds one message into it.
+func (g *KGroupedStream) WindowedAggregate(
+	window time.Duration,
+	init func() any,
+	agg func(key string, msg Message, acc any) any,
+	emit func(key string, acc any, at time.Time) Message,
+) *KStream {
+	name := g.b.next("winagg")
+	g.b.tb.Processor(name, func() Processor {
+		return &windowedAggregator{window: window, init: init, agg: agg, emit: emit, store: NewMemStore()}
+	}, g.node)
+	return &KStream{b: g.b, node: name}
+}
+
+// windowedAggregator is the stateful processor behind WindowedAggregate.
+type windowedAggregator struct {
+	window time.Duration
+	init   func() any
+	agg    func(string, Message, any) any
+	emit   func(string, any, time.Time) Message
+	store  KeyValueStore
+	ctx    ProcessorContext
+	cancel func()
+}
+
+var _ Processor = (*windowedAggregator)(nil)
+
+func (w *windowedAggregator) Init(ctx ProcessorContext) error {
+	w.ctx = ctx
+	w.cancel = ctx.Schedule(w.window, w.flush)
+	return nil
+}
+
+func (w *windowedAggregator) Process(msg Message) error {
+	key := string(msg.Key)
+	acc, ok := w.store.Get(key)
+	if !ok {
+		acc = w.init()
+	}
+	w.store.Put(key, w.agg(key, msg, acc))
+	return nil
+}
+
+func (w *windowedAggregator) flush(now time.Time) {
+	for _, key := range w.store.Keys() {
+		acc, _ := w.store.Get(key)
+		w.ctx.Forward(w.emit(key, acc, now))
+	}
+	w.store.Clear()
+}
+
+func (w *windowedAggregator) Close() error {
+	if w.cancel != nil {
+		w.cancel()
+	}
+	// Emit the final partial window so shutdown loses nothing.
+	if w.ctx != nil {
+		w.flush(w.ctx.Now())
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package streams
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+)
+
+func runDSL(t *testing.T, b *mq.Broker, sb *StreamBuilder, appID string) *Runtime {
+	t.Helper()
+	topo, err := sb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rt, err := NewRuntime(b, topo, appID, WithPollWait(time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rt.Stop() })
+	return rt
+}
+
+func TestDSLFilterMap(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		Filter(func(m Message) bool { return m.Value[0]%2 == 0 }).
+		Map(func(m Message) Message { return Message{Key: m.Key, Value: []byte{m.Value[0] * 10}} }).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	p := mq.NewProducer(b)
+	for i := byte(0); i < 6; i++ {
+		p.Send("in", nil, []byte{i})
+	}
+	recs := drain(t, b, "out", 3, 2*time.Second)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3 (evens only)", len(recs))
+	}
+	sum := 0
+	for _, r := range recs {
+		sum += int(r.Value[0])
+	}
+	if sum != 0+20+40 {
+		t.Fatalf("mapped values sum = %d, want 60", sum)
+	}
+}
+
+func TestDSLFlatMap(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		FlatMap(func(m Message) []Message {
+			n := int(m.Value[0])
+			out := make([]Message, n)
+			for i := range out {
+				out[i] = Message{Value: []byte{byte(i)}}
+			}
+			return out
+		}).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	mq.NewProducer(b).Send("in", nil, []byte{4})
+	recs := drain(t, b, "out", 4, 2*time.Second)
+	if len(recs) != 4 {
+		t.Fatalf("FlatMap emitted %d, want 4", len(recs))
+	}
+}
+
+func TestDSLPeekDoesNotMutate(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	var mu sync.Mutex
+	seen := 0
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		Peek(func(Message) { mu.Lock(); seen++; mu.Unlock() }).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	mq.NewProducer(b).Send("in", nil, []byte("x"))
+	recs := drain(t, b, "out", 1, 2*time.Second)
+	if len(recs) != 1 || string(recs[0].Value) != "x" {
+		t.Fatalf("Peek altered the stream: %v", recs)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != 1 {
+		t.Fatalf("Peek saw %d messages, want 1", seen)
+	}
+}
+
+func TestDSLMerge(t *testing.T) {
+	b := buildBroker(t, "in1", "in2", "out")
+	sb := NewStreamBuilder()
+	s1 := sb.Stream("in1")
+	s2 := sb.Stream("in2")
+	s1.Merge(s2).To("out")
+	runDSL(t, b, sb, "app")
+
+	p := mq.NewProducer(b)
+	p.Send("in1", nil, []byte("a"))
+	p.Send("in2", nil, []byte("b"))
+	recs := drain(t, b, "out", 2, 2*time.Second)
+	if len(recs) != 2 {
+		t.Fatalf("merged %d records, want 2", len(recs))
+	}
+}
+
+func TestDSLWindowedAggregateCountsPerKey(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		GroupByKey().
+		WindowedAggregate(
+			20*time.Millisecond,
+			func() any { return 0 },
+			func(_ string, _ Message, acc any) any { return acc.(int) + 1 },
+			func(key string, acc any, _ time.Time) Message {
+				return Message{Key: []byte(key), Value: []byte(strconv.Itoa(acc.(int)))}
+			},
+		).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 6; i++ {
+		p.Send("in", []byte("a"), []byte("x"))
+	}
+	for i := 0; i < 2; i++ {
+		p.Send("in", []byte("b"), []byte("x"))
+	}
+
+	// Counts may split across windows; totals per key must come out exact.
+	counts := map[string]int{}
+	deadline := time.Now().Add(2 * time.Second)
+	c, _ := mq.NewConsumer(b, "out")
+	defer c.Close()
+	for time.Now().Before(deadline) && (counts["a"] < 6 || counts["b"] < 2) {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		recs, err := c.Poll(ctx, 16)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for _, r := range recs {
+			n, _ := strconv.Atoi(string(r.Value))
+			counts[string(r.Key)] += n
+		}
+	}
+	if counts["a"] != 6 || counts["b"] != 2 {
+		t.Fatalf("windowed counts = %v, want a:6 b:2", counts)
+	}
+}
+
+func TestDSLWindowedAggregateSum(t *testing.T) {
+	// The root's "computation engine" pattern from §IV-B: windowed SUM per
+	// key over float payloads.
+	b := buildBroker(t, "in", "out")
+	encode := func(v float64) []byte {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		return buf[:]
+	}
+	decode := func(p []byte) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(p))
+	}
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		GroupByKey().
+		WindowedAggregate(
+			20*time.Millisecond,
+			func() any { return 0.0 },
+			func(_ string, m Message, acc any) any { return acc.(float64) + decode(m.Value) },
+			func(key string, acc any, _ time.Time) Message {
+				return Message{Key: []byte(key), Value: encode(acc.(float64))}
+			},
+		).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	p := mq.NewProducer(b)
+	want := 0.0
+	for i := 1; i <= 10; i++ {
+		p.Send("in", []byte("sensor"), encode(float64(i)))
+		want += float64(i)
+	}
+	got := 0.0
+	c, _ := mq.NewConsumer(b, "out")
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && got < want {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		recs, err := c.Poll(ctx, 16)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for _, r := range recs {
+			got += decode(r.Value)
+		}
+	}
+	if got != want {
+		t.Fatalf("windowed SUM = %g, want %g", got, want)
+	}
+}
+
+func TestDSLProcessEscapeHatch(t *testing.T) {
+	// The paper's sampling module pattern: a custom low-level processor
+	// inside a DSL chain.
+	b := buildBroker(t, "in", "out")
+	sb := NewStreamBuilder()
+	sb.Stream("in").
+		Process(func() Processor {
+			return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+				ctx.Forward(Message{Value: append([]byte("proc:"), msg.Value...)})
+				return nil
+			})
+		}).
+		To("out")
+	runDSL(t, b, sb, "app")
+
+	mq.NewProducer(b).Send("in", nil, []byte("x"))
+	recs := drain(t, b, "out", 1, 2*time.Second)
+	if len(recs) != 1 || string(recs[0].Value) != "proc:x" {
+		t.Fatalf("custom processor output = %q", recs)
+	}
+}
+
+func TestDSLChainsCompileToValidTopology(t *testing.T) {
+	sb := NewStreamBuilder()
+	s := sb.Stream("a")
+	s.Filter(func(Message) bool { return true }).To("x")
+	s.Map(func(m Message) Message { return m }).To("y") // fan-out from one stream
+	topo, err := sb.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(topo.Sources()) != 1 {
+		t.Fatalf("sources = %v", topo.Sources())
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put("b", 2)
+	s.Put("a", 1)
+	if keys := s.Keys(); len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("Keys = %v, want sorted [a b]", keys)
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Delete did not remove key")
+	}
+	s.Clear()
+	if len(s.Keys()) != 0 {
+		t.Fatal("Clear left keys")
+	}
+}
+
+func TestDSLUniqueNodeNames(t *testing.T) {
+	sb := NewStreamBuilder()
+	names := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		s := sb.Stream(fmt.Sprintf("t%d", i))
+		if names[s.node] {
+			t.Fatalf("duplicate generated name %s", s.node)
+		}
+		names[s.node] = true
+	}
+}

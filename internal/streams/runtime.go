@@ -1,0 +1,330 @@
+package streams
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/vclock"
+)
+
+// Runtime executes a Topology against a broker: one pump goroutine polls the
+// topology's source topics, pushes each record synchronously through the
+// DAG, and fires punctuations when they come due. It models a single Kafka
+// Streams instance on one edge node.
+type Runtime struct {
+	broker    *mq.Broker
+	topo      *Topology
+	appID     string
+	clock     vclock.Clock
+	pollBatch int
+	pollWait  time.Duration
+
+	consumers map[string]*mq.Consumer // source name → consumer
+	producer  *mq.Producer
+	contexts  map[string]*nodeContext
+	instances map[string]Processor
+
+	mu      sync.Mutex
+	puncts  []*punctuation
+	started bool
+	stopped bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+type punctuation struct {
+	interval  time.Duration
+	next      time.Time
+	fn        func(now time.Time)
+	cancelled bool
+}
+
+// RuntimeOption customizes a Runtime.
+type RuntimeOption func(*Runtime)
+
+// WithClock overrides the runtime clock (default wall clock).
+func WithClock(c vclock.Clock) RuntimeOption {
+	return func(r *Runtime) { r.clock = c }
+}
+
+// WithPollBatch sets the per-poll record cap (default 256).
+func WithPollBatch(n int) RuntimeOption {
+	return func(r *Runtime) {
+		if n > 0 {
+			r.pollBatch = n
+		}
+	}
+}
+
+// WithPollWait bounds how long the pump blocks waiting for records before
+// re-checking punctuations (default 10ms).
+func WithPollWait(d time.Duration) RuntimeOption {
+	return func(r *Runtime) {
+		if d > 0 {
+			r.pollWait = d
+		}
+	}
+}
+
+// NewRuntime prepares a runtime for topo. appID namespaces the consumer
+// groups, so multiple runtimes with distinct IDs each receive the full
+// stream, while runtimes sharing an ID split partitions like a Kafka
+// Streams application scaled horizontally.
+func NewRuntime(broker *mq.Broker, topo *Topology, appID string, opts ...RuntimeOption) (*Runtime, error) {
+	r := &Runtime{
+		broker:    broker,
+		topo:      topo,
+		appID:     appID,
+		clock:     vclock.WallClock{},
+		pollBatch: 256,
+		pollWait:  10 * time.Millisecond,
+		consumers: make(map[string]*mq.Consumer),
+		contexts:  make(map[string]*nodeContext),
+		instances: make(map[string]Processor),
+		producer:  mq.NewProducer(broker),
+		done:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+
+	for _, name := range topo.order {
+		n := topo.nodes[name]
+		switch n.kind {
+		case kindSource:
+			c, err := mq.NewGroupConsumer(broker, n.topic, appID+"-"+name)
+			if err != nil {
+				return nil, fmt.Errorf("streams: source %q: %w", name, err)
+			}
+			r.consumers[name] = c
+		case kindProcessor:
+			r.instances[name] = n.supplier()
+		}
+		r.contexts[name] = &nodeContext{rt: r, node: n}
+	}
+	return r, nil
+}
+
+// nodeContext implements ProcessorContext for one topology node.
+type nodeContext struct {
+	rt   *Runtime
+	node *node
+}
+
+var _ ProcessorContext = (*nodeContext)(nil)
+
+func (c *nodeContext) NodeName() string { return c.node.name }
+func (c *nodeContext) Now() time.Time   { return c.rt.clock.Now() }
+
+func (c *nodeContext) Forward(msg Message) {
+	for _, child := range c.node.children {
+		if err := c.rt.dispatch(child, msg); err != nil {
+			c.rt.fail(err)
+		}
+	}
+}
+
+func (c *nodeContext) Schedule(interval time.Duration, fn func(now time.Time)) func() {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	p := &punctuation{interval: interval, next: c.rt.clock.Now().Add(interval), fn: fn}
+	c.rt.mu.Lock()
+	c.rt.puncts = append(c.rt.puncts, p)
+	c.rt.mu.Unlock()
+	return func() {
+		c.rt.mu.Lock()
+		p.cancelled = true
+		c.rt.mu.Unlock()
+	}
+}
+
+// dispatch routes one message into the node named name.
+func (r *Runtime) dispatch(name string, msg Message) error {
+	n := r.topo.nodes[name]
+	switch n.kind {
+	case kindProcessor:
+		return r.instances[name].Process(msg)
+	case kindSink:
+		_, _, err := r.producer.Send(n.topic, msg.Key, msg.Value)
+		return err
+	default:
+		return fmt.Errorf("streams: cannot dispatch into source %q", name)
+	}
+}
+
+// Start initializes all processors and launches the pump goroutine.
+func (r *Runtime) Start() error {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return errors.New("streams: runtime already started")
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	for _, name := range r.topo.order {
+		if p, ok := r.instances[name]; ok {
+			if err := p.Init(r.contexts[name]); err != nil {
+				return fmt.Errorf("streams: init %q: %w", name, err)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go r.pump(ctx)
+	return nil
+}
+
+// pump is the single processing loop.
+func (r *Runtime) pump(ctx context.Context) {
+	defer close(r.done)
+	sources := r.topo.Sources()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		r.firePunctuations()
+
+		progressed := false
+		for _, src := range sources {
+			recs, err := r.consumers[src].TryPoll(r.pollBatch)
+			if err != nil {
+				if !errors.Is(err, mq.ErrClosed) {
+					r.fail(err)
+				}
+				return
+			}
+			for _, rec := range recs {
+				msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts}
+				for _, child := range r.topo.nodes[src].children {
+					if err := r.dispatch(child, msg); err != nil {
+						r.fail(err)
+						return
+					}
+				}
+			}
+			if len(recs) > 0 {
+				progressed = true
+			}
+		}
+		if r.failed() {
+			return
+		}
+		if !progressed {
+			// Idle: nap briefly, bounded by the nearest punctuation.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(r.idleWait()):
+			}
+		}
+	}
+}
+
+func (r *Runtime) idleWait() time.Duration {
+	wait := r.pollWait
+	r.mu.Lock()
+	now := r.clock.Now()
+	for _, p := range r.puncts {
+		if p.cancelled {
+			continue
+		}
+		if d := p.next.Sub(now); d < wait {
+			wait = d
+		}
+	}
+	r.mu.Unlock()
+	if wait < 0 {
+		wait = 0
+	}
+	return wait
+}
+
+func (r *Runtime) firePunctuations() {
+	now := r.clock.Now()
+	r.mu.Lock()
+	var due []*punctuation
+	live := r.puncts[:0]
+	for _, p := range r.puncts {
+		if p.cancelled {
+			continue
+		}
+		if !now.Before(p.next) {
+			due = append(due, p)
+			p.next = now.Add(p.interval)
+		}
+		live = append(live, p)
+	}
+	r.puncts = live
+	r.mu.Unlock()
+	for _, p := range due {
+		p.fn(now)
+	}
+}
+
+func (r *Runtime) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runtime) failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err != nil
+}
+
+// Stop shuts the pump down, closes processors and consumers, and waits.
+// It is idempotent.
+func (r *Runtime) Stop() error {
+	r.mu.Lock()
+	if !r.started || r.stopped {
+		r.mu.Unlock()
+		return r.err
+	}
+	r.stopped = true
+	r.mu.Unlock()
+
+	r.cancel()
+	<-r.done
+	for name, p := range r.instances {
+		if err := p.Close(); err != nil {
+			r.fail(fmt.Errorf("streams: close %q: %w", name, err))
+		}
+	}
+	for _, c := range r.consumers {
+		c.Close()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Lag returns the total number of records waiting in this runtime's source
+// topics (0 when fully caught up). Drain logic uses it to detect quiescence.
+func (r *Runtime) Lag() int64 {
+	var lag int64
+	for _, c := range r.consumers {
+		lag += c.Lag()
+	}
+	return lag
+}
+
+// Done is closed when the pump goroutine exits.
+func (r *Runtime) Done() <-chan struct{} { return r.done }
+
+// Err returns the first error the runtime hit, if any.
+func (r *Runtime) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

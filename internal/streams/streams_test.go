@@ -1,0 +1,364 @@
+package streams
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+)
+
+func buildBroker(t *testing.T, topics ...string) *mq.Broker {
+	t.Helper()
+	b := mq.NewBroker()
+	for _, name := range topics {
+		if _, err := b.CreateTopic(name, 2); err != nil {
+			t.Fatalf("CreateTopic(%q): %v", name, err)
+		}
+	}
+	return b
+}
+
+func drain(t *testing.T, b *mq.Broker, topic string, want int, timeout time.Duration) []mq.Record {
+	t.Helper()
+	c, err := mq.NewConsumer(b, topic)
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(timeout)
+	var out []mq.Record
+	for len(out) < want && time.Now().Before(deadline) {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		recs, err := c.Poll(ctx, want)
+		cancel()
+		if err != nil {
+			break
+		}
+		out = append(out, recs...)
+	}
+	return out
+}
+
+func TestBuilderValidation(t *testing.T) {
+	_, err := NewTopology().Build()
+	if !errors.Is(err, ErrEmptyTopology) {
+		t.Fatalf("empty: err = %v, want ErrEmptyTopology", err)
+	}
+
+	_, err = NewTopology().Source("s", "t").Source("s", "t").Build()
+	if !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate: err = %v, want ErrDuplicateNode", err)
+	}
+
+	_, err = NewTopology().Source("s", "t").Sink("k", "out", "ghost").Build()
+	if !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("unknown parent: err = %v, want ErrUnknownParent", err)
+	}
+
+	_, err = NewTopology().Source("s", "t").Sink("k", "out").Build()
+	if !errors.Is(err, ErrNoParents) {
+		t.Fatalf("orphan sink: err = %v, want ErrNoParents", err)
+	}
+}
+
+func TestSourceToSinkPassthrough(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	topo, err := NewTopology().
+		Source("src", "in").
+		Sink("snk", "out", "src").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	rt, err := NewRuntime(b, topo, "app")
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer rt.Stop()
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 10; i++ {
+		p.Send("in", []byte{byte(i)}, []byte{byte(i)})
+	}
+	recs := drain(t, b, "out", 10, 2*time.Second)
+	if len(recs) != 10 {
+		t.Fatalf("sink received %d records, want 10", len(recs))
+	}
+}
+
+func TestProcessorTransformsAndForwards(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	double := func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			ctx.Forward(Message{Key: msg.Key, Value: append(msg.Value, msg.Value...), Ts: msg.Ts})
+			return nil
+		})
+	}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("double", double, "src").
+		Sink("snk", "out", "double").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	rt.Start()
+	defer rt.Stop()
+
+	mq.NewProducer(b).Send("in", nil, []byte("ab"))
+	recs := drain(t, b, "out", 1, 2*time.Second)
+	if len(recs) != 1 || !bytes.Equal(recs[0].Value, []byte("abab")) {
+		t.Fatalf("got %q, want \"abab\"", recs)
+	}
+}
+
+func TestFanOutToMultipleChildren(t *testing.T) {
+	b := buildBroker(t, "in", "out1", "out2")
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Sink("s1", "out1", "src").
+		Sink("s2", "out2", "src").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	rt.Start()
+	defer rt.Stop()
+
+	mq.NewProducer(b).Send("in", nil, []byte("x"))
+	if got := drain(t, b, "out1", 1, 2*time.Second); len(got) != 1 {
+		t.Fatalf("out1 got %d records, want 1", len(got))
+	}
+	if got := drain(t, b, "out2", 1, 2*time.Second); len(got) != 1 {
+		t.Fatalf("out2 got %d records, want 1", len(got))
+	}
+}
+
+func TestChainedProcessors(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	appendByte := func(tag byte) func() Processor {
+		return func() Processor {
+			return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+				ctx.Forward(Message{Value: append(msg.Value, tag)})
+				return nil
+			})
+		}
+	}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("p1", appendByte('1'), "src").
+		Processor("p2", appendByte('2'), "p1").
+		Sink("snk", "out", "p2").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	rt.Start()
+	defer rt.Stop()
+
+	mq.NewProducer(b).Send("in", nil, []byte("x"))
+	recs := drain(t, b, "out", 1, 2*time.Second)
+	if len(recs) != 1 || string(recs[0].Value) != "x12" {
+		t.Fatalf("got %q, want \"x12\"", recs)
+	}
+}
+
+func TestProcessorErrorStopsRuntime(t *testing.T) {
+	b := buildBroker(t, "in")
+	boom := errors.New("boom")
+	failing := func() Processor {
+		return NewProcessorFunc(func(ctx ProcessorContext, msg Message) error {
+			return boom
+		})
+	}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("bad", failing, "src").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	rt.Start()
+
+	mq.NewProducer(b).Send("in", nil, []byte("x"))
+	select {
+	case <-rt.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("runtime did not stop on processor error")
+	}
+	if err := rt.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop err = %v, want boom", err)
+	}
+}
+
+type punctuatingProcessor struct {
+	mu     sync.Mutex
+	fires  int
+	cancel func()
+}
+
+func (p *punctuatingProcessor) Init(ctx ProcessorContext) error {
+	p.cancel = ctx.Schedule(10*time.Millisecond, func(now time.Time) {
+		p.mu.Lock()
+		p.fires++
+		p.mu.Unlock()
+	})
+	return nil
+}
+func (p *punctuatingProcessor) Process(Message) error { return nil }
+func (p *punctuatingProcessor) Close() error          { return nil }
+
+func (p *punctuatingProcessor) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fires
+}
+
+func TestPunctuationFiresPeriodically(t *testing.T) {
+	b := buildBroker(t, "in")
+	proc := &punctuatingProcessor{}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("tick", func() Processor { return proc }, "src").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt.Start()
+	defer rt.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for proc.count() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if proc.count() < 3 {
+		t.Fatalf("punctuation fired %d times in 2s, want >= 3", proc.count())
+	}
+}
+
+func TestPunctuationCancel(t *testing.T) {
+	b := buildBroker(t, "in")
+	proc := &punctuatingProcessor{}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("tick", func() Processor { return proc }, "src").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt.Start()
+	defer rt.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for proc.count() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	proc.cancel()
+	n := proc.count()
+	time.Sleep(50 * time.Millisecond)
+	if proc.count() > n+1 { // one in-flight fire is tolerated
+		t.Fatalf("punctuation kept firing after cancel: %d -> %d", n, proc.count())
+	}
+}
+
+func TestStopIsIdempotentAndStopsPump(t *testing.T) {
+	b := buildBroker(t, "in")
+	topo, _ := NewTopology().Source("src", "in").Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	if err := rt.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	select {
+	case <-rt.Done():
+	default:
+		t.Fatal("pump still running after Stop")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	b := buildBroker(t, "in")
+	topo, _ := NewTopology().Source("src", "in").Build()
+	rt, _ := NewRuntime(b, topo, "app")
+	rt.Start()
+	defer rt.Stop()
+	if err := rt.Start(); err == nil {
+		t.Fatal("second Start succeeded, want error")
+	}
+}
+
+func TestTwoRuntimesDistinctAppIDsBothSeeStream(t *testing.T) {
+	b := buildBroker(t, "in", "outA", "outB")
+	mkTopo := func(out string) *Topology {
+		topo, _ := NewTopology().Source("src", "in").Sink("snk", out, "src").Build()
+		return topo
+	}
+	rtA, _ := NewRuntime(b, mkTopo("outA"), "appA")
+	rtB, _ := NewRuntime(b, mkTopo("outB"), "appB")
+	rtA.Start()
+	rtB.Start()
+	defer rtA.Stop()
+	defer rtB.Stop()
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 6; i++ {
+		p.Send("in", []byte{byte(i)}, []byte{byte(i)})
+	}
+	if got := drain(t, b, "outA", 6, 2*time.Second); len(got) != 6 {
+		t.Fatalf("appA saw %d records, want 6", len(got))
+	}
+	if got := drain(t, b, "outB", 6, 2*time.Second); len(got) != 6 {
+		t.Fatalf("appB saw %d records, want 6", len(got))
+	}
+}
+
+func TestSharedAppIDSplitsPartitions(t *testing.T) {
+	b := buildBroker(t, "in", "out")
+	mkTopo := func() *Topology {
+		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
+		return topo
+	}
+	rt1, _ := NewRuntime(b, mkTopo(), "shared")
+	rt2, _ := NewRuntime(b, mkTopo(), "shared")
+	rt1.Start()
+	rt2.Start()
+	defer rt1.Stop()
+	defer rt2.Stop()
+
+	p := mq.NewProducer(b)
+	const n = 40
+	for i := 0; i < n; i++ {
+		p.Send("in", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	recs := drain(t, b, "out", n, 2*time.Second)
+	if len(recs) != n {
+		t.Fatalf("horizontally-scaled app emitted %d records, want exactly %d (no duplicates)", len(recs), n)
+	}
+}
+
+func BenchmarkPassthroughPipeline(b *testing.B) {
+	br := mq.NewBroker()
+	br.CreateTopic("in", 1, mq.WithRetention(4096))
+	br.CreateTopic("out", 1, mq.WithRetention(4096))
+	topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
+	rt, _ := NewRuntime(br, topo, "bench")
+	rt.Start()
+	defer rt.Stop()
+	sinkDrain, _ := mq.NewGroupConsumer(br, "out", "bench-drain")
+	defer sinkDrain.Close()
+	p := mq.NewProducer(br)
+	val := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Send("in", nil, val); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			for sinkDrain.Lag() > 0 {
+				sinkDrain.TryPoll(256)
+			}
+		}
+	}
+}

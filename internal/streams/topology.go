@@ -1,0 +1,183 @@
+// Package streams is a miniature stream-processing library over the mq
+// broker, standing in for the Kafka Streams library [16] the ApproxIoT
+// prototype used. It provides the two APIs the paper's implementation
+// needed:
+//
+//   - a topology builder (the "High-Level Streams DSL"): sources that
+//     consume topics, processors wired into a DAG, and sinks that produce
+//     into topics; and
+//   - a low-level Processor contract (the "Low-Level Processor API") with
+//     Forward for emitting downstream and punctuation for interval-driven
+//     work — which is exactly how the sampling module flushes a window.
+//
+// One Runtime corresponds to one logical node of the edge tree: a single
+// pump goroutine polls the node's sources, pushes records through the DAG,
+// and fires due punctuations, mirroring a Kafka Streams task thread.
+package streams
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Message is the unit that flows through a topology.
+type Message struct {
+	Key   []byte
+	Value []byte
+	Ts    time.Time
+}
+
+// Processor is the low-level operator contract. Implementations are owned
+// by a single Runtime pump goroutine: Process and punctuation callbacks are
+// never invoked concurrently.
+type Processor interface {
+	// Init is called once before any message, with the node's context.
+	Init(ctx ProcessorContext) error
+	// Process handles one message. Returning an error stops the runtime.
+	Process(msg Message) error
+	// Close is called once during shutdown, after the last message.
+	Close() error
+}
+
+// ProcessorContext is the API a Processor uses to interact with its node.
+type ProcessorContext interface {
+	// Forward emits a message to every downstream child of this node.
+	Forward(msg Message)
+	// Schedule registers a punctuation: fn fires every interval on the
+	// runtime's clock until the runtime stops or cancel is called.
+	Schedule(interval time.Duration, fn func(now time.Time)) (cancel func())
+	// NodeName returns the topology name of this processor.
+	NodeName() string
+	// Now returns the runtime's current time.
+	Now() time.Time
+}
+
+// ProcessorFunc adapts a function to the Processor interface for stateless
+// operators.
+type ProcessorFunc func(ctx ProcessorContext, msg Message) error
+
+type funcProcessor struct {
+	fn  ProcessorFunc
+	ctx ProcessorContext
+}
+
+// NewProcessorFunc wraps fn as a Processor.
+func NewProcessorFunc(fn ProcessorFunc) Processor { return &funcProcessor{fn: fn} }
+
+func (p *funcProcessor) Init(ctx ProcessorContext) error { p.ctx = ctx; return nil }
+func (p *funcProcessor) Process(msg Message) error       { return p.fn(p.ctx, msg) }
+func (p *funcProcessor) Close() error                    { return nil }
+
+// Errors returned by the topology builder.
+var (
+	ErrDuplicateNode = errors.New("streams: duplicate node name")
+	ErrUnknownParent = errors.New("streams: unknown parent node")
+	ErrEmptyTopology = errors.New("streams: topology has no sources")
+	ErrNoParents     = errors.New("streams: node needs at least one parent")
+)
+
+type nodeKind int
+
+const (
+	kindSource nodeKind = iota + 1
+	kindProcessor
+	kindSink
+)
+
+type node struct {
+	name     string
+	kind     nodeKind
+	topic    string // sources and sinks
+	supplier func() Processor
+	parents  []string
+	children []string
+}
+
+// Topology is an immutable processing DAG built with NewTopology. Parents
+// must be declared before children, which structurally rules out cycles.
+type Topology struct {
+	nodes map[string]*node
+	order []string // declaration order (a topological order)
+}
+
+// TopologyBuilder accumulates nodes; Build validates and freezes them.
+type TopologyBuilder struct {
+	t   *Topology
+	err error
+}
+
+// NewTopology returns an empty builder.
+func NewTopology() *TopologyBuilder {
+	return &TopologyBuilder{t: &Topology{nodes: make(map[string]*node)}}
+}
+
+func (b *TopologyBuilder) add(n *node) *TopologyBuilder {
+	if b.err != nil {
+		return b
+	}
+	if _, ok := b.t.nodes[n.name]; ok {
+		b.err = fmt.Errorf("%w: %q", ErrDuplicateNode, n.name)
+		return b
+	}
+	if n.kind != kindSource && len(n.parents) == 0 {
+		b.err = fmt.Errorf("%w: %q", ErrNoParents, n.name)
+		return b
+	}
+	for _, p := range n.parents {
+		parent, ok := b.t.nodes[p]
+		if !ok {
+			b.err = fmt.Errorf("%w: %q (child %q)", ErrUnknownParent, p, n.name)
+			return b
+		}
+		parent.children = append(parent.children, n.name)
+	}
+	b.t.nodes[n.name] = n
+	b.t.order = append(b.t.order, n.name)
+	return b
+}
+
+// Source adds a node that consumes topic and forwards each record downstream.
+func (b *TopologyBuilder) Source(name, topic string) *TopologyBuilder {
+	return b.add(&node{name: name, kind: kindSource, topic: topic})
+}
+
+// Processor adds an operator node fed by the named parents. supplier is
+// invoked once per Runtime to create the instance.
+func (b *TopologyBuilder) Processor(name string, supplier func() Processor, parents ...string) *TopologyBuilder {
+	return b.add(&node{name: name, kind: kindProcessor, supplier: supplier, parents: parents})
+}
+
+// Sink adds a node that produces every received message into topic.
+func (b *TopologyBuilder) Sink(name, topic string, parents ...string) *TopologyBuilder {
+	return b.add(&node{name: name, kind: kindSink, topic: topic, parents: parents})
+}
+
+// Build validates the topology.
+func (b *TopologyBuilder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	hasSource := false
+	for _, n := range b.t.nodes {
+		if n.kind == kindSource {
+			hasSource = true
+			break
+		}
+	}
+	if !hasSource {
+		return nil, ErrEmptyTopology
+	}
+	return b.t, nil
+}
+
+// Sources returns the names of all source nodes in declaration order.
+func (t *Topology) Sources() []string {
+	var out []string
+	for _, name := range t.order {
+		if t.nodes[name].kind == kindSource {
+			out = append(out, name)
+		}
+	}
+	return out
+}

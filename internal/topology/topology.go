@@ -1,0 +1,141 @@
+// Package topology describes the logical edge-computing tree of Figure 1:
+// IoT sources at the bottom, one or more layers of sampling nodes, and a
+// single root (datacenter) node where queries run. A TreeSpec is pure
+// configuration; the core package instantiates it into live or simulated
+// pipelines.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// LayerSpec describes one layer of sampling nodes and the WAN links feeding
+// it from below.
+type LayerSpec struct {
+	// Name labels the layer ("edge1", "root", ...).
+	Name string
+	// Nodes is the number of computing nodes in this layer.
+	Nodes int
+	// LinkRTT is the round-trip time of the links from the layer below
+	// (or from the sources, for the first layer) into this layer.
+	LinkRTT time.Duration
+	// LinkBandwidth is the capacity of those links in bits/second
+	// (0 = unlimited).
+	LinkBandwidth float64
+}
+
+// TreeSpec is the full logical tree.
+type TreeSpec struct {
+	// Sources is the number of IoT source nodes producing sub-streams.
+	Sources int
+	// Layers lists the computing layers bottom-up; the last layer is the
+	// root and must contain exactly one node.
+	Layers []LayerSpec
+	// Window is the interval length every node samples over (§III-B).
+	Window time.Duration
+}
+
+// Validation errors.
+var (
+	ErrNoSources   = errors.New("topology: need at least one source")
+	ErrNoLayers    = errors.New("topology: need at least one layer")
+	ErrRootNodes   = errors.New("topology: root layer must have exactly one node")
+	ErrLayerNodes  = errors.New("topology: every layer needs at least one node")
+	ErrFanIn       = errors.New("topology: layer may not have more nodes than the layer below")
+	ErrWindow      = errors.New("topology: window must be positive")
+	ErrDuplicate   = errors.New("topology: duplicate layer name")
+	ErrUnnamedNode = errors.New("topology: layer name must not be empty")
+)
+
+// Validate checks structural soundness.
+func (s TreeSpec) Validate() error {
+	if s.Sources < 1 {
+		return ErrNoSources
+	}
+	if len(s.Layers) == 0 {
+		return ErrNoLayers
+	}
+	if s.Window <= 0 {
+		return ErrWindow
+	}
+	seen := make(map[string]bool, len(s.Layers))
+	below := s.Sources
+	for i, l := range s.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("%w (layer %d)", ErrUnnamedNode, i)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicate, l.Name)
+		}
+		seen[l.Name] = true
+		if l.Nodes < 1 {
+			return fmt.Errorf("%w: %q", ErrLayerNodes, l.Name)
+		}
+		if l.Nodes > below {
+			return fmt.Errorf("%w: %q has %d nodes above %d", ErrFanIn, l.Name, l.Nodes, below)
+		}
+		below = l.Nodes
+	}
+	if s.Layers[len(s.Layers)-1].Nodes != 1 {
+		return ErrRootNodes
+	}
+	return nil
+}
+
+// RootLayer returns the index of the root layer.
+func (s TreeSpec) RootLayer() int { return len(s.Layers) - 1 }
+
+// NodeCount returns the total number of computing nodes in the tree.
+func (s TreeSpec) NodeCount() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += l.Nodes
+	}
+	return n
+}
+
+// ParentIndex maps child index i of a layer with childCount nodes onto its
+// parent in a layer with parentCount nodes, grouping children contiguously:
+// with 8 children and 4 parents, children {0,1}→0, {2,3}→1, and so on.
+func ParentIndex(childCount, parentCount, childIdx int) int {
+	if childCount <= 0 || parentCount <= 0 {
+		return 0
+	}
+	if childIdx < 0 {
+		childIdx = 0
+	}
+	if childIdx >= childCount {
+		childIdx = childCount - 1
+	}
+	return childIdx * parentCount / childCount
+}
+
+// Testbed returns the paper's evaluation deployment (§V-A): 8 source nodes,
+// a 4-node first edge layer (20 ms RTT from the sources), a 2-node second
+// edge layer (40 ms RTT), and the datacenter root (80 ms RTT), all over
+// 1 Gbps links, with the 1-second default window used in Fig. 8.
+func Testbed() TreeSpec {
+	return TreeSpec{
+		Sources: 8,
+		Layers: []LayerSpec{
+			{Name: "edge1", Nodes: 4, LinkRTT: 20 * time.Millisecond, LinkBandwidth: 1e9},
+			{Name: "edge2", Nodes: 2, LinkRTT: 40 * time.Millisecond, LinkBandwidth: 1e9},
+			{Name: "root", Nodes: 1, LinkRTT: 80 * time.Millisecond, LinkBandwidth: 1e9},
+		},
+		Window: time.Second,
+	}
+}
+
+// SingleNode returns the degenerate one-node deployment used for the
+// single-node analysis of §III-C(i): sources feed the root directly.
+func SingleNode(sources int) TreeSpec {
+	return TreeSpec{
+		Sources: sources,
+		Layers: []LayerSpec{
+			{Name: "root", Nodes: 1},
+		},
+		Window: time.Second,
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTestbedMatchesPaperSetup(t *testing.T) {
+	s := Testbed()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Sources != 8 {
+		t.Fatalf("Sources = %d, want 8", s.Sources)
+	}
+	wantNodes := []int{4, 2, 1}
+	wantRTTs := []time.Duration{20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond}
+	if len(s.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(s.Layers))
+	}
+	for i, l := range s.Layers {
+		if l.Nodes != wantNodes[i] {
+			t.Errorf("layer %d nodes = %d, want %d", i, l.Nodes, wantNodes[i])
+		}
+		if l.LinkRTT != wantRTTs[i] {
+			t.Errorf("layer %d RTT = %v, want %v", i, l.LinkRTT, wantRTTs[i])
+		}
+		if l.LinkBandwidth != 1e9 {
+			t.Errorf("layer %d bandwidth = %g, want 1 Gbps", i, l.LinkBandwidth)
+		}
+	}
+	if s.NodeCount() != 7 {
+		t.Fatalf("NodeCount = %d, want 7", s.NodeCount())
+	}
+	if s.RootLayer() != 2 {
+		t.Fatalf("RootLayer = %d, want 2", s.RootLayer())
+	}
+}
+
+func TestSingleNodeValid(t *testing.T) {
+	s := SingleNode(4)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", s.NodeCount())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Testbed()
+	tests := []struct {
+		name   string
+		mutate func(*TreeSpec)
+		want   error
+	}{
+		{"no sources", func(s *TreeSpec) { s.Sources = 0 }, ErrNoSources},
+		{"no layers", func(s *TreeSpec) { s.Layers = nil }, ErrNoLayers},
+		{"zero window", func(s *TreeSpec) { s.Window = 0 }, ErrWindow},
+		{"multi root", func(s *TreeSpec) { s.Layers[2].Nodes = 2 }, ErrRootNodes},
+		{"zero layer nodes", func(s *TreeSpec) { s.Layers[1].Nodes = 0 }, ErrLayerNodes},
+		{"widening layer", func(s *TreeSpec) { s.Layers[1].Nodes = 6 }, ErrFanIn},
+		{"too many edge1", func(s *TreeSpec) { s.Layers[0].Nodes = 16 }, ErrFanIn},
+		{"dup name", func(s *TreeSpec) { s.Layers[1].Name = "edge1" }, ErrDuplicate},
+		{"empty name", func(s *TreeSpec) { s.Layers[0].Name = "" }, ErrUnnamedNode},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			s.Layers = append([]LayerSpec(nil), base.Layers...)
+			tc.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParentIndexContiguousGrouping(t *testing.T) {
+	// 8 children over 4 parents: pairs.
+	wants := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, want := range wants {
+		if got := ParentIndex(8, 4, i); got != want {
+			t.Errorf("ParentIndex(8,4,%d) = %d, want %d", i, got, want)
+		}
+	}
+	// 4 over 2.
+	for i, want := range []int{0, 0, 1, 1} {
+		if got := ParentIndex(4, 2, i); got != want {
+			t.Errorf("ParentIndex(4,2,%d) = %d, want %d", i, got, want)
+		}
+	}
+	// everything into a single root.
+	for i := 0; i < 5; i++ {
+		if got := ParentIndex(5, 1, i); got != 0 {
+			t.Errorf("ParentIndex(5,1,%d) = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestParentIndexUnbalanced(t *testing.T) {
+	// 5 children over 2 parents: {0,1}→0, {2,3,4}→1 (contiguous, monotone).
+	prev := 0
+	for i := 0; i < 5; i++ {
+		p := ParentIndex(5, 2, i)
+		if p < prev {
+			t.Fatalf("ParentIndex not monotone at child %d", i)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("ParentIndex(5,2,%d) = %d out of range", i, p)
+		}
+		prev = p
+	}
+}
+
+func TestParentIndexDegenerateInputs(t *testing.T) {
+	if ParentIndex(0, 4, 0) != 0 || ParentIndex(4, 0, 2) != 0 {
+		t.Fatal("degenerate counts should map to 0")
+	}
+	if got := ParentIndex(4, 2, -1); got != 0 {
+		t.Fatalf("negative child clamped = %d, want 0", got)
+	}
+	if got := ParentIndex(4, 2, 99); got != 1 {
+		t.Fatalf("overflow child clamped = %d, want last parent", got)
+	}
+}
+
+func TestEveryParentGetsAChild(t *testing.T) {
+	for _, tc := range []struct{ children, parents int }{{8, 4}, {4, 2}, {2, 1}, {7, 3}, {10, 10}} {
+		seen := make(map[int]bool)
+		for i := 0; i < tc.children; i++ {
+			seen[ParentIndex(tc.children, tc.parents, i)] = true
+		}
+		if len(seen) != tc.parents {
+			t.Errorf("%d/%d: only %d parents received children", tc.children, tc.parents, len(seen))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC) // ICDCS'18 day one
+
+func TestSimStartsAtGivenInstant(t *testing.T) {
+	s := NewSim(epoch)
+	if got := s.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestSimExecutesInTimestampOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimTieBreaksByScheduleOrder(t *testing.T) {
+	s := NewSim(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("tie-break order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSimClockAdvancesToEventTime(t *testing.T) {
+	s := NewSim(epoch)
+	var at time.Time
+	s.After(42*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if want := epoch.Add(42 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback saw now=%v, want %v", at, want)
+	}
+}
+
+func TestSimPastEventClampsToNow(t *testing.T) {
+	s := NewSim(epoch)
+	fired := false
+	s.At(epoch.Add(-time.Second), func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("past-scheduled event never fired")
+	}
+	if !s.Now().Equal(epoch) {
+		t.Fatalf("clock moved backwards to %v", s.Now())
+	}
+}
+
+func TestSimCascadingEvents(t *testing.T) {
+	s := NewSim(epoch)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 10 {
+			s.After(time.Millisecond, recurse)
+		}
+	}
+	s.After(time.Millisecond, recurse)
+	s.Run()
+	if depth != 10 {
+		t.Fatalf("cascade depth = %d, want 10", depth)
+	}
+	if want := epoch.Add(10 * time.Millisecond); !s.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimRunUntilLeavesLaterEventsQueued(t *testing.T) {
+	s := NewSim(epoch)
+	var fired []string
+	s.After(10*time.Millisecond, func() { fired = append(fired, "early") })
+	s.After(100*time.Millisecond, func() { fired = append(fired, "late") })
+	n := s.RunUntil(epoch.Add(50 * time.Millisecond))
+	if n != 1 || len(fired) != 1 || fired[0] != "early" {
+		t.Fatalf("RunUntil fired %v (n=%d), want only early", fired, n)
+	}
+	if want := epoch.Add(50 * time.Millisecond); !s.Now().Equal(want) {
+		t.Fatalf("now = %v, want deadline %v", s.Now(), want)
+	}
+	if p := s.Pending(); p != 1 {
+		t.Fatalf("Pending() = %d, want 1", p)
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("late event lost: fired=%v", fired)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(epoch)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSimStopAfterFire(t *testing.T) {
+	s := NewSim(epoch)
+	tm := s.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the event fired")
+	}
+}
+
+func TestSimRunForAdvancesRelative(t *testing.T) {
+	s := NewSim(epoch)
+	s.RunFor(time.Second)
+	s.RunFor(time.Second)
+	if want := epoch.Add(2 * time.Second); !s.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimConcurrentScheduling(t *testing.T) {
+	s := NewSim(epoch)
+	var count atomic.Int64
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				s.After(time.Duration(i)*time.Microsecond, func() { count.Add(1) })
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if n := s.Run(); n != 800 {
+		t.Fatalf("Run() = %d, want 800", n)
+	}
+	if count.Load() != 800 {
+		t.Fatalf("count = %d, want 800", count.Load())
+	}
+}
+
+func TestWallClockAfterFires(t *testing.T) {
+	var w WallClock
+	ch := make(chan struct{})
+	w.After(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall-clock timer never fired")
+	}
+}
+
+func TestWallClockNegativeDelayClamped(t *testing.T) {
+	var w WallClock
+	ch := make(chan struct{})
+	w.At(time.Now().Add(-time.Hour), func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("past-deadline wall timer never fired")
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOnOffBurstsAndSilence(t *testing.T) {
+	f := OnOff(time.Second, 0.2, 5)
+	if got := f(0); got != 5 {
+		t.Fatalf("burst phase multiplier = %g, want 5", got)
+	}
+	if got := f(500 * time.Millisecond); got != 0 {
+		t.Fatalf("quiet phase multiplier = %g, want 0", got)
+	}
+	// Next period bursts again.
+	if got := f(1050 * time.Millisecond); got != 5 {
+		t.Fatalf("second period multiplier = %g, want 5", got)
+	}
+}
+
+func TestOnOffDefaultsPreserveMeanRate(t *testing.T) {
+	f := OnOff(time.Second, 0.25, 0) // factor defaults to 1/duty = 4
+	var sum float64
+	const steps = 1000
+	for i := 0; i < steps; i++ {
+		sum += f(time.Duration(i) * time.Millisecond)
+	}
+	if mean := sum / steps; math.Abs(mean-1) > 0.05 {
+		t.Fatalf("mean multiplier = %g, want ~1 (rate-preserving)", mean)
+	}
+}
+
+func TestOnOffDegenerateInputs(t *testing.T) {
+	f := OnOff(0, -1, 2) // period and duty clamped
+	if got := f(0); got <= 0 {
+		t.Fatalf("clamped OnOff returned %g at burst phase", got)
+	}
+}
+
+func TestLongTailedMatchesUniformLongRunRate(t *testing.T) {
+	bursty := LongTailed(3, 500)
+	uniform := GaussianMicro(3, 500)
+	var nb, nu int
+	for i := 0; i < 60; i++ {
+		at := epoch.Add(time.Duration(i) * time.Second)
+		nb += len(bursty.Generate(at, time.Second))
+		nu += len(uniform.Generate(at, time.Second))
+	}
+	if math.Abs(float64(nb)-float64(nu))/float64(nu) > 0.05 {
+		t.Fatalf("long-tailed produced %d items vs uniform %d; long-run rates should match", nb, nu)
+	}
+}
+
+func TestLongTailedIsActuallyBursty(t *testing.T) {
+	g := LongTailed(5, 500)
+	var counts []int
+	for i := 0; i < 40; i++ {
+		counts = append(counts, len(g.Generate(epoch.Add(time.Duration(i)*100*time.Millisecond), 100*time.Millisecond)))
+	}
+	var max, min = 0, 1 << 30
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 3*(min+1) {
+		t.Fatalf("per-100ms counts min=%d max=%d: not bursty", min, max)
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// The paper's four Gaussian sub-streams (§V-A):
+// A(µ=10, σ=5), B(1000, 50), C(10⁴, 500), D(10⁵, 5000).
+var gaussianParams = []Gaussian{
+	{Mu: 10, Sigma: 5},
+	{Mu: 1000, Sigma: 50},
+	{Mu: 10000, Sigma: 500},
+	{Mu: 100000, Sigma: 5000},
+}
+
+// The paper's four Poisson sub-streams (§V-A): λ = 10, 100, 1000, 10⁴.
+var poissonParams = []Poisson{
+	{Lambda: 10},
+	{Lambda: 100},
+	{Lambda: 1000},
+	{Lambda: 10000},
+}
+
+var microNames = []stream.SourceID{"A", "B", "C", "D"}
+
+// GaussianMicro returns the Fig. 5a microbenchmark input: four Gaussian
+// sub-streams, each arriving at perStreamRate items/second.
+func GaussianMicro(seed uint64, perStreamRate float64) *Generator {
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		specs[i] = SubstreamSpec{Source: microNames[i], Rate: perStreamRate, Value: gaussianParams[i]}
+	}
+	return New(seed, specs...)
+}
+
+// PoissonMicro returns the Fig. 5b microbenchmark input: four Poisson
+// sub-streams, each arriving at perStreamRate items/second.
+func PoissonMicro(seed uint64, perStreamRate float64) *Generator {
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		specs[i] = SubstreamSpec{Source: microNames[i], Rate: perStreamRate, Value: poissonParams[i]}
+	}
+	return New(seed, specs...)
+}
+
+// RateSetting is one of Fig. 10's fluctuating-rate configurations, giving
+// the arrival rates of sub-streams A:B:C:D in items/second.
+type RateSetting struct {
+	Name  string
+	Rates [4]float64
+}
+
+// Settings returns the three Fig. 10 settings exactly as printed:
+// Setting1 (50k:25k:12.5k:625), Setting2 (25k each), and Setting3 reversed.
+func Settings() []RateSetting {
+	return []RateSetting{
+		{Name: "Setting1", Rates: [4]float64{50000, 25000, 12500, 625}},
+		{Name: "Setting2", Rates: [4]float64{25000, 25000, 25000, 25000}},
+		{Name: "Setting3", Rates: [4]float64{625, 12500, 25000, 50000}},
+	}
+}
+
+// GaussianSetting returns the Fig. 10a input for one rate setting, scaled by
+// scale (1.0 = the paper's rates; benches scale down to fit laptop runs
+// while keeping the A:B:C:D ratios exact).
+func GaussianSetting(seed uint64, s RateSetting, scale float64) *Generator {
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		specs[i] = SubstreamSpec{Source: microNames[i], Rate: s.Rates[i] * scale, Value: gaussianParams[i]}
+	}
+	return New(seed, specs...)
+}
+
+// PoissonSetting returns the Fig. 10b input for one rate setting.
+func PoissonSetting(seed uint64, s RateSetting, scale float64) *Generator {
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		specs[i] = SubstreamSpec{Source: microNames[i], Rate: s.Rates[i] * scale, Value: poissonParams[i]}
+	}
+	return New(seed, specs...)
+}
+
+// ExtremeSkew returns the Fig. 10c input: Poisson sub-streams with
+// λ = 10, 100, 1000 and 10⁷, where A carries 80% of all items, B 19.89%,
+// C 0.1% and D just 0.01% — the rare-but-enormous sub-stream that makes
+// simple random sampling overestimate wildly.
+func ExtremeSkew(seed uint64, totalRate float64) *Generator {
+	shares := [4]float64{0.80, 0.1989, 0.001, 0.0001}
+	lambdas := [4]float64{10, 100, 1000, 1e7}
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		specs[i] = SubstreamSpec{
+			Source: microNames[i],
+			Rate:   totalRate * shares[i],
+			Value:  Poisson{Lambda: lambdas[i]},
+		}
+	}
+	return New(seed, specs...)
+}
+
+// NYCTaxi returns the §VI-A case-study substitute: zones sub-streams (taxi
+// activity aggregated per dispatch zone, the strata), heterogeneous arrival
+// rates (busy Manhattan zones vs. quiet outer ones, geometrically spaced by
+// rateSkew), heavy-tailed fares (log-normal with a mean around $13, matching
+// January-2013 NYC fares), and a diurnal demand cycle peaking at 19:00.
+// baseRate is the busiest zone's items/second.
+func NYCTaxi(seed uint64, zones int, baseRate float64) *Generator {
+	if zones < 1 {
+		zones = 1
+	}
+	const rateSkew = 0.75 // each zone is 25% quieter than the previous
+	specs := make([]SubstreamSpec, zones)
+	rate := baseRate
+	for i := range specs {
+		specs[i] = SubstreamSpec{
+			Source:   stream.SourceID(fmt.Sprintf("zone-%02d", i)),
+			Rate:     rate,
+			Value:    LogNormal{Mu: 2.4, Sigma: 0.55},
+			Modulate: Diurnal(19, 0.5),
+		}
+		rate *= rateSkew
+		if rate < 0.01 {
+			rate = 0.01
+		}
+	}
+	return New(seed, specs...)
+}
+
+// Brasov pollution channel levels (µg/m³-scale) for the four pollutants the
+// §VI-B query totals; AR(1) keeps them slowly varying ("more stable" than
+// taxi fares, per the paper's explanation of the flatter accuracy curve).
+var pollutants = []struct {
+	name  stream.SourceID
+	level float64
+	sigma float64
+}{
+	{"pm", 35, 1.2},
+	{"co", 5, 0.15},
+	{"so2", 12, 0.4},
+	{"no2", 28, 0.9},
+}
+
+// LongTailed returns the "long-tailed stream" input the paper's §III-A says
+// the algorithm must handle alongside uniform-speed streams: the same four
+// Gaussian sub-streams as GaussianMicro, but each arriving in bursts —
+// 5× the nominal rate for one fifth of every (staggered) period, silent
+// otherwise. Long-run rates match GaussianMicro exactly, so accuracy
+// comparisons between the two are apples-to-apples.
+func LongTailed(seed uint64, perStreamRate float64) *Generator {
+	specs := make([]SubstreamSpec, 4)
+	for i := range specs {
+		period := time.Duration(i+1) * 700 * time.Millisecond // staggered bursts
+		specs[i] = SubstreamSpec{
+			Source:   microNames[i],
+			Rate:     perStreamRate,
+			Value:    gaussianParams[i],
+			Modulate: OnOff(period, 0.2, 5),
+		}
+	}
+	return New(seed, specs...)
+}
+
+// BrasovPollution returns the §VI-B case-study substitute: one sub-stream
+// per pollutant (particulate matter, carbon monoxide, sulfur dioxide,
+// nitrogen dioxide), each fed by sensorsPerChannel sensors reporting every
+// period. The paper's sensors report every 5 minutes; benches compress the
+// period to keep simulated runs short without changing the value process.
+func BrasovPollution(seed uint64, sensorsPerChannel int, periodSeconds float64) *Generator {
+	if sensorsPerChannel < 1 {
+		sensorsPerChannel = 1
+	}
+	if periodSeconds <= 0 {
+		periodSeconds = 300
+	}
+	specs := make([]SubstreamSpec, len(pollutants))
+	for i, p := range pollutants {
+		specs[i] = SubstreamSpec{
+			Source: p.name,
+			Rate:   float64(sensorsPerChannel) / periodSeconds,
+			Value:  &AR1{Level: p.level, Phi: 0.97, Sigma: p.sigma},
+		}
+	}
+	return New(seed, specs...)
+}

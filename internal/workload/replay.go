@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// Source produces the items arriving in [from, from+dt). *Generator is the
+// synthetic implementation; Replay feeds recorded traces (e.g. the real
+// DEBS'15 taxi rides, when available) through the same pipelines.
+type Source interface {
+	Generate(from time.Time, dt time.Duration) []stream.Item
+}
+
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Replay)(nil)
+)
+
+// Replay is a Source backed by a recorded trace. Items are re-timed: the
+// trace's first timestamp maps onto the first Generate call's start, and
+// the original inter-arrival spacing is preserved (optionally compressed).
+type Replay struct {
+	items []stream.Item // sorted by Ts, original timestamps
+	speed float64       // 1 = real time, 2 = twice as fast
+
+	pos    int
+	start  time.Time // re-timed epoch (pinned on first Generate)
+	origin time.Time // trace's first timestamp
+	begun  bool
+}
+
+// ReplayOption customizes a Replay.
+type ReplayOption func(*Replay)
+
+// WithSpeedup compresses the trace's time axis by factor (2 = play twice as
+// fast). Factors <= 0 are ignored.
+func WithSpeedup(factor float64) ReplayOption {
+	return func(r *Replay) {
+		if factor > 0 {
+			r.speed = factor
+		}
+	}
+}
+
+// NewReplay returns a Source replaying the given items. The slice is copied
+// and sorted by timestamp.
+func NewReplay(items []stream.Item, opts ...ReplayOption) *Replay {
+	r := &Replay{items: append([]stream.Item(nil), items...), speed: 1}
+	sort.SliceStable(r.items, func(i, j int) bool { return r.items[i].Ts.Before(r.items[j].Ts) })
+	if len(r.items) > 0 {
+		r.origin = r.items[0].Ts
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Len returns the number of items remaining to replay.
+func (r *Replay) Len() int { return len(r.items) - r.pos }
+
+// Generate implements Source: it emits the trace items whose re-timed
+// instants fall in [from, from+dt), with timestamps rewritten to the
+// replayed clock.
+func (r *Replay) Generate(from time.Time, dt time.Duration) []stream.Item {
+	if !r.begun {
+		r.start = from
+		r.begun = true
+	}
+	end := from.Add(dt)
+	var out []stream.Item
+	for r.pos < len(r.items) {
+		it := r.items[r.pos]
+		elapsed := time.Duration(float64(it.Ts.Sub(r.origin)) / r.speed)
+		at := r.start.Add(elapsed)
+		if !at.Before(end) {
+			break
+		}
+		it.Ts = at
+		out = append(out, it)
+		r.pos++
+	}
+	return out
+}
+
+// ReadCSV parses a trace in the format cmd/genworkload writes —
+// a `source,value,timestamp_ns` header followed by one row per item.
+func ReadCSV(rd io.Reader) ([]stream.Item, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "source" || header[1] != "value" || header[2] != "timestamp_ns" {
+		return nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	var items []stream.Item
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return items, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d value: %w", line, err)
+		}
+		ns, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV line %d timestamp: %w", line, err)
+		}
+		items = append(items, stream.Item{
+			Source: stream.SourceID(rec[0]),
+			Value:  v,
+			Ts:     time.Unix(0, ns).UTC(),
+		})
+	}
+}

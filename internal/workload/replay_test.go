@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+func traceItems() []stream.Item {
+	base := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	return []stream.Item{
+		{Source: "a", Value: 1, Ts: base},
+		{Source: "b", Value: 2, Ts: base.Add(300 * time.Millisecond)},
+		{Source: "a", Value: 3, Ts: base.Add(900 * time.Millisecond)},
+		{Source: "a", Value: 4, Ts: base.Add(2500 * time.Millisecond)},
+	}
+}
+
+func TestReplayPreservesSpacing(t *testing.T) {
+	r := NewReplay(traceItems())
+	first := r.Generate(epoch, time.Second)
+	if len(first) != 3 {
+		t.Fatalf("first second replayed %d items, want 3", len(first))
+	}
+	if !first[0].Ts.Equal(epoch) {
+		t.Fatalf("first item at %v, want re-timed to %v", first[0].Ts, epoch)
+	}
+	if want := epoch.Add(300 * time.Millisecond); !first[1].Ts.Equal(want) {
+		t.Fatalf("second item at %v, want %v", first[1].Ts, want)
+	}
+	second := r.Generate(epoch.Add(time.Second), time.Second)
+	if len(second) != 0 {
+		t.Fatalf("second interval replayed %d items, want 0 (gap in trace)", len(second))
+	}
+	third := r.Generate(epoch.Add(2*time.Second), time.Second)
+	if len(third) != 1 || third[0].Value != 4 {
+		t.Fatalf("third interval = %v, want the t=2.5s item", third)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d items left unplayed", r.Len())
+	}
+}
+
+func TestReplaySpeedup(t *testing.T) {
+	r := NewReplay(traceItems(), WithSpeedup(5)) // 2.5s trace → 0.5s
+	out := r.Generate(epoch, time.Second)
+	if len(out) != 4 {
+		t.Fatalf("sped-up replay emitted %d of 4 items in 1s", len(out))
+	}
+	// Intervals are half-open: an item landing exactly on the boundary
+	// belongs to the next interval.
+	r2 := NewReplay(traceItems(), WithSpeedup(2.5)) // last item at exactly 1.0s
+	if out := r2.Generate(epoch, time.Second); len(out) != 3 {
+		t.Fatalf("boundary item leaked into the closed interval: %d items", len(out))
+	}
+}
+
+func TestReplaySortsUnorderedInput(t *testing.T) {
+	items := traceItems()
+	items[0], items[3] = items[3], items[0] // shuffle
+	r := NewReplay(items)
+	out := r.Generate(epoch, 3*time.Second)
+	for i := 1; i < len(out); i++ {
+		if out[i].Ts.Before(out[i-1].Ts) {
+			t.Fatal("replayed items out of order")
+		}
+	}
+}
+
+func TestReplayEmptyTrace(t *testing.T) {
+	r := NewReplay(nil)
+	if out := r.Generate(epoch, time.Second); len(out) != 0 {
+		t.Fatalf("empty trace produced %v", out)
+	}
+}
+
+func TestReadCSVRoundTrip(t *testing.T) {
+	// The exact format cmd/genworkload writes.
+	csv := strings.Join([]string{
+		"source,value,timestamp_ns",
+		"zone-01,12.5,1357000000000000000",
+		"zone-02,-3,1357000000100000000",
+		"",
+	}, "\n")
+	items, err := ReadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("parsed %d items, want 2", len(items))
+	}
+	if items[0].Source != "zone-01" || items[0].Value != 12.5 {
+		t.Fatalf("item 0 = %+v", items[0])
+	}
+	if items[1].Ts.UnixNano() != 1357000000100000000 {
+		t.Fatalf("item 1 ts = %v", items[1].Ts)
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong header": "a,b,c\nx,1,2\n",
+		"bad value":    "source,value,timestamp_ns\nx,notanumber,2\n",
+		"bad ts":       "source,value,timestamp_ns\nx,1,nanos\n",
+		"wrong fields": "source,value,timestamp_ns\nx,1\n",
+		"empty":        "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReplayFeedsPipeline(t *testing.T) {
+	// A recorded trace must be usable anywhere a Generator is.
+	var src Source = NewReplay(traceItems())
+	out := src.Generate(epoch, 3*time.Second)
+	if len(out) != 4 {
+		t.Fatalf("Source interface replay produced %d items", len(out))
+	}
+}

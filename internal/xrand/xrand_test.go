@@ -1,0 +1,236 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/64 equal draws", same)
+	}
+}
+
+func TestSplitChildrenAreDecorrelated(t *testing.T) {
+	a, b := Split(42, 0), Split(42, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling splits produced %d/64 equal draws", same)
+	}
+}
+
+func TestSplitIsReproducible(t *testing.T) {
+	a, b := Split(42, 3), Split(42, 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split with identical (seed,i) is not reproducible")
+		}
+	}
+}
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 32; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(<0) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(>1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %.4f, want 0.3 +- 0.01", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	tests := []struct {
+		name         string
+		mean, stddev float64
+	}{
+		{"substream A", 10, 5},
+		{"substream B", 1000, 50},
+		{"substream C", 10000, 500},
+		{"substream D", 100000, 5000},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(99)
+			const n = 100000
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				v := r.Normal(tc.mean, tc.stddev)
+				sum += v
+				sumSq += v * v
+			}
+			mean := sum / n
+			sd := math.Sqrt(sumSq/n - mean*mean)
+			if math.Abs(mean-tc.mean) > 4*tc.stddev/math.Sqrt(n) {
+				t.Errorf("mean = %.2f, want %.2f", mean, tc.mean)
+			}
+			if math.Abs(sd-tc.stddev)/tc.stddev > 0.03 {
+				t.Errorf("stddev = %.2f, want %.2f", sd, tc.stddev)
+			}
+		})
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	// Covers both the Knuth branch (λ < 30) and the PTRS branch, including
+	// the paper's Fig. 10c λ = 10^7 sub-stream D.
+	lambdas := []float64{0.5, 3, 10, 29.9, 30, 100, 1000, 10000, 1e7}
+	for _, lambda := range lambdas {
+		r := New(uint64(lambda) + 5)
+		n := 50000
+		if lambda >= 1e6 {
+			n = 20000
+		}
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		// Poisson mean and variance are both λ. Tolerate 5 standard errors.
+		se := math.Sqrt(lambda / float64(n))
+		if math.Abs(mean-lambda) > 5*se+0.01 {
+			t.Errorf("lambda=%g: mean = %.3f, want %.3f", lambda, mean, lambda)
+		}
+		if lambda >= 10 && math.Abs(variance-lambda)/lambda > 0.1 {
+			t.Errorf("lambda=%g: variance = %.3f, want ~%.3f", lambda, variance, lambda)
+		}
+	}
+}
+
+func TestPoissonNonPositiveLambda(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-3); got != 0 {
+		t.Fatalf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestPoissonNeverNegative(t *testing.T) {
+	r := New(77)
+	for _, lambda := range []float64{0.1, 15, 1000} {
+		for i := 0; i < 1000; i++ {
+			if v := r.Poisson(lambda); v < 0 {
+				t.Fatalf("Poisson(%g) = %d < 0", lambda, v)
+			}
+		}
+	}
+}
+
+func TestLogNormalPositiveAndHeavyTailed(t *testing.T) {
+	r := New(5)
+	const n = 50000
+	var max, sum float64
+	for i := 0; i < n; i++ {
+		v := r.LogNormal(2.5, 0.5)
+		if v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %g", v)
+		}
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / n
+	want := math.Exp(2.5 + 0.5*0.5/2) // analytic log-normal mean
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("LogNormal mean = %.3f, want ~%.3f", mean, want)
+	}
+	if max < 3*mean {
+		t.Fatalf("LogNormal max %.2f suspiciously close to mean %.2f: no tail", max, mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("Exp(4) mean = %.4f, want 0.25", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkPoissonSmallLambda(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(10)
+	}
+}
+
+func BenchmarkPoissonHugeLambda(b *testing.B) {
+	// Fig. 10c generates items with λ = 10^7; this must be O(1) per draw.
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(1e7)
+	}
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Normal(1000, 50)
+	}
+}
