@@ -154,6 +154,15 @@ type Config struct {
 	Queries []QueryKind
 	// Confidence defaults to TwoSigma (95%).
 	Confidence Confidence
+	// Partitions is the partition count of every live mq topic (default 1).
+	// Records are keyed by sub-stream, so ordering within a stratum is
+	// preserved at any partition count. Simulated runs ignore it.
+	Partitions int
+	// RootShards sizes the live root consumer group (default 1, clamped to
+	// Partitions). Shards aggregate their partitions independently and are
+	// merged at window close; the Eq. 8 weights keep the merged count
+	// estimate exact at any shard count. Simulated runs ignore it.
+	RootShards int
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -179,6 +188,15 @@ func (c Config) normalize() Config {
 	}
 	if c.Confidence == 0 {
 		c.Confidence = TwoSigma
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.RootShards <= 0 {
+		c.RootShards = 1
+	}
+	if c.RootShards > c.Partitions {
+		c.RootShards = c.Partitions
 	}
 	return c
 }
@@ -235,6 +253,8 @@ func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error
 		Cost:       cfg.cost(),
 		Items:      items,
 		Queries:    cfg.Queries,
+		Partitions: cfg.Partitions,
+		RootShards: cfg.RootShards,
 		Seed:       cfg.Seed,
 		Streaming:  cfg.streaming(),
 	})

@@ -31,6 +31,14 @@ func TestConfigDefaults(t *testing.T) {
 	if c.Confidence != TwoSigma {
 		t.Errorf("default confidence = %v, want TwoSigma", c.Confidence)
 	}
+	if c.Partitions != 1 || c.RootShards != 1 {
+		t.Errorf("default partitions/shards = %d/%d, want 1/1", c.Partitions, c.RootShards)
+	}
+	// RootShards clamps to Partitions rather than erroring at the facade.
+	c = Config{Partitions: 2, RootShards: 8}.normalize()
+	if c.RootShards != 2 {
+		t.Errorf("RootShards = %d, want clamped to Partitions 2", c.RootShards)
+	}
 }
 
 func TestStrategyString(t *testing.T) {
@@ -88,6 +96,21 @@ func TestRunFacadeLive(t *testing.T) {
 	}
 	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
 		t.Fatalf("live count invariant broken: %g vs %d", res.EstimateCount, res.Produced)
+	}
+}
+
+func TestRunFacadePartitioned(t *testing.T) {
+	res, err := Run(Config{Fraction: 0.25, Queries: []QueryKind{Sum, Count},
+		Partitions: 4, RootShards: 4, Seed: 9},
+		gaussianSources(3, 1000), 8000)
+	if err != nil {
+		t.Fatalf("Run partitioned: %v", err)
+	}
+	if res.Produced != 8000 {
+		t.Fatalf("produced = %d, want 8000", res.Produced)
+	}
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("sharded live count invariant broken: %g vs %d", res.EstimateCount, res.Produced)
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/approxiot/approxiot
+
+go 1.21

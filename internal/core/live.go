@@ -42,6 +42,15 @@ type LiveConfig struct {
 	Queries []query.Kind
 	// Streaming forwards per batch without windowing (SRS / native).
 	Streaming bool
+	// Partitions is the partition count of every mq topic (default 1).
+	// Records are keyed by SourceID, so each sub-stream maps to exactly one
+	// partition and per-stratum ordering is preserved.
+	Partitions int
+	// RootShards sizes the root consumer group (default 1, max Partitions).
+	// Each shard runs the root sampling stage over the partitions it owns;
+	// shard outputs are merged at window close, and the Eq. 8 weights make
+	// the merged count estimate exact regardless of the shard count.
+	RootShards int
 	// Seed drives all samplers and generators.
 	Seed uint64
 }
@@ -70,11 +79,6 @@ type LiveResult struct {
 // live-mode errors.
 var ErrNoItems = errors.New("core: LiveConfig.Items must be positive")
 
-// topicName names the mq topic feeding node (layer, idx).
-func topicName(layer, idx int) string {
-	return fmt.Sprintf("layer%d-node%d", layer, idx)
-}
-
 // samplingProcessor adapts a core.Node to the streams.Processor contract:
 // batches arrive as wire-encoded messages, windows flush on punctuation (or
 // immediately in streaming mode).
@@ -84,6 +88,7 @@ type samplingProcessor struct {
 	streaming bool
 	ctx       streams.ProcessorContext
 	cancel    func()
+	scratch   stream.Batch // reused decode buffer; IngestBatch copies out
 }
 
 var _ streams.Processor = (*samplingProcessor)(nil)
@@ -97,11 +102,10 @@ func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 }
 
 func (p *samplingProcessor) Process(msg streams.Message) error {
-	b, err := stream.UnmarshalBatch(msg.Value)
-	if err != nil {
+	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
 		return fmt.Errorf("core: node %s: %w", p.node.ID(), err)
 	}
-	p.node.IngestBatch(b)
+	p.node.IngestBatch(p.scratch)
 	if p.streaming {
 		p.flush()
 	}
@@ -121,19 +125,31 @@ func (p *samplingProcessor) Close() error {
 	return nil
 }
 
-// RunLive executes one live experiment.
+// rootShard is one member of the root consumer group: a private sampling
+// node fed by the partitions the shard owns, merged with its peers at every
+// window close.
+type rootShard struct {
+	mu       sync.Mutex
+	node     *Node
+	consumer *mq.Consumer
+}
+
+// RunLive executes one live experiment against the compiled deployment plan.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
-	if err := cfg.Spec.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid tree spec: %w", err)
+	plan, err := CompilePlan(PlanConfig{
+		Spec:       cfg.Spec,
+		NewSampler: cfg.NewSampler,
+		Cost:       cfg.Cost,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+		Partitions: cfg.Partitions,
+		RootShards: cfg.RootShards,
+	})
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Source == nil {
 		return nil, ErrNoSourceFunc
-	}
-	if cfg.NewSampler == nil {
-		return nil, ErrNoSampler
-	}
-	if cfg.Cost == nil {
-		return nil, ErrNoCost
 	}
 	if cfg.Items <= 0 {
 		return nil, ErrNoItems
@@ -141,91 +157,124 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 50 * time.Millisecond
 	}
-	if len(cfg.Queries) == 0 {
-		cfg.Queries = []query.Kind{query.Sum}
-	}
 
-	spec := cfg.Spec
-	rootLayer := spec.RootLayer()
+	spec := plan.Spec
 	broker := mq.NewBroker()
 	defer broker.Close()
 
-	// One topic per computing node, created before any runtime subscribes.
-	for l, ls := range spec.Layers {
-		for i := 0; i < ls.Nodes; i++ {
-			if _, err := broker.CreateTopic(topicName(l, i), 1, mq.WithRetention(4096)); err != nil {
-				return nil, err
-			}
+	// The plan names every topic and fixes its partition count; create them
+	// before any runtime subscribes.
+	for _, td := range plan.Topics() {
+		if _, err := broker.CreateTopic(td.Name, td.Partitions, mq.WithRetention(4096)); err != nil {
+			return nil, err
 		}
 	}
 
-	// Edge layers: one streams.Runtime per node.
+	// Edge layers: one streams.Runtime per compiled node descriptor.
 	var runtimes []*streams.Runtime
 	stopAll := func() {
 		for i := len(runtimes) - 1; i >= 0; i-- {
 			_ = runtimes[i].Stop()
 		}
 	}
-	for l := 0; l < rootLayer; l++ {
-		ls := spec.Layers[l]
-		for i := 0; i < ls.Nodes; i++ {
-			id := fmt.Sprintf("%s-%d", ls.Name, i)
-			node := NewNode(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost)
-			proc := &samplingProcessor{node: node, window: cfg.Window, streaming: cfg.Streaming}
-			parentTopic := topicName(l+1, topology.ParentIndex(ls.Nodes, spec.Layers[l+1].Nodes, i))
-			topo, err := streams.NewTopology().
-				Source("in", topicName(l, i)).
-				Processor("sampler", func() streams.Processor { return proc }, "in").
-				Sink("out", parentTopic, "sampler").
-				Build()
-			if err != nil {
-				stopAll()
-				return nil, err
-			}
-			rt, err := streams.NewRuntime(broker, topo, id,
-				streams.WithPollWait(time.Millisecond),
-				streams.WithPollBatch(512))
-			if err != nil {
-				stopAll()
-				return nil, err
-			}
-			if err := rt.Start(); err != nil {
-				stopAll()
-				return nil, err
-			}
-			runtimes = append(runtimes, rt)
+	for _, desc := range plan.EdgeNodes() {
+		proc := &samplingProcessor{node: plan.NewNode(desc), window: cfg.Window, streaming: cfg.Streaming}
+		topo, err := streams.NewTopology().
+			Source("in", desc.Topic).
+			Processor("sampler", func() streams.Processor { return proc }, "in").
+			Sink("out", desc.ParentTopic, "sampler").
+			Build()
+		if err != nil {
+			stopAll()
+			return nil, err
 		}
+		rt, err := streams.NewRuntime(broker, topo, desc.ID,
+			streams.WithPollWait(time.Millisecond),
+			streams.WithPollBatch(512))
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		if err := rt.Start(); err != nil {
+			stopAll()
+			return nil, err
+		}
+		runtimes = append(runtimes, rt)
 	}
 
-	// Root consumer: record-at-a-time aggregation with optional per-item
-	// work, window results on a wall-clock ticker.
+	// Root consumer group: RootShards members split the root topic's
+	// partitions. Each shard aggregates and samples its share; a window
+	// ticker merges every shard's Θ and runs the queries once.
 	engine := query.NewEngine()
-	root := NewRoot("root", cfg.NewSampler(rootLayer, 0, cfg.Seed), cfg.Cost, engine, cfg.Queries...)
-	rootConsumer, err := mq.NewGroupConsumer(broker, topicName(rootLayer, 0), "root")
-	if err != nil {
-		stopAll()
-		return nil, err
+	shards := make([]*rootShard, plan.RootShards)
+	for i := range shards {
+		c, err := mq.NewGroupConsumer(broker, plan.Root().Topic, "root")
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		defer c.Close()
+		shards[i] = &rootShard{node: plan.NewRootShard(i), consumer: c}
 	}
-	defer rootConsumer.Close()
 
 	res := &LiveResult{}
 	var (
 		rootProcessed atomic.Int64
 		lastActivity  atomic.Int64 // unix nanos of last root processing
-		rootBusy      atomic.Bool  // root is mid-burst (spinning through records)
-		rootMu        sync.Mutex   // guards root + res.Windows
+		busyShards    atomic.Int64 // shards mid-burst (processing a poll)
+		windowMu      sync.Mutex   // serializes window closes; guards res.Windows
 	)
-	closeWindow := func() {
-		rootMu.Lock()
-		win, _ := root.CloseWindow(time.Now())
+	closeWindow := func(at time.Time) {
+		windowMu.Lock()
+		defer windowMu.Unlock()
+		var theta []stream.Batch
+		for _, sh := range shards {
+			sh.mu.Lock()
+			theta = append(theta, sh.node.CloseInterval()...)
+			sh.mu.Unlock()
+		}
+		win := NewWindowResult(at, engine, plan.Queries, theta)
 		if win.SampleSize > 0 {
 			res.Windows = append(res.Windows, win)
 		}
-		rootMu.Unlock()
 	}
 
 	rootCtx, cancelRoot := context.WithCancel(context.Background())
 	var rootWG sync.WaitGroup
+	for _, sh := range shards {
+		sh := sh
+		rootWG.Add(1)
+		go func() {
+			defer rootWG.Done()
+			var scratch stream.Batch // reused decode buffer; IngestBatch copies out
+			for {
+				// Poll blocks on the topic's wait channel until records
+				// arrive or the context cancels — the pipeline idles
+				// without spinning.
+				recs, err := sh.consumer.Poll(rootCtx, 512)
+				if err != nil {
+					return
+				}
+				busyShards.Add(1)
+				lastActivity.Store(time.Now().UnixNano())
+				for _, rec := range recs {
+					if err := stream.UnmarshalBatchInto(&scratch, rec.Value); err != nil {
+						continue
+					}
+					spin(time.Duration(len(scratch.Items)) * cfg.RootWork)
+					sh.mu.Lock()
+					sh.node.IngestBatch(scratch)
+					sh.mu.Unlock()
+					rootProcessed.Add(int64(len(scratch.Items)))
+					lastActivity.Store(time.Now().UnixNano())
+				}
+				busyShards.Add(-1)
+			}
+		}()
+	}
+
+	// Window ticker: a blocking select — no busy branch — closes windows
+	// while the shards poll.
 	rootWG.Add(1)
 	go func() {
 		defer rootWG.Done()
@@ -235,42 +284,15 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 			select {
 			case <-rootCtx.Done():
 				return
-			case <-ticker.C:
-				closeWindow()
-			default:
+			case now := <-ticker.C:
+				closeWindow(now)
 			}
-			recs, err := rootConsumer.TryPoll(512)
-			if err != nil {
-				return
-			}
-			if len(recs) == 0 {
-				select {
-				case <-rootCtx.Done():
-					return
-				case <-time.After(time.Millisecond):
-				}
-				continue
-			}
-			rootBusy.Store(true)
-			lastActivity.Store(time.Now().UnixNano())
-			for _, rec := range recs {
-				b, err := stream.UnmarshalBatch(rec.Value)
-				if err != nil {
-					continue
-				}
-				spin(time.Duration(len(b.Items)) * cfg.RootWork)
-				rootMu.Lock()
-				root.IngestBatch(b)
-				rootMu.Unlock()
-				rootProcessed.Add(int64(len(b.Items)))
-				lastActivity.Store(time.Now().UnixNano())
-			}
-			rootBusy.Store(false)
 		}
 	}()
 
 	// Sources: produce Items total, split across source nodes, publishing
-	// one batch per sub-stream per chunk.
+	// one batch per sub-stream per chunk, keyed by SourceID so a sub-stream
+	// sticks to one partition.
 	start := time.Now()
 	lastActivity.Store(start.UnixNano())
 	perSource := cfg.Items / int64(spec.Sources)
@@ -290,7 +312,7 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 			defer srcWG.Done()
 			gen := cfg.Source(s)
 			producer := mq.NewProducer(broker)
-			topic := topicName(0, topology.ParentIndex(spec.Sources, spec.Layers[0].Nodes, s))
+			topic := plan.Sources[s].Topic
 			var sent int64
 			now := start
 			var localTruth float64
@@ -336,9 +358,11 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		for _, rt := range runtimes {
 			lag += rt.Lag()
 		}
-		lag += rootConsumer.Lag()
+		for _, sh := range shards {
+			lag += sh.consumer.Lag()
+		}
 		idle := time.Since(time.Unix(0, lastActivity.Load()))
-		if lag == 0 && !rootBusy.Load() && idle > 4*cfg.Window {
+		if lag == 0 && busyShards.Load() == 0 && idle > 4*cfg.Window {
 			break
 		}
 		time.Sleep(cfg.Window / 4)
@@ -347,7 +371,7 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 
 	cancelRoot()
 	rootWG.Wait()
-	closeWindow() // final partial window
+	closeWindow(time.Now()) // final partial window
 	stopAll()
 
 	res.Produced = produced.Load()

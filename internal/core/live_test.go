@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -102,6 +103,102 @@ func TestLiveSRSStreaming(t *testing.T) {
 	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
 	if loss > 0.2 {
 		t.Fatalf("SRS loss = %.3f, implausibly bad on balanced Gaussian", loss)
+	}
+}
+
+func TestLivePartitionedMatchesSingleShard(t *testing.T) {
+	// Partitioned execution must not change what the pipeline estimates:
+	// with the same seed, a 4-shard root over 4-partition topics produces
+	// the same window-estimate totals as a single root consumer — the count
+	// estimate is exactly the produced count in both (Eq. 8 composes across
+	// shards because shard outputs merge as weighted batches), and the sum
+	// estimate stays near the (identical) ground truth.
+	run := func(shards int) *LiveResult {
+		cfg := liveConfig(16000, 0.5)
+		cfg.Partitions = 4
+		cfg.RootShards = shards
+		res, err := RunLive(cfg)
+		if err != nil {
+			t.Fatalf("RunLive(shards=%d): %v", shards, err)
+		}
+		return res
+	}
+	single := run(1)
+	sharded := run(4)
+
+	if single.Produced != sharded.Produced {
+		t.Fatalf("produced %d vs %d, want identical under same seed", single.Produced, sharded.Produced)
+	}
+	if rel := math.Abs(single.TruthSum-sharded.TruthSum) / math.Abs(single.TruthSum); rel > 1e-9 {
+		t.Fatalf("truth diverged between runs: %g vs %g", single.TruthSum, sharded.TruthSum)
+	}
+	for name, res := range map[string]*LiveResult{"single": single, "sharded": sharded} {
+		if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+			t.Fatalf("%s: estimated count %.1f vs produced %d", name, res.EstimateCount, res.Produced)
+		}
+		if loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum; loss > 0.05 {
+			t.Fatalf("%s: accuracy loss %.3f, want < 5%% at fraction 0.5", name, loss)
+		}
+	}
+	// The exact-count invariant makes the two runs' estimate totals equal.
+	if rel := math.Abs(single.EstimateCount-sharded.EstimateCount) / single.EstimateCount; rel > 1e-9 {
+		t.Fatalf("count estimates diverged: %.1f vs %.1f", single.EstimateCount, sharded.EstimateCount)
+	}
+}
+
+func TestLiveShardsRequirePartitions(t *testing.T) {
+	cfg := liveConfig(100, 0.5)
+	cfg.Partitions = 2
+	cfg.RootShards = 4
+	if _, err := RunLive(cfg); !errors.Is(err, ErrShardsExceedPartitions) {
+		t.Fatalf("err = %v, want ErrShardsExceedPartitions", err)
+	}
+}
+
+func TestLivePartitionedNativeExact(t *testing.T) {
+	// Native passthrough over a partitioned pipeline: every produced item
+	// reaches some shard exactly once (no loss, no duplication across the
+	// consumer group) and the merged estimate is exact.
+	cfg := liveConfig(8000, 1)
+	cfg.NewSampler = NativeFactory()
+	cfg.Cost = FractionBudget{Fraction: 1}
+	cfg.Streaming = true
+	cfg.Partitions = 4
+	cfg.RootShards = 3 // deliberately not dividing 4 evenly
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.RootProcessed != res.Produced {
+		t.Fatalf("sharded native root processed %d of %d", res.RootProcessed, res.Produced)
+	}
+	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
+	if loss > 1e-9 {
+		t.Fatalf("sharded native loss = %g, want exact", loss)
+	}
+}
+
+// BenchmarkLiveRootShards measures end-to-end live throughput as the root
+// consumer group scales: multi-partition topics with a sharded root must
+// sustain at least single-partition throughput (and scale with cores when
+// RootWork dominates, since shards spin in parallel).
+func BenchmarkLiveRootShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var throughput float64
+			for i := 0; i < b.N; i++ {
+				cfg := liveConfig(24000, 0.25)
+				cfg.RootWork = 5 * time.Microsecond
+				cfg.Partitions = shards
+				cfg.RootShards = shards
+				res, err := RunLive(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughput += res.Throughput
+			}
+			b.ReportMetric(throughput/float64(b.N), "items/s")
+		})
 	}
 }
 

@@ -202,10 +202,19 @@ func (r *Root) IngestItems(items []stream.Item) { r.node.IngestItems(items) }
 // together with the window's sampled items for latency accounting.
 func (r *Root) CloseWindow(at time.Time) (WindowResult, []stream.Batch) {
 	theta := r.node.CloseInterval()
-	res := WindowResult{At: at, Results: r.engine.RunAll(r.kinds, theta)}
+	return NewWindowResult(at, r.engine, r.kinds, theta), theta
+}
+
+// NewWindowResult runs the registered queries over a window's Θ and packages
+// the answers. The live runner uses it to merge sharded root stages: each
+// shard's CloseInterval batches carry Eq. 8 weights, so concatenating shard
+// outputs into one Θ yields exactly the estimates a single root would have
+// produced over the union.
+func NewWindowResult(at time.Time, engine *query.Engine, kinds []query.Kind, theta []stream.Batch) WindowResult {
+	res := WindowResult{At: at, Results: engine.RunAll(kinds, theta)}
 	if len(res.Results) > 0 {
 		res.SampleSize = res.Results[0].SampleSize
 		res.EstimatedInput = res.Results[0].EstimatedInput
 	}
-	return res, theta
+	return res
 }

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/topology"
+)
+
+// This file is the deployment-plan layer: the single place where a logical
+// topology.TreeSpec is compiled into concrete node wiring. Both runners —
+// RunSim (virtual time + WAN emulation) and RunLive (goroutines over the mq
+// broker) — execute the same compiled Plan, so a spec that validates and
+// wires one way in simulation is guaranteed to validate and wire the same
+// way live. Before the plan existed each runner re-derived the tree walk,
+// topic names, parent edges, and sampler seeding by hand.
+
+// Plan-compilation errors.
+var (
+	ErrNoPartitions           = errors.New("core: PlanConfig.Partitions must be at least 1")
+	ErrNoRootShards           = errors.New("core: PlanConfig.RootShards must be at least 1")
+	ErrShardsExceedPartitions = errors.New("core: RootShards must not exceed Partitions (extra shards would own no partitions)")
+)
+
+// PlanConfig is the mode-independent description of a deployment: everything
+// both the simulated and the live runner need to agree on.
+type PlanConfig struct {
+	// Spec is the logical tree (sources, layers, window).
+	Spec topology.TreeSpec
+	// NewSampler builds each node's sampling strategy. Required.
+	NewSampler SamplerFactory
+	// Cost is the budget policy shared by all nodes. Required.
+	Cost CostFunction
+	// Queries lists the root's aggregates (default SUM).
+	Queries []query.Kind
+	// Seed is the root of every node's seed lineage.
+	Seed uint64
+	// Partitions is the partition count of every live mq topic (default 1).
+	// Records are keyed by SourceID, so one sub-stream always lands in one
+	// partition and per-stratum ordering is preserved.
+	Partitions int
+	// RootShards is the size of the live root consumer group (default 1).
+	// Each shard aggregates the partitions it owns; shards merge at window
+	// close. Must not exceed Partitions.
+	RootShards int
+}
+
+// NodeDesc is one compiled computing node of the tree: pure data, ready for
+// either runner to instantiate.
+type NodeDesc struct {
+	// ID names the node ("edge1-3", "root-0").
+	ID string
+	// Layer and Index locate the node in the tree (bottom-up layers).
+	Layer, Index int
+	// ParentLayer / ParentIndex locate the parent edge; -1/-1 at the root.
+	ParentLayer, ParentIndex int
+	// Topic is the node's input topic in live mode.
+	Topic string
+	// ParentTopic is the topic the node forwards into ("" at the root).
+	ParentTopic string
+	// SamplerSeed records the node's seed lineage as the built-in sampler
+	// factories derive it from (layer, index, plan seed) — introspection
+	// metadata; a custom SamplerFactory may mix its inputs differently.
+	SamplerSeed uint64
+	// IsRoot marks the datacenter node.
+	IsRoot bool
+}
+
+// SourceDesc wires one IoT source into the first layer.
+type SourceDesc struct {
+	// Index is the source number.
+	Index int
+	// ParentIndex is the layer-0 node this source feeds.
+	ParentIndex int
+	// Topic is the live topic the source publishes into.
+	Topic string
+}
+
+// TopicDesc is one live mq topic the plan requires.
+type TopicDesc struct {
+	Name       string
+	Partitions int
+}
+
+// Plan is an immutable compiled deployment: node descriptors per layer,
+// source wiring, topic list, and the factories needed to instantiate nodes.
+// Compile once, execute in any mode.
+type Plan struct {
+	// Spec echoes the validated tree spec.
+	Spec topology.TreeSpec
+	// Queries is the normalized query set (never empty).
+	Queries []query.Kind
+	// Seed is the plan-wide seed root.
+	Seed uint64
+	// Partitions and RootShards are the live-mode parallelism knobs.
+	Partitions int
+	RootShards int
+	// Layers holds one descriptor per node, indexed [layer][node].
+	Layers [][]NodeDesc
+	// Sources holds one descriptor per IoT source.
+	Sources []SourceDesc
+
+	newSampler SamplerFactory
+	cost       CostFunction
+}
+
+// topicName names the mq topic feeding node (layer, idx).
+func topicName(layer, idx int) string {
+	return fmt.Sprintf("layer%d-node%d", layer, idx)
+}
+
+// CompilePlan validates the configuration and compiles the tree into an
+// explicit node graph. It is the only place parent edges and topic names
+// are derived.
+func CompilePlan(cfg PlanConfig) (*Plan, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid tree spec: %w", err)
+	}
+	if cfg.NewSampler == nil {
+		return nil, ErrNoSampler
+	}
+	if cfg.Cost == nil {
+		return nil, ErrNoCost
+	}
+	if len(cfg.Queries) == 0 {
+		cfg.Queries = []query.Kind{query.Sum}
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.Partitions < 0 {
+		return nil, ErrNoPartitions
+	}
+	if cfg.RootShards == 0 {
+		cfg.RootShards = 1
+	}
+	if cfg.RootShards < 0 {
+		return nil, ErrNoRootShards
+	}
+	if cfg.RootShards > cfg.Partitions {
+		return nil, ErrShardsExceedPartitions
+	}
+
+	spec := cfg.Spec
+	rootLayer := spec.RootLayer()
+	p := &Plan{
+		Spec:       spec,
+		Queries:    append([]query.Kind(nil), cfg.Queries...),
+		Seed:       cfg.Seed,
+		Partitions: cfg.Partitions,
+		RootShards: cfg.RootShards,
+		Layers:     make([][]NodeDesc, len(spec.Layers)),
+		Sources:    make([]SourceDesc, spec.Sources),
+		newSampler: cfg.NewSampler,
+		cost:       cfg.Cost,
+	}
+	for l, ls := range spec.Layers {
+		p.Layers[l] = make([]NodeDesc, ls.Nodes)
+		for i := 0; i < ls.Nodes; i++ {
+			d := NodeDesc{
+				ID:          fmt.Sprintf("%s-%d", ls.Name, i),
+				Layer:       l,
+				Index:       i,
+				ParentLayer: -1,
+				ParentIndex: -1,
+				Topic:       topicName(l, i),
+				SamplerSeed: nodeSeed(l, i, cfg.Seed),
+				IsRoot:      l == rootLayer,
+			}
+			if !d.IsRoot {
+				d.ParentLayer = l + 1
+				d.ParentIndex = topology.ParentIndex(ls.Nodes, spec.Layers[l+1].Nodes, i)
+				d.ParentTopic = topicName(d.ParentLayer, d.ParentIndex)
+			}
+			p.Layers[l][i] = d
+		}
+	}
+	for s := 0; s < spec.Sources; s++ {
+		parent := topology.ParentIndex(spec.Sources, spec.Layers[0].Nodes, s)
+		p.Sources[s] = SourceDesc{Index: s, ParentIndex: parent, Topic: topicName(0, parent)}
+	}
+	return p, nil
+}
+
+// RootLayer returns the index of the root layer.
+func (p *Plan) RootLayer() int { return p.Spec.RootLayer() }
+
+// Root returns the root node's descriptor.
+func (p *Plan) Root() NodeDesc { return p.Layers[p.RootLayer()][0] }
+
+// Topics lists every live topic the plan requires, each with the plan's
+// partition count, in deterministic (layer, node) order.
+func (p *Plan) Topics() []TopicDesc {
+	var out []TopicDesc
+	for _, layer := range p.Layers {
+		for _, d := range layer {
+			out = append(out, TopicDesc{Name: d.Topic, Partitions: p.Partitions})
+		}
+	}
+	return out
+}
+
+// EdgeNodes returns the non-root descriptors bottom-up, in deterministic
+// (layer, node) order.
+func (p *Plan) EdgeNodes() []NodeDesc {
+	var out []NodeDesc
+	for l := 0; l < p.RootLayer(); l++ {
+		out = append(out, p.Layers[l]...)
+	}
+	return out
+}
+
+// NewNode instantiates a descriptor as a sampling node, seeding its sampler
+// from the plan's seed lineage.
+func (p *Plan) NewNode(d NodeDesc) *Node {
+	return NewNode(d.ID, p.newSampler(d.Layer, d.Index, p.Seed), p.cost)
+}
+
+// NewRootShard instantiates one shard of the root's sampling stage. Shard 0
+// carries the root's canonical seed lineage, so a single-shard plan samples
+// identically to the pre-sharding root; additional shards get their own
+// lineage (the root layer has exactly one node, so shard indexes cannot
+// collide with node indexes elsewhere in the layer).
+//
+// Each shard applies the plan's cost function over the partitions it owns.
+// Input-relative budgets (FractionBudget, EffectiveFractionBudget, the
+// feedback controller) compose exactly — the shards jointly observe the
+// same input a single root would. The absolute FixedBudget is the root's
+// *total* sample cap, so it is divided across shards here; a custom
+// CostFunction with absolute semantics is applied per shard as-is.
+func (p *Plan) NewRootShard(shard int) *Node {
+	root := p.Root()
+	id := root.ID
+	if shard > 0 {
+		id = fmt.Sprintf("%s-shard%d", root.ID, shard)
+	}
+	cost := p.cost
+	if fb, ok := cost.(FixedBudget); ok && p.RootShards > 1 {
+		// Spread the cap exactly: Size/N each, remainder to the low shards,
+		// so shard budgets total Size and none is starved unless Size < N.
+		size := fb.Size / p.RootShards
+		if shard < fb.Size%p.RootShards {
+			size++
+		}
+		cost = FixedBudget{Size: size}
+	}
+	return NewNode(id, p.newSampler(root.Layer, shard, p.Seed), cost)
+}
+
+// NewRoot instantiates the full root node — sampling stage plus query
+// engine — for single-consumer execution (the simulated runner, and the
+// live runner when RootShards is 1 conceptually: the live runner composes
+// NewRootShard with the engine itself so shards can merge at window close).
+func (p *Plan) NewRoot(engine *query.Engine) *Root {
+	root := p.Root()
+	return NewRoot(root.ID, p.newSampler(root.Layer, root.Index, p.Seed), p.cost, engine, p.Queries...)
+}

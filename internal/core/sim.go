@@ -232,26 +232,24 @@ func (sn *simNode) down(t time.Time) bool {
 
 // RunSim executes one experiment and returns its measurements.
 func RunSim(cfg SimConfig) (*SimResult, error) {
-	if err := cfg.Spec.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid tree spec: %w", err)
+	plan, err := CompilePlan(PlanConfig{
+		Spec:       cfg.Spec,
+		NewSampler: cfg.NewSampler,
+		Cost:       cfg.Cost,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Source == nil {
 		return nil, ErrNoSourceFunc
-	}
-	if cfg.NewSampler == nil {
-		return nil, ErrNoSampler
-	}
-	if cfg.Cost == nil {
-		return nil, ErrNoCost
 	}
 	if cfg.Duration <= 0 {
 		return nil, ErrNoDuration
 	}
 	if cfg.ChunksPerWindow <= 0 {
 		cfg.ChunksPerWindow = 8
-	}
-	if len(cfg.Queries) == 0 {
-		cfg.Queries = []query.Kind{query.Sum}
 	}
 	if cfg.Confidence == 0 {
 		cfg.Confidence = stats.TwoSigma
@@ -262,8 +260,8 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 
 	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
 	sim := vclock.NewSim(epoch)
-	spec := cfg.Spec
-	rootLayer := spec.RootLayer()
+	spec := plan.Spec
+	rootLayer := plan.RootLayer()
 
 	res := &SimResult{
 		Latency:       metrics.NewHistogram(),
@@ -273,23 +271,22 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		TruthCount:    make(map[stream.SourceID]int64),
 	}
 
-	// Build the tree bottom-up.
+	// Instantiate the compiled plan bottom-up: parent edges, IDs, and seed
+	// lineage all come from the node descriptors.
 	layers := make([][]*simNode, len(spec.Layers))
 	var root *simNode
 	for l := len(spec.Layers) - 1; l >= 0; l-- {
-		ls := spec.Layers[l]
-		layers[l] = make([]*simNode, ls.Nodes)
-		for i := 0; i < ls.Nodes; i++ {
-			id := fmt.Sprintf("%s-%d", ls.Name, i)
+		layers[l] = make([]*simNode, len(plan.Layers[l]))
+		for i, desc := range plan.Layers[l] {
 			sn := &simNode{}
-			if l == rootLayer {
+			if desc.IsRoot {
 				engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
 				sn.isRoot = true
-				sn.root = NewRoot(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost, engine, cfg.Queries...)
+				sn.root = plan.NewRoot(engine)
 				root = sn
 			} else {
-				sn.node = NewNode(id, cfg.NewSampler(l, i, cfg.Seed), cfg.Cost)
-				sn.parent = layers[l+1][topology.ParentIndex(ls.Nodes, spec.Layers[l+1].Nodes, i)]
+				sn.node = plan.NewNode(desc)
+				sn.parent = layers[desc.ParentLayer][desc.ParentIndex]
 			}
 			layers[l][i] = sn
 		}
@@ -315,7 +312,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	sourceParents := make([]*simNode, spec.Sources)
 	for s := 0; s < spec.Sources; s++ {
 		sourceLinks[s] = mkLink(spec.Layers[0])
-		sourceParents[s] = layers[0][topology.ParentIndex(spec.Sources, spec.Layers[0].Nodes, s)]
+		sourceParents[s] = layers[0][plan.Sources[s].ParentIndex]
 	}
 	for l := 1; l < len(spec.Layers); l++ {
 		for _, child := range layers[l-1] {

@@ -495,3 +495,136 @@ func BenchmarkProduceConsume(b *testing.B) {
 		}
 	}
 }
+
+func TestMultiPartitionPerKeyOrdering(t *testing.T) {
+	// Key-hash partitioning pins each key to one partition, so consuming a
+	// multi-partition topic must observe every key's records in production
+	// order even though records of different keys interleave arbitrarily.
+	br := NewBroker()
+	defer br.Close()
+	newTestTopic(t, br, "t", 4)
+	p := NewProducer(br)
+
+	keys := []string{"src-a", "src-b", "src-c", "src-d", "src-e"}
+	const perKey = 200
+	for seq := 0; seq < perKey; seq++ {
+		for _, k := range keys {
+			if _, _, err := p.Send("t", []byte(k), []byte(fmt.Sprintf("%s:%d", k, seq))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	c, err := NewConsumer(br, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	next := make(map[string]int, len(keys))
+	total := 0
+	for total < perKey*len(keys) {
+		recs, err := c.Poll(context.Background(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			k := string(rec.Key)
+			var seq int
+			fmt.Sscanf(string(rec.Value[len(k)+1:]), "%d", &seq)
+			if seq != next[k] {
+				t.Fatalf("key %s: got seq %d, want %d (out-of-order within key)", k, seq, next[k])
+			}
+			next[k]++
+			total++
+		}
+	}
+}
+
+func TestGroupPerKeyOrderingAcrossMembers(t *testing.T) {
+	// A consumer group over a multi-partition topic: each key lands in one
+	// partition owned by one member, so per-key order survives the split
+	// and no record is seen twice.
+	br := NewBroker()
+	defer br.Close()
+	newTestTopic(t, br, "t", 4)
+	p := NewProducer(br)
+
+	var members []*Consumer
+	for i := 0; i < 2; i++ {
+		c, err := NewGroupConsumer(br, "t", "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		members = append(members, c)
+	}
+
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	const perKey = 100
+	for seq := 0; seq < perKey; seq++ {
+		for _, k := range keys {
+			if _, _, err := p.Send("t", []byte(k), []byte(fmt.Sprintf("%d", seq))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var (
+		mu    sync.Mutex
+		next  = make(map[string]int, len(keys))
+		total int
+		wg    sync.WaitGroup
+	)
+	want := perKey * len(keys)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, m := range members {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				done := total >= want
+				mu.Unlock()
+				if done {
+					return
+				}
+				recs, err := m.TryPoll(64)
+				if err != nil || ctx.Err() != nil {
+					return
+				}
+				if len(recs) == 0 {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				mu.Lock()
+				for _, rec := range recs {
+					k := string(rec.Key)
+					var seq int
+					fmt.Sscanf(string(rec.Value), "%d", &seq)
+					if seq != next[k] {
+						mu.Unlock()
+						t.Errorf("key %s: got seq %d, want %d", k, seq, next[k])
+						return
+					}
+					next[k]++
+					total++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if total != want {
+		t.Fatalf("consumed %d records, want %d", total, want)
+	}
+	for _, k := range keys {
+		if next[k] != perKey {
+			t.Fatalf("key %s: consumed %d, want %d", k, next[k], perKey)
+		}
+	}
+}

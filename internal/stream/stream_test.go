@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -150,29 +151,146 @@ func TestWeightMapSetOnNil(t *testing.T) {
 	}
 }
 
-func BenchmarkMarshal(b *testing.B) {
-	batch := Batch{Source: "src-1", Weight: 2}
-	for i := 0; i < 128; i++ {
-		batch.Items = append(batch.Items, Item{Value: float64(i), Ts: time.Unix(0, int64(i))})
+func TestUnmarshalBatchIntoReusesStorage(t *testing.T) {
+	in := testBatch()
+	enc := in.Marshal()
+
+	var scratch Batch
+	if err := UnmarshalBatchInto(&scratch, enc); err != nil {
+		t.Fatalf("UnmarshalBatchInto: %v", err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		batch.Marshal()
+	if scratch.Source != in.Source || scratch.Weight != in.Weight || len(scratch.Items) != len(in.Items) {
+		t.Fatalf("decode mismatch: %+v vs %+v", scratch, in)
+	}
+	firstItems := &scratch.Items[0]
+	firstSource := scratch.Source
+
+	// Second decode of the same batch: items storage and source string are
+	// both reused, and the contents still round-trip.
+	if err := UnmarshalBatchInto(&scratch, enc); err != nil {
+		t.Fatalf("second decode: %v", err)
+	}
+	if &scratch.Items[0] != firstItems {
+		t.Error("items storage reallocated on same-size decode")
+	}
+	if scratch.Source != firstSource {
+		t.Error("source re-decoded despite matching previous batch")
+	}
+	for i := range in.Items {
+		if scratch.Items[i].Value != in.Items[i].Value || !scratch.Items[i].Ts.Equal(in.Items[i].Ts) {
+			t.Fatalf("item %d mangled on reuse: %+v", i, scratch.Items[i])
+		}
+	}
+
+	// A different source must replace the string and retag items.
+	other := testBatch()
+	other.Source = "sensor-99"
+	for i := range other.Items {
+		other.Items[i].Source = other.Source
+	}
+	if err := UnmarshalBatchInto(&scratch, other.Marshal()); err != nil {
+		t.Fatalf("decode other source: %v", err)
+	}
+	if scratch.Source != "sensor-99" || scratch.Items[0].Source != "sensor-99" {
+		t.Fatalf("source switch mishandled: %+v", scratch)
+	}
+
+	// A smaller batch shrinks the view without reallocating.
+	small := Batch{Source: "sensor-99", Weight: 1, Items: other.Items[:1]}
+	if err := UnmarshalBatchInto(&scratch, small.Marshal()); err != nil {
+		t.Fatalf("decode small: %v", err)
+	}
+	if len(scratch.Items) != 1 {
+		t.Fatalf("small decode has %d items, want 1", len(scratch.Items))
 	}
 }
 
-func BenchmarkUnmarshal(b *testing.B) {
-	batch := Batch{Source: "src-1", Weight: 2}
-	for i := 0; i < 128; i++ {
-		batch.Items = append(batch.Items, Item{Value: float64(i), Ts: time.Unix(0, int64(i))})
-	}
-	enc := batch.Marshal()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := UnmarshalBatch(enc); err != nil {
-			b.Fatal(err)
+func TestUnmarshalBatchIntoTruncation(t *testing.T) {
+	enc := testBatch().Marshal()
+	var scratch Batch
+	for cut := 0; cut < len(enc); cut++ {
+		if err := UnmarshalBatchInto(&scratch, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(enc))
 		}
 	}
+}
+
+func TestUnmarshalBatchRejectsOverflowedCount(t *testing.T) {
+	// A crafted item count near 2^64 must fail the length check, not wrap
+	// count*itemWireSize to a small number and panic in make.
+	enc := Batch{Source: "s", Weight: 1}.Marshal()
+	enc = enc[:len(enc)-1] // drop the 0 item count
+	enc = binary.AppendUvarint(enc, 1<<60)
+	if _, err := UnmarshalBatch(enc); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestAppendMarshalExtendsBuffer(t *testing.T) {
+	in := testBatch()
+	prefix := []byte("prefix")
+	buf := in.AppendMarshal(append([]byte(nil), prefix...))
+	if string(buf[:len(prefix)]) != "prefix" {
+		t.Fatal("AppendMarshal clobbered existing bytes")
+	}
+	out, err := UnmarshalBatch(buf[len(prefix):])
+	if err != nil {
+		t.Fatalf("decode appended encoding: %v", err)
+	}
+	if out.Source != in.Source || len(out.Items) != len(in.Items) {
+		t.Fatalf("append round trip mismatch: %+v", out)
+	}
+}
+
+func benchBatch(items int) Batch {
+	batch := Batch{Source: "src-1", Weight: 2}
+	for i := 0; i < items; i++ {
+		batch.Items = append(batch.Items, Item{Source: "src-1", Value: float64(i), Ts: time.Unix(0, int64(i))})
+	}
+	return batch
+}
+
+func BenchmarkBatchMarshal(b *testing.B) {
+	batch := benchBatch(128)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(batch.WireSize()))
+		for i := 0; i < b.N; i++ {
+			batch.Marshal()
+		}
+	})
+	b.Run("append-reuse", func(b *testing.B) {
+		buf := make([]byte, 0, batch.WireSize())
+		b.ReportAllocs()
+		b.SetBytes(int64(batch.WireSize()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = batch.AppendMarshal(buf[:0])
+		}
+	})
+}
+
+func BenchmarkBatchUnmarshal(b *testing.B) {
+	batch := benchBatch(128)
+	enc := batch.Marshal()
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(enc)))
+		for i := 0; i < b.N; i++ {
+			if _, err := UnmarshalBatch(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into-reuse", func(b *testing.B) {
+		var scratch Batch
+		b.ReportAllocs()
+		b.SetBytes(int64(len(enc)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := UnmarshalBatchInto(&scratch, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -126,6 +126,67 @@ func TestParentIndexDegenerateInputs(t *testing.T) {
 	}
 }
 
+func TestParentIndexSingleNodeLayers(t *testing.T) {
+	// A 1-node layer absorbs everything below it, and a chain of 1-node
+	// layers maps 0→0 at every hop.
+	for children := 1; children <= 16; children++ {
+		for i := 0; i < children; i++ {
+			if got := ParentIndex(children, 1, i); got != 0 {
+				t.Fatalf("ParentIndex(%d,1,%d) = %d, want 0", children, i, got)
+			}
+		}
+	}
+	if got := ParentIndex(1, 1, 0); got != 0 {
+		t.Fatalf("ParentIndex(1,1,0) = %d, want 0", got)
+	}
+	// A spec with a single-node middle layer (everything above must also be
+	// single-node by the fan-in rule) validates.
+	s := TreeSpec{
+		Sources: 4,
+		Layers: []LayerSpec{
+			{Name: "edge", Nodes: 3},
+			{Name: "mid", Nodes: 1},
+			{Name: "root", Nodes: 1},
+		},
+		Window: time.Second,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("single-node middle layer rejected: %v", err)
+	}
+}
+
+func TestParentIndexUnevenFanInBalance(t *testing.T) {
+	// Uneven fan-in must stay contiguous (monotone, no skipped parents) and
+	// balanced: every parent receives floor(c/p) or ceil(c/p) children.
+	for _, tc := range []struct{ children, parents int }{
+		{7, 3}, {9, 4}, {5, 3}, {11, 2}, {13, 5}, {6, 4},
+	} {
+		counts := make([]int, tc.parents)
+		prev := 0
+		for i := 0; i < tc.children; i++ {
+			p := ParentIndex(tc.children, tc.parents, i)
+			if p < prev || p > prev+1 {
+				t.Fatalf("%d/%d: parent jumped %d→%d at child %d", tc.children, tc.parents, prev, p, i)
+			}
+			prev = p
+			counts[p]++
+		}
+		lo, hi := tc.children/tc.parents, (tc.children+tc.parents-1)/tc.parents
+		for p, c := range counts {
+			if c < lo || c > hi {
+				t.Fatalf("%d/%d: parent %d received %d children, want %d..%d",
+					tc.children, tc.parents, p, c, lo, hi)
+			}
+		}
+	}
+	// Equal counts: identity mapping.
+	for i := 0; i < 6; i++ {
+		if got := ParentIndex(6, 6, i); got != i {
+			t.Fatalf("ParentIndex(6,6,%d) = %d, want identity", i, got)
+		}
+	}
+}
+
 func TestEveryParentGetsAChild(t *testing.T) {
 	for _, tc := range []struct{ children, parents int }{{8, 4}, {4, 2}, {2, 1}, {7, 3}, {10, 10}} {
 		seen := make(map[int]bool)
