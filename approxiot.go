@@ -163,6 +163,15 @@ type Config struct {
 	// merged at window close; the Eq. 8 weights keep the merged count
 	// estimate exact at any shard count. Simulated runs ignore it.
 	RootShards int
+	// LayerShards sizes every interior (edge-layer) node's live consumer
+	// group (default 1, clamped to Partitions): each node runs as that
+	// many members over its input topic, every member sampling the
+	// partitions it owns and forwarding its weighted batches
+	// independently. Weight compounding keeps the count estimate exact at
+	// any member count, so there is no merge step. Per-layer control is
+	// available on core.LiveConfig.LayerShards; this knob applies one
+	// count to all edge layers. Simulated runs ignore it.
+	LayerShards int
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -198,7 +207,28 @@ func (c Config) normalize() Config {
 	if c.RootShards > c.Partitions {
 		c.RootShards = c.Partitions
 	}
+	if c.LayerShards <= 0 {
+		c.LayerShards = 1
+	}
+	if c.LayerShards > c.Partitions {
+		c.LayerShards = c.Partitions
+	}
 	return c
+}
+
+// layerShards expands the uniform LayerShards knob into the per-edge-layer
+// slice core.LiveConfig expects (nil when everything is single-member, or
+// when the tree is malformed — core's validation reports that cleanly).
+func (c Config) layerShards() []int {
+	edgeLayers := c.Tree.RootLayer()
+	if c.LayerShards <= 1 || edgeLayers <= 0 {
+		return nil
+	}
+	out := make([]int, edgeLayers)
+	for i := range out {
+		out[i] = c.LayerShards
+	}
+	return out
 }
 
 func (c Config) samplerFactory() core.SamplerFactory {
@@ -247,16 +277,17 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error) {
 	cfg = cfg.normalize()
 	return core.RunLive(core.LiveConfig{
-		Spec:       cfg.Tree,
-		Source:     source,
-		NewSampler: cfg.samplerFactory(),
-		Cost:       cfg.cost(),
-		Items:      items,
-		Queries:    cfg.Queries,
-		Partitions: cfg.Partitions,
-		RootShards: cfg.RootShards,
-		Seed:       cfg.Seed,
-		Streaming:  cfg.streaming(),
+		Spec:        cfg.Tree,
+		Source:      source,
+		NewSampler:  cfg.samplerFactory(),
+		Cost:        cfg.cost(),
+		Items:       items,
+		Queries:     cfg.Queries,
+		Partitions:  cfg.Partitions,
+		RootShards:  cfg.RootShards,
+		LayerShards: cfg.layerShards(),
+		Seed:        cfg.Seed,
+		Streaming:   cfg.streaming(),
 	})
 }
 

@@ -34,10 +34,24 @@ func TestConfigDefaults(t *testing.T) {
 	if c.Partitions != 1 || c.RootShards != 1 {
 		t.Errorf("default partitions/shards = %d/%d, want 1/1", c.Partitions, c.RootShards)
 	}
-	// RootShards clamps to Partitions rather than erroring at the facade.
-	c = Config{Partitions: 2, RootShards: 8}.normalize()
+	if c.LayerShards != 1 {
+		t.Errorf("default layer shards = %d, want 1", c.LayerShards)
+	}
+	// RootShards and LayerShards clamp to Partitions rather than erroring
+	// at the facade.
+	c = Config{Partitions: 2, RootShards: 8, LayerShards: 8}.normalize()
 	if c.RootShards != 2 {
 		t.Errorf("RootShards = %d, want clamped to Partitions 2", c.RootShards)
+	}
+	if c.LayerShards != 2 {
+		t.Errorf("LayerShards = %d, want clamped to Partitions 2", c.LayerShards)
+	}
+	// The uniform knob expands to one entry per edge layer (never the root).
+	if got := c.layerShards(); len(got) != c.Tree.RootLayer() || got[0] != 2 {
+		t.Errorf("layerShards() = %v, want %d entries of 2", got, c.Tree.RootLayer())
+	}
+	if got := (Config{}).normalize().layerShards(); got != nil {
+		t.Errorf("single-member layerShards() = %v, want nil", got)
 	}
 }
 
@@ -111,6 +125,27 @@ func TestRunFacadePartitioned(t *testing.T) {
 	}
 	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
 		t.Fatalf("sharded live count invariant broken: %g vs %d", res.EstimateCount, res.Produced)
+	}
+}
+
+func TestRunFacadeLayerSharded(t *testing.T) {
+	// Every tier of the tree scaled out through the facade: 4-partition
+	// topics, every edge node a 4-member group, a 4-shard root — the count
+	// invariant must survive the full scale-out.
+	res, err := Run(Config{Fraction: 0.25, Queries: []QueryKind{Sum, Count},
+		Partitions: 4, RootShards: 4, LayerShards: 4, Seed: 9},
+		gaussianSources(3, 1000), 8000)
+	if err != nil {
+		t.Fatalf("Run layer-sharded: %v", err)
+	}
+	if res.Produced != 8000 {
+		t.Fatalf("produced = %d, want 8000", res.Produced)
+	}
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("layer-sharded live count invariant broken: %g vs %d", res.EstimateCount, res.Produced)
+	}
+	if res.DecodeErrors != 0 {
+		t.Fatalf("clean run reported %d decode errors", res.DecodeErrors)
 	}
 }
 

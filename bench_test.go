@@ -14,7 +14,9 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/approxiot/approxiot"
 	"github.com/approxiot/approxiot/internal/bench"
+	"github.com/approxiot/approxiot/internal/workload"
 )
 
 var (
@@ -146,5 +148,36 @@ func BenchmarkAblationParallelWorkers(b *testing.B) {
 func BenchmarkAblationAlignment(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		figure(b, "A4")
+	}
+}
+
+// BenchmarkLiveLayerShards measures end-to-end live throughput as every
+// tier of the tree scales out: shards×-member consumer groups at each edge
+// layer plus a shards×-member root group over 8-partition topics. On a
+// multi-core runner throughput grows with the shard count because every
+// node's sampling work — not just the root's — spreads across members.
+func BenchmarkLiveLayerShards(b *testing.B) {
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(7+uint64(i)*131, 1500)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var throughput float64
+			for i := 0; i < b.N; i++ {
+				res, err := approxiot.Run(approxiot.Config{
+					Fraction:    0.25,
+					Queries:     []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+					Partitions:  8,
+					RootShards:  shards,
+					LayerShards: shards,
+					Seed:        7,
+				}, source, 48000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				throughput += res.Throughput
+			}
+			b.ReportMetric(throughput/float64(b.N), "items/s")
+		})
 	}
 }

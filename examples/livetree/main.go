@@ -20,14 +20,15 @@ func main() {
 	}
 	const items = 60000
 
-	run := func(strategy approxiot.Strategy, fraction float64, partitions, shards int) *approxiot.LiveResult {
+	run := func(strategy approxiot.Strategy, fraction float64, partitions, rootShards, layerShards int) *approxiot.LiveResult {
 		res, err := approxiot.Run(approxiot.Config{
-			Strategy:   strategy,
-			Fraction:   fraction,
-			Queries:    []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
-			Partitions: partitions,
-			RootShards: shards,
-			Seed:       77,
+			Strategy:    strategy,
+			Fraction:    fraction,
+			Queries:     []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+			Partitions:  partitions,
+			RootShards:  rootShards,
+			LayerShards: layerShards,
+			Seed:        77,
 		}, source, items)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -37,34 +38,39 @@ func main() {
 	}
 
 	fmt.Printf("live pipeline, %d items through 8 sources → 4 → 2 → root\n\n", items)
-	fmt.Printf("%-12s %-10s %-8s %-14s %-14s %-10s\n",
-		"system", "fraction", "shards", "root items", "throughput", "loss")
+	fmt.Printf("%-12s %-10s %-6s %-6s %-14s %-14s %-10s\n",
+		"system", "fraction", "root", "layer", "root items", "throughput", "loss")
 	for _, cfg := range []struct {
-		strategy           approxiot.Strategy
-		fraction           float64
-		partitions, shards int
+		strategy                    approxiot.Strategy
+		fraction                    float64
+		partitions, rootSh, layerSh int
 	}{
-		{approxiot.Native, 1, 1, 1},
-		{approxiot.WHS, 0.5, 1, 1},
-		{approxiot.WHS, 0.1, 1, 1},
+		{approxiot.Native, 1, 1, 1, 1},
+		{approxiot.WHS, 0.5, 1, 1, 1},
+		{approxiot.WHS, 0.1, 1, 1, 1},
 		// Same deployment compiled with 4-partition topics and a 4-shard
 		// root consumer group: sub-streams are keyed onto partitions, the
 		// shards sample their share, and window close merges them — the
 		// count invariant and accuracy are unchanged.
-		{approxiot.WHS, 0.1, 4, 4},
-		{approxiot.SRS, 0.1, 1, 1},
+		{approxiot.WHS, 0.1, 4, 4, 1},
+		// Every tier scaled out: each edge node runs as a 4-member
+		// consumer group too. Members forward weighted batches
+		// independently — weight compounding needs no merge barrier, so
+		// the invariant still holds.
+		{approxiot.WHS, 0.1, 4, 4, 4},
+		{approxiot.SRS, 0.1, 1, 1, 1},
 	} {
-		res := run(cfg.strategy, cfg.fraction, cfg.partitions, cfg.shards)
+		res := run(cfg.strategy, cfg.fraction, cfg.partitions, cfg.rootSh, cfg.layerSh)
 		loss := 0.0
 		if res.TruthSum != 0 {
 			loss = 100 * abs(res.EstimateSum-res.TruthSum) / res.TruthSum
 		}
-		fmt.Printf("%-12s %-10.0f %-8d %-14d %-14.0f %.4f%%\n",
-			cfg.strategy, cfg.fraction*100, cfg.shards, res.RootProcessed, res.Throughput, loss)
+		fmt.Printf("%-12s %-10.0f %-6d %-6d %-14d %-14.0f %.4f%%\n",
+			cfg.strategy, cfg.fraction*100, cfg.rootSh, cfg.layerSh, res.RootProcessed, res.Throughput, loss)
 	}
 	fmt.Println("\nroot items shrink with the fraction; the estimate stays close to")
 	fmt.Println("the exact total and the count invariant holds end to end — at any")
-	fmt.Println("partition/shard count.")
+	fmt.Println("partition/shard count, on every tier of the tree.")
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// Cross-mode equivalence suite: the simulated and the live runner execute
+// the same compiled plan, so the Eq. 8 guarantees must hold in both modes —
+// and in live mode at every {Partitions, RootShards, LayerShards}
+// combination, because consumer-group sharding only partitions the input
+// that weight compounding already makes order- and split-insensitive.
+//
+// Two invariants are asserted per run:
+//
+//   - count exactness: the total estimated input count equals the number of
+//     items actually generated (Eq. 8 composed across every layer), and
+//   - total-weight conservation: Σ w·|items| over the root's Θ — which is
+//     exactly what EstimatedInput totals — neither inflates nor deflates
+//     through any sharded hop.
+
+const crossModeTolerance = 1e-9
+
+func assertCountInvariant(t *testing.T, label string, estimated, produced float64) {
+	t.Helper()
+	if produced == 0 {
+		t.Fatalf("%s: produced nothing", label)
+	}
+	if rel := math.Abs(estimated-produced) / produced; rel > crossModeTolerance {
+		t.Fatalf("%s: estimated input %.2f vs produced %.0f (rel %.2e)", label, estimated, produced, rel)
+	}
+}
+
+func TestCrossModeEquivalence(t *testing.T) {
+	spec := topology.Testbed()
+	const seed = 21
+
+	// Simulated mode: the knobs don't exist (virtual time, no broker), so
+	// one run anchors the mode comparison.
+	sim, err := RunSim(SimConfig{
+		Spec:       spec,
+		Source:     microSource(seed, 500),
+		NewSampler: WHSFactory(),
+		Cost:       EffectiveFractionBudget{Fraction: 0.25},
+		Duration:   4 * time.Second,
+		Queries:    []query.Kind{query.Sum, query.Count},
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	var simEstimated float64
+	for _, w := range sim.Windows {
+		simEstimated += w.EstimatedInput
+	}
+	assertCountInvariant(t, "sim", simEstimated, float64(sim.Generated))
+
+	// Live mode: the same spec, sampler, cost, and seed, swept across the
+	// parallelism knobs — including the degenerate all-ones deployment.
+	combos := []struct {
+		name        string
+		partitions  int
+		rootShards  int
+		layerShards []int
+	}{
+		{"all-ones", 1, 1, nil},
+		{"partitioned-unsharded", 4, 1, nil},
+		{"root-sharded", 4, 4, nil},
+		{"layer-sharded", 4, 2, []int{2, 2}},
+		{"fully-sharded-uneven", 8, 4, []int{4, 3}},
+	}
+	for _, combo := range combos {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			res, err := RunLive(LiveConfig{
+				Spec:        spec,
+				Source:      microSource(seed, 1000),
+				NewSampler:  WHSFactory(),
+				Cost:        EffectiveFractionBudget{Fraction: 0.25},
+				Items:       12000,
+				Window:      30 * time.Millisecond,
+				Queries:     []query.Kind{query.Sum, query.Count},
+				Partitions:  combo.partitions,
+				RootShards:  combo.rootShards,
+				LayerShards: combo.layerShards,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatalf("RunLive: %v", err)
+			}
+			if res.Produced != 12000 {
+				t.Fatalf("produced %d, want 12000", res.Produced)
+			}
+			assertCountInvariant(t, "live", res.EstimateCount, float64(res.Produced))
+			// The modes agree on accuracy too: both estimate their own
+			// exact truth within the fraction's expected loss.
+			if loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum; loss > 0.1 {
+				t.Fatalf("live sum loss %.3f at fraction 0.25", loss)
+			}
+		})
+	}
+	if loss := sim.AccuracyLoss(query.Sum); loss > 0.1 {
+		t.Fatalf("sim sum loss %.3f at fraction 0.25", loss)
+	}
+}
+
+// TestShardInvarianceProperty drives randomized {seed, partitions, shards}
+// deployments and checks that sharding is estimate-invariant: the merged
+// estimated input count of a sharded run equals the single-shard run's
+// (same seed, same items) within exactness tolerance.
+func TestShardInvarianceProperty(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	rng := xrand.New(0xC0FFEE)
+	spec := topology.Testbed()
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Uint64()
+		partitions := 1 + int(rng.Uint64()%8)
+		rootShards := 1 + int(rng.Uint64()%uint64(partitions))
+		layerShards := make([]int, spec.RootLayer())
+		for l := range layerShards {
+			layerShards[l] = 1 + int(rng.Uint64()%uint64(partitions))
+		}
+		items := int64(6000 + rng.Uint64()%4000)
+
+		run := func(partitions, rootShards int, layerShards []int) *LiveResult {
+			res, err := RunLive(LiveConfig{
+				Spec:        spec,
+				Source:      microSource(seed, 1000),
+				NewSampler:  WHSFactory(),
+				Cost:        EffectiveFractionBudget{Fraction: 0.3},
+				Items:       items,
+				Window:      25 * time.Millisecond,
+				Queries:     []query.Kind{query.Sum, query.Count},
+				Partitions:  partitions,
+				RootShards:  rootShards,
+				LayerShards: layerShards,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatalf("trial %d: RunLive(p=%d r=%d l=%v): %v", trial, partitions, rootShards, layerShards, err)
+			}
+			return res
+		}
+		baseline := run(1, 1, nil)
+		sharded := run(partitions, rootShards, layerShards)
+
+		if baseline.Produced != items || sharded.Produced != items {
+			t.Fatalf("trial %d: produced %d/%d, want %d", trial, baseline.Produced, sharded.Produced, items)
+		}
+		assertCountInvariant(t, "baseline", baseline.EstimateCount, float64(items))
+		assertCountInvariant(t, "sharded", sharded.EstimateCount, float64(items))
+		if rel := math.Abs(baseline.EstimateCount-sharded.EstimateCount) / baseline.EstimateCount; rel > crossModeTolerance {
+			t.Fatalf("trial %d (p=%d r=%d l=%v): merged estimate %.2f vs single-shard %.2f",
+				trial, partitions, rootShards, layerShards, sharded.EstimateCount, baseline.EstimateCount)
+		}
+	}
+}
+
+// TestShardBudgetSplitProperty checks, for randomized caps and shard
+// counts, that dividing an absolute FixedBudget across a node's group
+// members never exceeds the configured cap in total — and reaches it
+// exactly whenever the input is large enough.
+func TestShardBudgetSplitProperty(t *testing.T) {
+	rng := xrand.New(0xBADCAB)
+	for trial := 0; trial < 20; trial++ {
+		shards := 1 + int(rng.Uint64()%6)
+		capSize := 1 + int(rng.Uint64()%300)
+		cfg := testPlanConfig()
+		cfg.Cost = FixedBudget{Size: capSize}
+		cfg.Partitions = shards
+		cfg.RootShards = shards
+		layerShards := make([]int, cfg.Spec.RootLayer())
+		for l := range layerShards {
+			layerShards[l] = shards
+		}
+		cfg.LayerShards = layerShards
+		plan, err := CompilePlan(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: CompilePlan: %v", trial, err)
+		}
+		// Every node of every layer: feed each member more than the cap
+		// and total what the group keeps.
+		for l, layer := range plan.Layers {
+			for _, desc := range layer {
+				if desc.Shards != shards {
+					t.Fatalf("trial %d: node (%d,%d) compiled with %d shards, want %d", trial, l, desc.Index, desc.Shards, shards)
+				}
+				total := 0
+				for shard := 0; shard < desc.Shards; shard++ {
+					n := plan.NewNodeShard(desc, shard)
+					n.IngestItems(mkItems("a", make([]float64, capSize+1)...))
+					for _, b := range n.CloseInterval() {
+						total += len(b.Items)
+					}
+				}
+				if total > capSize {
+					t.Fatalf("trial %d: node %s group kept %d items over cap %d", trial, desc.ID, total, capSize)
+				}
+				if capSize >= desc.Shards && total != capSize {
+					t.Fatalf("trial %d: node %s group kept %d items, want the full cap %d", trial, desc.ID, total, capSize)
+				}
+			}
+		}
+	}
+}

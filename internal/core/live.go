@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,8 +16,10 @@ import (
 )
 
 // LiveConfig describes a live-mode run: the tree is instantiated as real
-// goroutines — one streams.Runtime per edge node, chained by mq topics —
-// exactly mirroring the paper's Kafka/Kafka-Streams deployment (Fig. 4).
+// goroutines — every compiled node runs as a consumer group of one or more
+// streams.Runtime members, chained by mq topics — exactly mirroring the
+// paper's Kafka/Kafka-Streams deployment (Fig. 4) scaled out the way Kafka
+// Streams applications scale: by adding instances to a consumer group.
 // Live mode measures compute throughput; WAN characteristics are the
 // simulated mode's job.
 type LiveConfig struct {
@@ -51,8 +52,20 @@ type LiveConfig struct {
 	// shard outputs are merged at window close, and the Eq. 8 weights make
 	// the merged count estimate exact regardless of the shard count.
 	RootShards int
+	// LayerShards sizes each edge layer's consumer groups, indexed by
+	// layer (missing or zero entries default to 1, max Partitions each).
+	// Every node of layer l runs as LayerShards[l] group members over its
+	// input topic; each member samples the partitions it owns and forwards
+	// its weighted batches independently — weight compounding needs no
+	// merge barrier between members.
+	LayerShards []int
 	// Seed drives all samplers and generators.
 	Seed uint64
+
+	// corruptRoot injects this many undecodable records into the root
+	// topic before the sources start — a test hook for DecodeErrors
+	// accounting (unexported; tests live in this package).
+	corruptRoot int
 }
 
 // LiveResult reports a live run's measurements.
@@ -61,6 +74,10 @@ type LiveResult struct {
 	Produced int64
 	// RootProcessed counts items the root aggregated (post sampling).
 	RootProcessed int64
+	// DecodeErrors counts records whose batch payload failed to decode
+	// anywhere in the pipeline. Corrupt records are counted and skipped —
+	// never silently dropped, never allowed to poison the run.
+	DecodeErrors int64
 	// Elapsed spans first publish to last root-side processing.
 	Elapsed time.Duration
 	// Throughput is Produced/Elapsed — the paper's "items processed per
@@ -81,14 +98,17 @@ var ErrNoItems = errors.New("core: LiveConfig.Items must be positive")
 
 // samplingProcessor adapts a core.Node to the streams.Processor contract:
 // batches arrive as wire-encoded messages, windows flush on punctuation (or
-// immediately in streaming mode).
+// immediately in streaming mode). One instance runs inside one shard-group
+// member and owns its Node exclusively.
 type samplingProcessor struct {
-	node      *Node
-	window    time.Duration
-	streaming bool
-	ctx       streams.ProcessorContext
-	cancel    func()
-	scratch   stream.Batch // reused decode buffer; IngestBatch copies out
+	node       *Node
+	window     time.Duration
+	streaming  bool
+	decodeErrs *atomic.Int64
+	pending    atomic.Int64 // items buffered in Ψ awaiting the window flush
+	ctx        streams.ProcessorContext
+	cancel     func()
+	scratch    stream.Batch // reused decode buffer; IngestBatch copies out
 }
 
 var _ streams.Processor = (*samplingProcessor)(nil)
@@ -103,9 +123,11 @@ func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 
 func (p *samplingProcessor) Process(msg streams.Message) error {
 	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
-		return fmt.Errorf("core: node %s: %w", p.node.ID(), err)
+		p.decodeErrs.Add(1)
+		return nil
 	}
 	p.node.IngestBatch(p.scratch)
+	p.pending.Store(int64(p.node.Observed()))
 	if p.streaming {
 		p.flush()
 	}
@@ -116,6 +138,9 @@ func (p *samplingProcessor) flush() {
 	for _, b := range p.node.CloseInterval() {
 		p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: b.Marshal(), Ts: p.ctx.Now()})
 	}
+	// Zero pending only after forwarding: the drain probe must always see
+	// in-flight data as either buffered Ψ here or lag on the parent topic.
+	p.pending.Store(int64(p.node.Observed()))
 }
 
 func (p *samplingProcessor) Close() error {
@@ -125,25 +150,143 @@ func (p *samplingProcessor) Close() error {
 	return nil
 }
 
-// rootShard is one member of the root consumer group: a private sampling
-// node fed by the partitions the shard owns, merged with its peers at every
-// window close.
-type rootShard struct {
-	mu       sync.Mutex
-	node     *Node
-	consumer *mq.Consumer
+// rootProcessor is the root-flavored shard member: it ingests into a
+// private sampling node under a mutex (the window ticker merges all members'
+// Θ at window close) instead of forwarding, spins the configured per-item
+// query cost, and maintains the run's root-side counters. In-flight records
+// are covered by the member Runtime's Busy gauge; buffered root Θ awaits
+// the window ticker, not the drain, so no pending counter is needed here.
+type rootProcessor struct {
+	mu   sync.Mutex
+	node *Node
+
+	work         time.Duration
+	processed    *atomic.Int64
+	decodeErrs   *atomic.Int64
+	lastActivity *atomic.Int64 // unix nanos of last root-side processing
+	scratch      stream.Batch  // reused decode buffer; IngestBatch copies out
+}
+
+var _ streams.Processor = (*rootProcessor)(nil)
+
+func (p *rootProcessor) Init(streams.ProcessorContext) error { return nil }
+
+func (p *rootProcessor) Process(msg streams.Message) error {
+	p.lastActivity.Store(time.Now().UnixNano())
+	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
+		p.decodeErrs.Add(1)
+		return nil
+	}
+	spin(time.Duration(len(p.scratch.Items)) * p.work)
+	p.mu.Lock()
+	p.node.IngestBatch(p.scratch)
+	p.mu.Unlock()
+	p.processed.Add(int64(len(p.scratch.Items)))
+	p.lastActivity.Store(time.Now().UnixNano())
+	return nil
+}
+
+func (p *rootProcessor) Close() error { return nil }
+
+// closeInterval drains the member's Θ under its lock.
+func (p *rootProcessor) closeInterval() []stream.Batch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node.CloseInterval()
+}
+
+// shardGroup is the live instantiation of one compiled node as a consumer
+// group: desc.Shards streams.Runtime members share the node's ID as their
+// application ID, so the broker deals the input topic's partitions out
+// across them — exactly how a Kafka Streams application scales
+// horizontally. Every member owns a private sampling node; Eq. 8 weight
+// compounding keeps the forwarded estimates exact without any cross-member
+// coordination. The root node is a shardGroup too (its members merely don't
+// sink — the window ticker merges their Θ instead).
+type shardGroup struct {
+	members []*streams.Runtime
+}
+
+// newShardGroup builds (without starting) the group's members. newProc is
+// invoked once per member with the shard index and must return the member's
+// private processor.
+func newShardGroup(broker *mq.Broker, desc NodeDesc, newProc func(shard int) streams.Processor) (*shardGroup, error) {
+	g := &shardGroup{}
+	for shard := 0; shard < desc.Shards; shard++ {
+		proc := newProc(shard)
+		b := streams.NewTopology().
+			Source("in", desc.Topic).
+			Processor("sampler", func() streams.Processor { return proc }, "in")
+		if desc.ParentTopic != "" {
+			b = b.Sink("out", desc.ParentTopic, "sampler")
+		}
+		topo, err := b.Build()
+		if err != nil {
+			g.stop()
+			return nil, err
+		}
+		rt, err := streams.NewRuntime(broker, topo, desc.ID,
+			streams.WithPollWait(time.Millisecond),
+			streams.WithPollBatch(512))
+		if err != nil {
+			g.stop()
+			return nil, err
+		}
+		g.members = append(g.members, rt)
+	}
+	return g, nil
+}
+
+// start launches every member; on failure the group is stopped.
+func (g *shardGroup) start() error {
+	for _, rt := range g.members {
+		if err := rt.Start(); err != nil {
+			g.stop()
+			return err
+		}
+	}
+	return nil
+}
+
+// stop shuts members down in reverse order. Idempotent, never-started
+// members included.
+func (g *shardGroup) stop() {
+	for i := len(g.members) - 1; i >= 0; i-- {
+		_ = g.members[i].Stop()
+	}
+}
+
+// lag totals the unfetched records across the group's members.
+func (g *shardGroup) lag() int64 {
+	var lag int64
+	for _, rt := range g.members {
+		lag += rt.Lag()
+	}
+	return lag
+}
+
+// busy reports whether any member's pump is mid-cycle (fetched records may
+// be in flight even at zero lag).
+func (g *shardGroup) busy() bool {
+	for _, rt := range g.members {
+		if rt.Busy() {
+			return true
+		}
+	}
+	return false
 }
 
 // RunLive executes one live experiment against the compiled deployment plan.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	plan, err := CompilePlan(PlanConfig{
-		Spec:       cfg.Spec,
-		NewSampler: cfg.NewSampler,
-		Cost:       cfg.Cost,
-		Queries:    cfg.Queries,
-		Seed:       cfg.Seed,
-		Partitions: cfg.Partitions,
-		RootShards: cfg.RootShards,
+		Spec:        cfg.Spec,
+		NewSampler:  cfg.NewSampler,
+		Cost:        cfg.Cost,
+		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
+		Partitions:  cfg.Partitions,
+		RootShards:  cfg.RootShards,
+		LayerShards: cfg.LayerShards,
 	})
 	if err != nil {
 		return nil, err
@@ -170,68 +313,89 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		}
 	}
 
-	// Edge layers: one streams.Runtime per compiled node descriptor.
-	var runtimes []*streams.Runtime
-	stopAll := func() {
-		for i := len(runtimes) - 1; i >= 0; i-- {
-			_ = runtimes[i].Stop()
-		}
-	}
-	for _, desc := range plan.EdgeNodes() {
-		proc := &samplingProcessor{node: plan.NewNode(desc), window: cfg.Window, streaming: cfg.Streaming}
-		topo, err := streams.NewTopology().
-			Source("in", desc.Topic).
-			Processor("sampler", func() streams.Processor { return proc }, "in").
-			Sink("out", desc.ParentTopic, "sampler").
-			Build()
-		if err != nil {
-			stopAll()
-			return nil, err
-		}
-		rt, err := streams.NewRuntime(broker, topo, desc.ID,
-			streams.WithPollWait(time.Millisecond),
-			streams.WithPollBatch(512))
-		if err != nil {
-			stopAll()
-			return nil, err
-		}
-		if err := rt.Start(); err != nil {
-			stopAll()
-			return nil, err
-		}
-		runtimes = append(runtimes, rt)
-	}
-
-	// Root consumer group: RootShards members split the root topic's
-	// partitions. Each shard aggregates and samples its share; a window
-	// ticker merges every shard's Θ and runs the queries once.
-	engine := query.NewEngine()
-	shards := make([]*rootShard, plan.RootShards)
-	for i := range shards {
-		c, err := mq.NewGroupConsumer(broker, plan.Root().Topic, "root")
-		if err != nil {
-			stopAll()
-			return nil, err
-		}
-		defer c.Close()
-		shards[i] = &rootShard{node: plan.NewRootShard(i), consumer: c}
-	}
-
 	res := &LiveResult{}
 	var (
 		rootProcessed atomic.Int64
+		decodeErrs    atomic.Int64
 		lastActivity  atomic.Int64 // unix nanos of last root processing
-		busyShards    atomic.Int64 // shards mid-burst (processing a poll)
-		windowMu      sync.Mutex   // serializes window closes; guards res.Windows
 	)
+
+	// Edge layers: one shard group per compiled node descriptor — the
+	// node's consumer group, desc.Shards members strong.
+	var groups []*shardGroup
+	stopAll := func() {
+		for i := len(groups) - 1; i >= 0; i-- {
+			groups[i].stop()
+		}
+	}
+	var edgeProcs []*samplingProcessor
+	for _, desc := range plan.EdgeNodes() {
+		desc := desc
+		grp, err := newShardGroup(broker, desc, func(shard int) streams.Processor {
+			sp := &samplingProcessor{
+				node:       plan.NewNodeShard(desc, shard),
+				window:     cfg.Window,
+				streaming:  cfg.Streaming,
+				decodeErrs: &decodeErrs,
+			}
+			edgeProcs = append(edgeProcs, sp)
+			return sp
+		})
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		groups = append(groups, grp)
+	}
+
+	// Root consumer group: the same shard-group machinery, with
+	// root-flavored members. RootShards members split the root topic's
+	// partitions; each aggregates and samples its share, and a window
+	// ticker merges every member's Θ and runs the queries once.
+	rootProcs := make([]*rootProcessor, plan.RootShards)
+	rootGrp, err := newShardGroup(broker, plan.Root(), func(shard int) streams.Processor {
+		p := &rootProcessor{
+			node:         plan.NewRootShard(shard),
+			work:         cfg.RootWork,
+			processed:    &rootProcessed,
+			decodeErrs:   &decodeErrs,
+			lastActivity: &lastActivity,
+		}
+		rootProcs[shard] = p
+		return p
+	})
+	if err != nil {
+		stopAll()
+		return nil, err
+	}
+	groups = append(groups, rootGrp)
+
+	if cfg.corruptRoot > 0 {
+		// Test hook: poison the root topic before anything consumes it.
+		p := mq.NewProducer(broker)
+		for i := 0; i < cfg.corruptRoot; i++ {
+			if _, _, err := p.Send(plan.Root().Topic, nil, []byte{0xFF, 0xBA, 0xD0}); err != nil {
+				stopAll()
+				return nil, err
+			}
+		}
+	}
+
+	for _, g := range groups {
+		if err := g.start(); err != nil {
+			stopAll()
+			return nil, err
+		}
+	}
+
+	engine := query.NewEngine()
+	var windowMu sync.Mutex // serializes window closes; guards res.Windows
 	closeWindow := func(at time.Time) {
 		windowMu.Lock()
 		defer windowMu.Unlock()
 		var theta []stream.Batch
-		for _, sh := range shards {
-			sh.mu.Lock()
-			theta = append(theta, sh.node.CloseInterval()...)
-			sh.mu.Unlock()
+		for _, rp := range rootProcs {
+			theta = append(theta, rp.closeInterval()...)
 		}
 		win := NewWindowResult(at, engine, plan.Queries, theta)
 		if win.SampleSize > 0 {
@@ -239,50 +403,18 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		}
 	}
 
-	rootCtx, cancelRoot := context.WithCancel(context.Background())
-	var rootWG sync.WaitGroup
-	for _, sh := range shards {
-		sh := sh
-		rootWG.Add(1)
-		go func() {
-			defer rootWG.Done()
-			var scratch stream.Batch // reused decode buffer; IngestBatch copies out
-			for {
-				// Poll blocks on the topic's wait channel until records
-				// arrive or the context cancels — the pipeline idles
-				// without spinning.
-				recs, err := sh.consumer.Poll(rootCtx, 512)
-				if err != nil {
-					return
-				}
-				busyShards.Add(1)
-				lastActivity.Store(time.Now().UnixNano())
-				for _, rec := range recs {
-					if err := stream.UnmarshalBatchInto(&scratch, rec.Value); err != nil {
-						continue
-					}
-					spin(time.Duration(len(scratch.Items)) * cfg.RootWork)
-					sh.mu.Lock()
-					sh.node.IngestBatch(scratch)
-					sh.mu.Unlock()
-					rootProcessed.Add(int64(len(scratch.Items)))
-					lastActivity.Store(time.Now().UnixNano())
-				}
-				busyShards.Add(-1)
-			}
-		}()
-	}
-
 	// Window ticker: a blocking select — no busy branch — closes windows
-	// while the shards poll.
-	rootWG.Add(1)
+	// while the members pump.
+	tickCtx, cancelTick := context.WithCancel(context.Background())
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
 	go func() {
-		defer rootWG.Done()
+		defer tickWG.Done()
 		ticker := time.NewTicker(cfg.Window)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-rootCtx.Done():
+			case <-tickCtx.Done():
 				return
 			case now := <-ticker.C:
 				closeWindow(now)
@@ -290,12 +422,15 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		}
 	}()
 
-	// Sources: produce Items total, split across source nodes, publishing
-	// one batch per sub-stream per chunk, keyed by SourceID so a sub-stream
-	// sticks to one partition.
+	// Sources: produce Items total, split across source nodes — the
+	// remainder of Items/Sources spread one item each over the low-indexed
+	// sources, so exactly Items are produced — publishing one batch per
+	// sub-stream per chunk, keyed by SourceID so a sub-stream sticks to
+	// one partition.
 	start := time.Now()
 	lastActivity.Store(start.UnixNano())
 	perSource := cfg.Items / int64(spec.Sources)
+	remainder := cfg.Items % int64(spec.Sources)
 	var (
 		produced atomic.Int64
 		truthMu  sync.Mutex
@@ -307,6 +442,10 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	}
 	for s := 0; s < spec.Sources; s++ {
 		s := s
+		quota := perSource
+		if int64(s) < remainder {
+			quota++
+		}
 		srcWG.Add(1)
 		go func() {
 			defer srcWG.Done()
@@ -316,14 +455,14 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 			var sent int64
 			now := start
 			var localTruth float64
-			for sent < perSource {
+			for sent < quota {
 				items := gen.Generate(now, chunk)
 				now = now.Add(chunk)
 				if len(items) == 0 {
 					continue
 				}
-				if int64(len(items)) > perSource-sent {
-					items = items[:perSource-sent]
+				if int64(len(items)) > quota-sent {
+					items = items[:quota-sent]
 				}
 				for _, it := range items {
 					localTruth += it.Value
@@ -350,32 +489,44 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	}
 	srcWG.Wait()
 
-	// Drain: wait until every layer is caught up and the root has been
-	// idle for several windows (final punctuation flushes included).
+	// Drain: wait until every group is caught up and the root has been
+	// idle for several windows (final punctuation flushes included). Every
+	// in-flight item is visible to this probe as exactly one of: unfetched
+	// topic lag, a busy member pump (records dispatch after their offsets
+	// commit), or Ψ buffered in an edge member awaiting its window flush —
+	// so the conjunction below cannot declare quiescence early no matter
+	// how the scheduler starves the pipeline. Read order matters: pending
+	// is sampled BEFORE the group lags, so a batch that flushes mid-probe
+	// is caught either in Ψ at the pending read or as parent-topic lag in
+	// the later group sweep (flushes forward before zeroing pending).
 	deadline := time.Now().Add(2 * time.Minute)
 	for time.Now().Before(deadline) {
-		var lag int64
-		for _, rt := range runtimes {
-			lag += rt.Lag()
+		var lag, pending int64
+		busy := false
+		for _, sp := range edgeProcs {
+			pending += sp.pending.Load()
 		}
-		for _, sh := range shards {
-			lag += sh.consumer.Lag()
+		for _, g := range groups {
+			lag += g.lag()
+			busy = busy || g.busy()
 		}
 		idle := time.Since(time.Unix(0, lastActivity.Load()))
-		if lag == 0 && busyShards.Load() == 0 && idle > 4*cfg.Window {
+		if lag == 0 && !busy && pending == 0 && idle > 4*cfg.Window {
 			break
 		}
 		time.Sleep(cfg.Window / 4)
 	}
 	end := time.Unix(0, lastActivity.Load())
 
-	cancelRoot()
-	rootWG.Wait()
+	cancelTick()
+	tickWG.Wait()
+	rootGrp.stop()          // root members fully drain their fetched records
 	closeWindow(time.Now()) // final partial window
 	stopAll()
 
 	res.Produced = produced.Load()
 	res.RootProcessed = rootProcessed.Load()
+	res.DecodeErrors = decodeErrs.Load()
 	res.Elapsed = end.Sub(start)
 	if res.Elapsed > 0 {
 		res.Throughput = float64(res.Produced) / res.Elapsed.Seconds()

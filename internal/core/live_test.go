@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/streams"
 	"github.com/approxiot/approxiot/internal/topology"
 )
 
@@ -152,6 +154,141 @@ func TestLiveShardsRequirePartitions(t *testing.T) {
 	cfg.RootShards = 4
 	if _, err := RunLive(cfg); !errors.Is(err, ErrShardsExceedPartitions) {
 		t.Fatalf("err = %v, want ErrShardsExceedPartitions", err)
+	}
+	cfg = liveConfig(100, 0.5)
+	cfg.Partitions = 2
+	cfg.LayerShards = []int{1, 4}
+	if _, err := RunLive(cfg); !errors.Is(err, ErrShardsExceedPartitions) {
+		t.Fatalf("layer err = %v, want ErrShardsExceedPartitions", err)
+	}
+	cfg = liveConfig(100, 0.5)
+	cfg.Partitions = 4
+	cfg.LayerShards = []int{1, 1, 2} // testbed has 2 edge layers; index 2 is the root
+	if _, err := RunLive(cfg); !errors.Is(err, ErrLayerShardsRoot) {
+		t.Fatalf("root-entry err = %v, want ErrLayerShardsRoot", err)
+	}
+}
+
+func TestLiveProducedMatchesItemsWithRemainder(t *testing.T) {
+	// 16001 does not divide across the testbed's 8 sources; the remainder
+	// must be produced, not silently dropped (the old per-source integer
+	// division lost Items % Sources items every uneven run).
+	res, err := RunLive(liveConfig(16001, 0.25))
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.Produced != 16001 {
+		t.Fatalf("produced %d items, want exactly 16001", res.Produced)
+	}
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("estimated count %.1f vs produced %d (rel %.2e)", res.EstimateCount, res.Produced, rel)
+	}
+}
+
+func TestLiveLayerShardedMatchesSingleShard(t *testing.T) {
+	// Sharding every edge layer must not change what the pipeline
+	// estimates: each group member samples the partitions it owns and
+	// forwards weighted batches, so the count estimate composes exactly at
+	// any {LayerShards, RootShards} combination (no merge barrier needed).
+	run := func(layerShards []int, rootShards int) *LiveResult {
+		cfg := liveConfig(16000, 0.5)
+		cfg.Partitions = 4
+		cfg.RootShards = rootShards
+		cfg.LayerShards = layerShards
+		res, err := RunLive(cfg)
+		if err != nil {
+			t.Fatalf("RunLive(layers=%v, root=%d): %v", layerShards, rootShards, err)
+		}
+		return res
+	}
+	single := run(nil, 1)
+	sharded := run([]int{4, 2}, 4) // every interior layer scaled out
+
+	if single.Produced != sharded.Produced {
+		t.Fatalf("produced %d vs %d, want identical under same seed", single.Produced, sharded.Produced)
+	}
+	for name, res := range map[string]*LiveResult{"single": single, "layer-sharded": sharded} {
+		if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+			t.Fatalf("%s: estimated count %.1f vs produced %d", name, res.EstimateCount, res.Produced)
+		}
+		if loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum; loss > 0.05 {
+			t.Fatalf("%s: accuracy loss %.3f, want < 5%% at fraction 0.5", name, loss)
+		}
+		if res.DecodeErrors != 0 {
+			t.Fatalf("%s: %d decode errors on a clean run", name, res.DecodeErrors)
+		}
+	}
+	if rel := math.Abs(single.EstimateCount-sharded.EstimateCount) / single.EstimateCount; rel > 1e-9 {
+		t.Fatalf("count estimates diverged: %.1f vs %.1f", single.EstimateCount, sharded.EstimateCount)
+	}
+}
+
+func TestLiveLayerShardedNativeExact(t *testing.T) {
+	// Native passthrough with every layer sharded: each produced item
+	// traverses every consumer group exactly once — no loss, no
+	// duplication — and the estimate stays exact.
+	cfg := liveConfig(8000, 1)
+	cfg.NewSampler = NativeFactory()
+	cfg.Cost = FractionBudget{Fraction: 1}
+	cfg.Streaming = true
+	cfg.Partitions = 4
+	cfg.LayerShards = []int{3, 2} // deliberately not dividing 4 evenly
+	cfg.RootShards = 3
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.RootProcessed != res.Produced {
+		t.Fatalf("layer-sharded native root processed %d of %d", res.RootProcessed, res.Produced)
+	}
+	loss := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum
+	if loss > 1e-9 {
+		t.Fatalf("layer-sharded native loss = %g, want exact", loss)
+	}
+}
+
+func TestLiveDecodeErrorsCounted(t *testing.T) {
+	// Corrupt records must be counted and skipped, not silently swallowed
+	// (the old root loop `continue`d past them) and not allowed to kill
+	// the pipeline.
+	cfg := liveConfig(8000, 0.5)
+	cfg.Partitions = 2
+	cfg.RootShards = 2
+	cfg.corruptRoot = 3
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.DecodeErrors != 3 {
+		t.Fatalf("DecodeErrors = %d, want 3", res.DecodeErrors)
+	}
+	// The healthy records still flow: the count invariant is untouched.
+	if res.Produced != 8000 {
+		t.Fatalf("produced %d, want 8000", res.Produced)
+	}
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("estimated count %.1f vs produced %d after corrupt records", res.EstimateCount, res.Produced)
+	}
+}
+
+func TestSamplingProcessorCountsDecodeErrors(t *testing.T) {
+	// The edge layers run the same policy as the root: a record that fails
+	// to decode increments the shared counter and is skipped without
+	// failing the member's runtime.
+	var errs atomic.Int64
+	p := &samplingProcessor{
+		node:       NewNode("edge-test", WHSFactory()(0, 0, 1), EffectiveFractionBudget{Fraction: 0.5}),
+		window:     time.Second,
+		decodeErrs: &errs,
+	}
+	if err := p.Process(streams.Message{Value: []byte{0xFF, 0xBA, 0xD0}}); err != nil {
+		t.Fatalf("corrupt record errored the processor: %v", err)
+	}
+	if errs.Load() != 1 {
+		t.Fatalf("decode errors = %d, want 1", errs.Load())
+	}
+	if p.node.Observed() != 0 {
+		t.Fatalf("corrupt record ingested %d items", p.node.Observed())
 	}
 }
 

@@ -20,7 +20,9 @@ import (
 var (
 	ErrNoPartitions           = errors.New("core: PlanConfig.Partitions must be at least 1")
 	ErrNoRootShards           = errors.New("core: PlanConfig.RootShards must be at least 1")
-	ErrShardsExceedPartitions = errors.New("core: RootShards must not exceed Partitions (extra shards would own no partitions)")
+	ErrShardsExceedPartitions = errors.New("core: shard count must not exceed Partitions (extra shards would own no partitions)")
+	ErrNegativeLayerShards    = errors.New("core: LayerShards entries must be non-negative")
+	ErrLayerShardsRoot        = errors.New("core: LayerShards configures edge layers only; size the root group with RootShards")
 )
 
 // PlanConfig is the mode-independent description of a deployment: everything
@@ -44,6 +46,15 @@ type PlanConfig struct {
 	// Each shard aggregates the partitions it owns; shards merge at window
 	// close. Must not exceed Partitions.
 	RootShards int
+	// LayerShards sizes the live consumer group of every node in an edge
+	// layer, indexed by layer (missing or zero entries default to 1). Each
+	// member owns a private sampling node over the partitions it is
+	// assigned and forwards its weighted batches independently — Eq. 8
+	// weight compounding keeps the count estimate exact at any shard
+	// count, so no merge barrier exists between members. Entries must not
+	// exceed Partitions; the root layer is sized by RootShards, so
+	// LayerShards must be shorter than the layer list.
+	LayerShards []int
 }
 
 // NodeDesc is one compiled computing node of the tree: pure data, ready for
@@ -63,6 +74,10 @@ type NodeDesc struct {
 	// factories derive it from (layer, index, plan seed) — introspection
 	// metadata; a custom SamplerFactory may mix its inputs differently.
 	SamplerSeed uint64
+	// Shards is the size of the node's live consumer group: how many
+	// members jointly consume Topic, each with a private sampling node
+	// (LayerShards for edge layers, RootShards at the root; always ≥ 1).
+	Shards int
 	// IsRoot marks the datacenter node.
 	IsRoot bool
 }
@@ -93,9 +108,12 @@ type Plan struct {
 	Queries []query.Kind
 	// Seed is the plan-wide seed root.
 	Seed uint64
-	// Partitions and RootShards are the live-mode parallelism knobs.
-	Partitions int
-	RootShards int
+	// Partitions, RootShards, and LayerShards are the live-mode
+	// parallelism knobs. LayerShards is normalized to one entry per layer
+	// (the root entry mirrors RootShards, every entry ≥ 1).
+	Partitions  int
+	RootShards  int
+	LayerShards []int
 	// Layers holds one descriptor per node, indexed [layer][node].
 	Layers [][]NodeDesc
 	// Sources holds one descriptor per IoT source.
@@ -139,21 +157,43 @@ func CompilePlan(cfg PlanConfig) (*Plan, error) {
 		return nil, ErrNoRootShards
 	}
 	if cfg.RootShards > cfg.Partitions {
-		return nil, ErrShardsExceedPartitions
+		return nil, fmt.Errorf("%w: RootShards %d over %d partitions", ErrShardsExceedPartitions, cfg.RootShards, cfg.Partitions)
 	}
 
 	spec := cfg.Spec
 	rootLayer := spec.RootLayer()
+	if len(cfg.LayerShards) > rootLayer {
+		return nil, ErrLayerShardsRoot
+	}
+	layerShards := make([]int, len(spec.Layers))
+	for l := range layerShards {
+		layerShards[l] = 1
+	}
+	layerShards[rootLayer] = cfg.RootShards
+	for l, s := range cfg.LayerShards {
+		if s < 0 {
+			return nil, fmt.Errorf("%w: layer %d wants %d", ErrNegativeLayerShards, l, s)
+		}
+		if s == 0 {
+			continue
+		}
+		if s > cfg.Partitions {
+			return nil, fmt.Errorf("%w: layer %d wants %d shards over %d partitions", ErrShardsExceedPartitions, l, s, cfg.Partitions)
+		}
+		layerShards[l] = s
+	}
+
 	p := &Plan{
-		Spec:       spec,
-		Queries:    append([]query.Kind(nil), cfg.Queries...),
-		Seed:       cfg.Seed,
-		Partitions: cfg.Partitions,
-		RootShards: cfg.RootShards,
-		Layers:     make([][]NodeDesc, len(spec.Layers)),
-		Sources:    make([]SourceDesc, spec.Sources),
-		newSampler: cfg.NewSampler,
-		cost:       cfg.Cost,
+		Spec:        spec,
+		Queries:     append([]query.Kind(nil), cfg.Queries...),
+		Seed:        cfg.Seed,
+		Partitions:  cfg.Partitions,
+		RootShards:  cfg.RootShards,
+		LayerShards: layerShards,
+		Layers:      make([][]NodeDesc, len(spec.Layers)),
+		Sources:     make([]SourceDesc, spec.Sources),
+		newSampler:  cfg.NewSampler,
+		cost:        cfg.Cost,
 	}
 	for l, ls := range spec.Layers {
 		p.Layers[l] = make([]NodeDesc, ls.Nodes)
@@ -166,6 +206,7 @@ func CompilePlan(cfg PlanConfig) (*Plan, error) {
 				ParentIndex: -1,
 				Topic:       topicName(l, i),
 				SamplerSeed: nodeSeed(l, i, cfg.Seed),
+				Shards:      layerShards[l],
 				IsRoot:      l == rootLayer,
 			}
 			if !d.IsRoot {
@@ -217,35 +258,48 @@ func (p *Plan) NewNode(d NodeDesc) *Node {
 	return NewNode(d.ID, p.newSampler(d.Layer, d.Index, p.Seed), p.cost)
 }
 
-// NewRootShard instantiates one shard of the root's sampling stage. Shard 0
-// carries the root's canonical seed lineage, so a single-shard plan samples
-// identically to the pre-sharding root; additional shards get their own
-// lineage (the root layer has exactly one node, so shard indexes cannot
-// collide with node indexes elsewhere in the layer).
+// shardSeed salts the plan seed for shard members beyond the canonical
+// shard 0. The salt is a per-shard odd-constant multiple (a bijection on
+// uint64), so a shard's (layer, index, salted seed) lineage collides with
+// no tree node's and with no other shard's.
+func shardSeed(seed uint64, shard int) uint64 {
+	return seed + uint64(shard)*0x9e3779b97f4a7c15
+}
+
+// NewNodeShard instantiates one consumer-group member of a compiled node.
+// Shard 0 carries the node's canonical identity and seed lineage, so a
+// single-member group samples identically to the unsharded node; members
+// beyond 0 get their own identity and a salted seed lineage.
 //
-// Each shard applies the plan's cost function over the partitions it owns.
-// Input-relative budgets (FractionBudget, EffectiveFractionBudget, the
-// feedback controller) compose exactly — the shards jointly observe the
-// same input a single root would. The absolute FixedBudget is the root's
-// *total* sample cap, so it is divided across shards here; a custom
-// CostFunction with absolute semantics is applied per shard as-is.
-func (p *Plan) NewRootShard(shard int) *Node {
-	root := p.Root()
-	id := root.ID
+// Each member applies the plan's cost function over the partitions it
+// owns. Input-relative budgets (FractionBudget, EffectiveFractionBudget,
+// the feedback controller) compose exactly — the members jointly observe
+// the same input a single node would. The absolute FixedBudget is the
+// node's *total* sample cap, so it is divided across the group here; a
+// custom CostFunction with absolute semantics is applied per member as-is.
+func (p *Plan) NewNodeShard(d NodeDesc, shard int) *Node {
+	id := d.ID
 	if shard > 0 {
-		id = fmt.Sprintf("%s-shard%d", root.ID, shard)
+		id = fmt.Sprintf("%s-shard%d", d.ID, shard)
 	}
 	cost := p.cost
-	if fb, ok := cost.(FixedBudget); ok && p.RootShards > 1 {
+	if fb, ok := cost.(FixedBudget); ok && d.Shards > 1 {
 		// Spread the cap exactly: Size/N each, remainder to the low shards,
 		// so shard budgets total Size and none is starved unless Size < N.
-		size := fb.Size / p.RootShards
-		if shard < fb.Size%p.RootShards {
+		size := fb.Size / d.Shards
+		if shard < fb.Size%d.Shards {
 			size++
 		}
 		cost = FixedBudget{Size: size}
 	}
-	return NewNode(id, p.newSampler(root.Layer, shard, p.Seed), cost)
+	return NewNode(id, p.newSampler(d.Layer, d.Index, shardSeed(p.Seed, shard)), cost)
+}
+
+// NewRootShard instantiates one member of the root's sampling stage; the
+// live runner merges member outputs at window close (weight compounding
+// makes the merged estimate exact at any member count).
+func (p *Plan) NewRootShard(shard int) *Node {
+	return p.NewNodeShard(p.Root(), shard)
 }
 
 // NewRoot instantiates the full root node — sampling stage plus query

@@ -246,3 +246,110 @@ func TestPlanPartitionKnobsPropagate(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanLayerShards(t *testing.T) {
+	// Defaults: every descriptor is a single-member group.
+	plan, err := CompilePlan(testPlanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, layer := range plan.Layers {
+		for _, d := range layer {
+			if d.Shards != 1 {
+				t.Fatalf("default node (%d,%d) has %d shards, want 1", l, d.Index, d.Shards)
+			}
+		}
+	}
+	if len(plan.LayerShards) != len(plan.Spec.Layers) {
+		t.Fatalf("normalized LayerShards has %d entries, want one per layer (%d)", len(plan.LayerShards), len(plan.Spec.Layers))
+	}
+
+	// Explicit per-layer counts land on the descriptors; zero entries
+	// default; the root entry mirrors RootShards.
+	cfg := testPlanConfig()
+	cfg.Partitions = 8
+	cfg.RootShards = 4
+	cfg.LayerShards = []int{3, 0}
+	plan, err = CompilePlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 1, 4}
+	for l, layer := range plan.Layers {
+		for _, d := range layer {
+			if d.Shards != want[l] {
+				t.Fatalf("node (%d,%d) has %d shards, want %d", l, d.Index, d.Shards, want[l])
+			}
+		}
+	}
+	if plan.LayerShards[plan.RootLayer()] != 4 {
+		t.Fatalf("normalized root entry = %d, want RootShards 4", plan.LayerShards[plan.RootLayer()])
+	}
+
+	// Validation: negative entries, entries beyond the partitions, and
+	// attempts to size the root layer are all rejected.
+	cfg = testPlanConfig()
+	cfg.LayerShards = []int{-1}
+	if _, err := CompilePlan(cfg); !errors.Is(err, ErrNegativeLayerShards) {
+		t.Fatalf("err = %v, want ErrNegativeLayerShards", err)
+	}
+	cfg = testPlanConfig()
+	cfg.Partitions = 2
+	cfg.LayerShards = []int{3}
+	if _, err := CompilePlan(cfg); !errors.Is(err, ErrShardsExceedPartitions) {
+		t.Fatalf("err = %v, want ErrShardsExceedPartitions", err)
+	}
+	cfg = testPlanConfig()
+	cfg.Partitions = 4
+	cfg.LayerShards = []int{1, 1, 2}
+	if _, err := CompilePlan(cfg); !errors.Is(err, ErrLayerShardsRoot) {
+		t.Fatalf("err = %v, want ErrLayerShardsRoot", err)
+	}
+}
+
+func TestPlanNodeShardIdentityAndLineage(t *testing.T) {
+	// Shard 0 of any node must be indistinguishable from the unsharded
+	// node (canonical identity and seed lineage); members beyond 0 get
+	// their own identity and a lineage that collides with no tree node's.
+	cfg := testPlanConfig()
+	cfg.Partitions = 4
+	cfg.RootShards = 2
+	cfg.LayerShards = []int{2, 2}
+	plan, err := CompilePlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, layer := range plan.Layers {
+		for _, d := range layer {
+			shard0 := plan.NewNodeShard(d, 0)
+			if shard0.ID() != d.ID {
+				t.Fatalf("shard 0 of %s has ID %q", d.ID, shard0.ID())
+			}
+			for shard := 0; shard < d.Shards; shard++ {
+				id := plan.NewNodeShard(d, shard).ID()
+				if seen[id] {
+					t.Fatalf("duplicate member identity %q", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	// Salted shard seeds collide with no node seed of any layer.
+	nodeSeeds := make(map[uint64]string)
+	for l, layer := range plan.Layers {
+		for _, d := range layer {
+			nodeSeeds[nodeSeed(l, d.Index, plan.Seed)] = d.ID
+		}
+	}
+	for l, layer := range plan.Layers {
+		for _, d := range layer {
+			for shard := 1; shard < d.Shards; shard++ {
+				s := nodeSeed(l, d.Index, shardSeed(plan.Seed, shard))
+				if owner, ok := nodeSeeds[s]; ok {
+					t.Fatalf("shard %d of %s shares seed lineage with node %s", shard, d.ID, owner)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mq
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -61,6 +62,69 @@ func TestGroupsListing(t *testing.T) {
 	got := topic.Groups()
 	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
 		t.Fatalf("Groups() = %v, want sorted [alpha zeta]", got)
+	}
+}
+
+func TestGroupMemberCloseRebalancesAndDrains(t *testing.T) {
+	// A member leaving mid-run must release its partitions to the
+	// survivors, who then drain the topic to zero group lag — the dynamic
+	// half of the consumer-group contract (the static split is covered by
+	// the consumer tests).
+	b := NewBroker()
+	topic := newTestTopic(t, b, "t", 4)
+	p := NewProducer(b)
+	c1, err := NewGroupConsumer(b, "t", "g")
+	if err != nil {
+		t.Fatalf("NewGroupConsumer: %v", err)
+	}
+	c2, err := NewGroupConsumer(b, "t", "g")
+	if err != nil {
+		t.Fatalf("NewGroupConsumer: %v", err)
+	}
+	defer c2.Close()
+
+	if got := len(c1.Assignment()) + len(c2.Assignment()); got != 4 {
+		t.Fatalf("two members jointly own %d partitions, want 4", got)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		// Distinct keys spread records across all four partitions.
+		if _, _, err := p.Send("t", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+
+	// c1 consumes part of its share, then leaves mid-run. Its committed
+	// offsets stay with the group, so nothing it already processed is
+	// replayed and nothing it had not reached is lost.
+	if _, err := c1.Poll(context.Background(), 8); err != nil {
+		t.Fatalf("c1.Poll: %v", err)
+	}
+	c1.Close()
+	if got := c1.Assignment(); len(got) != 0 {
+		t.Fatalf("closed member still owns partitions %v", got)
+	}
+	if got := c2.Assignment(); len(got) != 4 {
+		t.Fatalf("survivor owns %v after rebalance, want all 4 partitions", got)
+	}
+
+	// The survivor drains everything that remains.
+	seen := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && c2.Lag() > 0 {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		recs, err := c2.Poll(ctx, 16)
+		cancel()
+		if err != nil {
+			t.Fatalf("survivor Poll: %v", err)
+		}
+		seen += len(recs)
+	}
+	if lag, err := topic.GroupLag("g"); err != nil || lag != 0 {
+		t.Fatalf("group lag after drain = (%d, %v), want 0", lag, err)
+	}
+	if seen < n-8 {
+		t.Fatalf("survivor drained %d records, want at least %d (all minus the leaver's committed share)", seen, n-8)
 	}
 }
 

@@ -9,16 +9,27 @@ import (
 
 // group coordinates the members of one consumer group on one topic: it
 // tracks committed offsets per partition and deals partitions out to members
-// round-robin, rebalancing whenever membership changes.
+// round-robin, rebalancing whenever membership changes. Membership is
+// guarded by mu; each committed offset has its own lock so members fetching
+// disjoint partitions never contend.
 type group struct {
-	mu        sync.Mutex
-	nextID    int
-	members   []string
-	committed []int64
+	mu      sync.Mutex
+	nextID  int
+	members []string
+
+	committed []groupOffset
+}
+
+// groupOffset is one partition's committed position, individually locked so
+// claim can make read-fetch-commit atomic per partition without serializing
+// the whole group.
+type groupOffset struct {
+	mu  sync.Mutex
+	off int64
 }
 
 func newGroup(partitions int) *group {
-	return &group{committed: make([]int64, partitions)}
+	return &group{committed: make([]groupOffset, partitions)}
 }
 
 func (g *group) join() string {
@@ -67,18 +78,40 @@ func (g *group) assignment(id string, partitions int) []int {
 }
 
 func (g *group) committedOffset(p int) int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.committed[p]
+	po := &g.committed[p]
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	return po.off
 }
 
 // commit advances the committed offset for partition p, never regressing.
 func (g *group) commit(p int, offset int64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if offset > g.committed[p] {
-		g.committed[p] = offset
+	po := &g.committed[p]
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	if offset > po.off {
+		po.off = offset
 	}
+}
+
+// claim atomically reads partition p's committed offset, fetches records
+// through fetch, and commits past them — all under the partition's offset
+// lock, so even when a rebalance leaves two members momentarily believing
+// they own p (assignments are snapshotted before fetching), a record is
+// delivered to at most one of them: the second claimant starts from the
+// advanced offset. Members on disjoint partitions proceed concurrently.
+func (g *group) claim(p int, fetch func(from int64) ([]Record, error)) ([]Record, error) {
+	po := &g.committed[p]
+	po.mu.Lock()
+	defer po.mu.Unlock()
+	recs, err := fetch(po.off)
+	if err != nil || len(recs) == 0 {
+		return recs, err
+	}
+	if next := recs[len(recs)-1].Offset + 1; next > po.off {
+		po.off = next
+	}
+	return recs, nil
 }
 
 // Consumer reads records from one topic, either as a member of a consumer
@@ -176,6 +209,22 @@ func (c *Consumer) TryPoll(max int) ([]Record, error) {
 	return c.pollOnce(max)
 }
 
+// WaitChan returns a channel closed on the topic's next append (or already
+// closed if the topic is shut down). Arm it *before* a TryPoll, then block
+// on it only if the poll came back empty — the arm-before-read order makes
+// a wakeup between the poll and the wait impossible to lose. After a wakeup
+// with no records, check TopicClosed: a shut-down topic wakes immediately
+// and forever.
+func (c *Consumer) WaitChan() <-chan struct{} {
+	return c.topic.waitCh()
+}
+
+// TopicClosed reports whether the consumer's topic has been shut down.
+// Retained records can still be fetched, but no new records will arrive.
+func (c *Consumer) TopicClosed() bool {
+	return c.topic.isClosed()
+}
+
 func (c *Consumer) pollOnce(max int) ([]Record, error) {
 	owned := c.Assignment()
 	if len(owned) == 0 {
@@ -189,6 +238,25 @@ func (c *Consumer) pollOnce(max int) ([]Record, error) {
 	var out []Record
 	for i := 0; i < len(owned) && len(out) < max; i++ {
 		p := owned[(start+i)%len(owned)]
+		if c.grp != nil {
+			// Group mode: fetch-and-commit atomically, so concurrent
+			// members — including stale owners mid-rebalance — never
+			// deliver the same record twice.
+			recs, err := c.grp.claim(p, func(from int64) ([]Record, error) {
+				recs, err := c.topic.Fetch(p, from, max-len(out))
+				if err == ErrOutOfRange {
+					// The log was compacted past the committed offset;
+					// skip forward to the oldest retained record.
+					return c.topic.Fetch(p, c.topic.LowWatermark(p), max-len(out))
+				}
+				return recs, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, recs...)
+			continue
+		}
 		from := c.position(p)
 		recs, err := c.topic.Fetch(p, from, max-len(out))
 		if err == ErrOutOfRange {

@@ -86,11 +86,22 @@ func (t *Topic) append(p int, rec Record) (int64, error) {
 	return offset, nil
 }
 
-// waitCh returns a channel closed on the next append (or immediately if the
-// topic is closed).
+// closedChan is returned by waitCh on a shut-down topic so waiters armed
+// after the close still wake immediately.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// waitCh returns a channel closed on the next append, or an already-closed
+// channel if the topic is shut down.
 func (t *Topic) waitCh() <-chan struct{} {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return closedChan
+	}
 	return t.changed
 }
 

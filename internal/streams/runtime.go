@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/approxiot/approxiot/internal/mq"
@@ -32,6 +33,7 @@ type Runtime struct {
 	puncts  []*punctuation
 	started bool
 	stopped bool
+	busy    atomic.Bool // pump mid-cycle (set before fetching, cleared when idle)
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -159,9 +161,14 @@ func (r *Runtime) dispatch(name string, msg Message) error {
 	}
 }
 
-// Start initializes all processors and launches the pump goroutine.
+// Start initializes all processors and launches the pump goroutine. A
+// runtime that was stopped (even before ever starting) cannot be started.
 func (r *Runtime) Start() error {
 	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return errors.New("streams: runtime stopped")
+	}
 	if r.started {
 		r.mu.Unlock()
 		return errors.New("streams: runtime already started")
@@ -169,9 +176,21 @@ func (r *Runtime) Start() error {
 	r.started = true
 	r.mu.Unlock()
 
-	for _, name := range r.topo.order {
+	for i, name := range r.topo.order {
 		if p, ok := r.instances[name]; ok {
 			if err := p.Init(r.contexts[name]); err != nil {
+				// Failed mid-init: close what was initialized and revert to
+				// never-started, so a subsequent Stop cleans up consumers
+				// without touching the unlaunched pump (nil cancel, open
+				// done channel).
+				for _, prev := range r.topo.order[:i] {
+					if q, ok := r.instances[prev]; ok {
+						_ = q.Close()
+					}
+				}
+				r.mu.Lock()
+				r.started = false
+				r.mu.Unlock()
 				return fmt.Errorf("streams: init %q: %w", name, err)
 			}
 		}
@@ -185,13 +204,28 @@ func (r *Runtime) Start() error {
 // pump is the single processing loop.
 func (r *Runtime) pump(ctx context.Context) {
 	defer close(r.done)
+	defer r.busy.Store(false)
 	sources := r.topo.Sources()
+	// With a single source (every edge-tree topology) the idle branch can
+	// block on the topic's append signal instead of sleeping the full poll
+	// wait — the runtime wakes the moment records arrive, like a blocking
+	// Kafka poll. The channel is armed before each poll so a record landing
+	// between the empty poll and the wait is never missed.
+	var wake <-chan struct{}
+	single := len(sources) == 1
 	for {
 		if ctx.Err() != nil {
 			return
 		}
+		// Mark busy BEFORE fetching: a group poll commits offsets at fetch
+		// time (Lag drops before the records are dispatched), so quiescence
+		// probes must see either lag > 0 or Busy() — never a gap.
+		r.busy.Store(true)
 		r.firePunctuations()
 
+		if single {
+			wake = r.consumers[sources[0]].WaitChan()
+		}
 		progressed := false
 		for _, src := range sources {
 			recs, err := r.consumers[src].TryPoll(r.pollBatch)
@@ -218,11 +252,25 @@ func (r *Runtime) pump(ctx context.Context) {
 			return
 		}
 		if !progressed {
-			// Idle: nap briefly, bounded by the nearest punctuation.
+			if single && r.consumers[sources[0]].TopicClosed() {
+				// Drained and the topic is gone: no record can ever
+				// arrive again (and its wake channel fires forever).
+				// End-of-stream: flush windowed processors by firing
+				// every live punctuation once before exiting.
+				r.finalPunctuations()
+				return
+			}
+			// Idle: block until records arrive (single source), bounded by
+			// the nearest punctuation or the configured poll wait.
+			r.busy.Store(false)
+			timer := time.NewTimer(r.idleWait())
 			select {
 			case <-ctx.Done():
+				timer.Stop()
 				return
-			case <-time.After(r.idleWait()):
+			case <-wake: // nil (multi-source): never fires, timer bounds
+				timer.Stop()
+			case <-timer.C:
 			}
 		}
 	}
@@ -269,6 +317,25 @@ func (r *Runtime) firePunctuations() {
 	}
 }
 
+// finalPunctuations fires every live punctuation once, due or not —
+// end-of-stream flush semantics, so a windowed processor's buffered final
+// window is forwarded instead of silently dropped.
+func (r *Runtime) finalPunctuations() {
+	now := r.clock.Now()
+	r.mu.Lock()
+	var due []*punctuation
+	for _, p := range r.puncts {
+		if !p.cancelled {
+			due = append(due, p)
+			p.next = now.Add(p.interval)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range due {
+		p.fn(now)
+	}
+}
+
 func (r *Runtime) fail(err error) {
 	r.mu.Lock()
 	if r.err == nil {
@@ -284,21 +351,26 @@ func (r *Runtime) failed() bool {
 }
 
 // Stop shuts the pump down, closes processors and consumers, and waits.
-// It is idempotent.
+// It is idempotent, and safe on a never-started runtime: the consumers are
+// still closed (leaving their groups, releasing their partitions), though
+// processors — never initialized — are not Close()d.
 func (r *Runtime) Stop() error {
 	r.mu.Lock()
-	if !r.started || r.stopped {
+	if r.stopped {
 		r.mu.Unlock()
 		return r.err
 	}
 	r.stopped = true
+	started := r.started
 	r.mu.Unlock()
 
-	r.cancel()
-	<-r.done
-	for name, p := range r.instances {
-		if err := p.Close(); err != nil {
-			r.fail(fmt.Errorf("streams: close %q: %w", name, err))
+	if started {
+		r.cancel()
+		<-r.done
+		for name, p := range r.instances {
+			if err := p.Close(); err != nil {
+				r.fail(fmt.Errorf("streams: close %q: %w", name, err))
+			}
 		}
 	}
 	for _, c := range r.consumers {
@@ -308,6 +380,11 @@ func (r *Runtime) Stop() error {
 	defer r.mu.Unlock()
 	return r.err
 }
+
+// Busy reports whether the pump is mid-cycle: fetched records may be in
+// flight through the DAG even though Lag reads 0 (group offsets commit at
+// fetch time). Quiescence probes must require Lag() == 0 && !Busy().
+func (r *Runtime) Busy() bool { return r.busy.Load() }
 
 // Lag returns the total number of records waiting in this runtime's source
 // topics (0 when fully caught up). Drain logic uses it to detect quiescence.

@@ -337,6 +337,220 @@ func TestSharedAppIDSplitsPartitions(t *testing.T) {
 	}
 }
 
+func TestSharedAppIDMemberStopRebalances(t *testing.T) {
+	// Stopping one member of a horizontally-scaled application mid-run
+	// must hand its partitions to the survivor, which drains the rest of
+	// the stream — the live runner's shard groups rely on this to tolerate
+	// member shutdown without stranding records.
+	b := buildBroker(t, "in", "out")
+	mkTopo := func() *Topology {
+		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
+		return topo
+	}
+	rt1, _ := NewRuntime(b, mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt2, _ := NewRuntime(b, mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt1.Start()
+	rt2.Start()
+	defer rt2.Stop()
+
+	out, err := mq.NewConsumer(b, "out")
+	if err != nil {
+		t.Fatalf("NewConsumer: %v", err)
+	}
+	defer out.Close()
+	collect := func(want int) int {
+		deadline := time.Now().Add(2 * time.Second)
+		got := 0
+		for got < want && time.Now().Before(deadline) {
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			recs, err := out.Poll(ctx, want-got)
+			cancel()
+			if err != nil {
+				break
+			}
+			got += len(recs)
+		}
+		return got
+	}
+
+	p := mq.NewProducer(b)
+	const half = 20
+	for i := 0; i < half; i++ {
+		p.Send("in", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	if got := collect(half); got != half {
+		t.Fatalf("two members emitted %d records, want %d", got, half)
+	}
+
+	if err := rt1.Stop(); err != nil {
+		t.Fatalf("member Stop: %v", err)
+	}
+	for i := half; i < 2*half; i++ {
+		p.Send("in", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	if got := collect(half); got != half {
+		t.Fatalf("survivor emitted %d records after rebalance, want %d (no loss)", got, half)
+	}
+	if lag := rt2.Lag(); lag != 0 {
+		t.Fatalf("survivor lag = %d after drain, want 0", lag)
+	}
+	// No duplicates trickle in after the fact.
+	time.Sleep(50 * time.Millisecond)
+	if recs, _ := out.TryPoll(8); len(recs) != 0 {
+		t.Fatalf("%d duplicate records appeared after the full drain", len(recs))
+	}
+}
+
+type bufferingProcessor struct {
+	mu  sync.Mutex
+	buf []Message
+	ctx ProcessorContext
+}
+
+func (p *bufferingProcessor) Init(ctx ProcessorContext) error {
+	p.ctx = ctx
+	ctx.Schedule(time.Hour, func(time.Time) { // window far beyond the test
+		p.mu.Lock()
+		buf := p.buf
+		p.buf = nil
+		p.mu.Unlock()
+		for _, m := range buf {
+			p.ctx.Forward(m)
+		}
+	})
+	return nil
+}
+func (p *bufferingProcessor) Process(msg Message) error {
+	p.mu.Lock()
+	p.buf = append(p.buf, msg)
+	p.mu.Unlock()
+	return nil
+}
+func (p *bufferingProcessor) Close() error { return nil }
+
+func TestEndOfStreamFlushesFinalWindow(t *testing.T) {
+	// Deleting the input topic is the end-of-stream signal: the pump must
+	// fire pending punctuations once — flushing a windowed processor's
+	// buffered final window to the sink — before exiting, instead of
+	// dropping it.
+	b := buildBroker(t, "in", "out")
+	proc := &bufferingProcessor{}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("window", func() Processor { return proc }, "src").
+		Sink("snk", "out", "window").
+		Build()
+	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt.Start()
+	defer rt.Stop()
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 5; i++ {
+		p.Send("in", nil, []byte{byte(i)})
+	}
+	// Wait until the processor has buffered everything, then end the stream.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		proc.mu.Lock()
+		n := len(proc.buf)
+		proc.mu.Unlock()
+		if n == 5 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.DeleteTopic("in"); err != nil {
+		t.Fatalf("DeleteTopic: %v", err)
+	}
+	select {
+	case <-rt.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("pump did not exit after its topic closed")
+	}
+	if got := drain(t, b, "out", 5, 2*time.Second); len(got) != 5 {
+		t.Fatalf("final window forwarded %d records, want 5", len(got))
+	}
+}
+
+type initFailProcessor struct{ closed bool }
+
+func (p *initFailProcessor) Init(ProcessorContext) error { return errors.New("init boom") }
+func (p *initFailProcessor) Process(Message) error       { return nil }
+func (p *initFailProcessor) Close() error                { p.closed = true; return nil }
+
+func TestStopAfterFailedStartDoesNotPanic(t *testing.T) {
+	// A Start that fails during processor Init must leave the runtime in
+	// the never-started state: Stop cleans up the consumers (releasing
+	// group membership) without touching the unlaunched pump.
+	b := buildBroker(t, "in")
+	ok := &punctuatingProcessor{}
+	topo, _ := NewTopology().
+		Source("src", "in").
+		Processor("fine", func() Processor { return ok }, "src").
+		Processor("bad", func() Processor { return &initFailProcessor{} }, "fine").
+		Build()
+	rt, _ := NewRuntime(b, topo, "shared")
+	survivor, _ := NewRuntime(b, func() *Topology {
+		topo, _ := NewTopology().Source("src", "in").Build()
+		return topo
+	}(), "shared")
+
+	if err := rt.Start(); err == nil {
+		t.Fatal("Start succeeded despite failing Init")
+	}
+	if err := rt.Stop(); err != nil {
+		t.Fatalf("Stop after failed Start: %v", err)
+	}
+	survivor.Start()
+	defer survivor.Stop()
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 8; i++ {
+		p.Send("in", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && survivor.Lag() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if lag := survivor.Lag(); lag != 0 {
+		t.Fatalf("survivor lag = %d: the failed member still owns partitions", lag)
+	}
+}
+
+func TestStopBeforeStartReleasesGroupMembership(t *testing.T) {
+	// A runtime that was built but never started still joined its consumer
+	// group; Stop must make it leave so its partitions are not stranded —
+	// the live runner's shard groups rely on this when a group build fails
+	// partway.
+	b := buildBroker(t, "in")
+	mkTopo := func() *Topology {
+		topo, _ := NewTopology().Source("src", "in").Build()
+		return topo
+	}
+	never, _ := NewRuntime(b, mkTopo(), "shared")
+	survivor, _ := NewRuntime(b, mkTopo(), "shared")
+	if err := never.Stop(); err != nil {
+		t.Fatalf("Stop before Start: %v", err)
+	}
+	if err := never.Start(); err == nil {
+		t.Fatal("Start after Stop succeeded, want error")
+	}
+	survivor.Start()
+	defer survivor.Stop()
+
+	p := mq.NewProducer(b)
+	for i := 0; i < 8; i++ {
+		p.Send("in", []byte(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && survivor.Lag() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if lag := survivor.Lag(); lag != 0 {
+		t.Fatalf("survivor lag = %d: the never-started member still owns partitions", lag)
+	}
+}
+
 func BenchmarkPassthroughPipeline(b *testing.B) {
 	br := mq.NewBroker()
 	br.CreateTopic("in", 1, mq.WithRetention(4096))
