@@ -20,8 +20,15 @@
 //   - Run: execute the tree live on goroutines chained by an in-memory
 //     Kafka-style broker, mirroring the paper's Kafka Streams prototype.
 //
-// See the examples/ directory for runnable programs and EXPERIMENTS.md for
-// the paper-figure reproductions.
+// The §IV-B adaptive feedback mechanism works in every entry point: a
+// FeedbackController re-tunes the sampling fraction window by window to
+// hold a target relative error (WithAdaptiveBudget on the Estimator,
+// Config.Adaptive for Simulate and Run — live runs broadcast each
+// adjustment over a control topic, exactly like the data plane).
+//
+// See ARCHITECTURE.md for the package map and live-dataflow diagram, the
+// examples/ directory for runnable programs, and EXPERIMENTS.md for the
+// paper-figure reproductions.
 package approxiot
 
 import (
@@ -82,9 +89,26 @@ type (
 	LiveConfig = core.LiveConfig
 	// LiveResult reports a live run.
 	LiveResult = core.LiveResult
+	// NodeTelemetry is one live node member's lifetime measurement
+	// (observed/emitted items, window intervals, throughput), reported on
+	// LiveResult.Nodes.
+	NodeTelemetry = core.NodeTelemetry
 
-	// FeedbackController adapts the sampling fraction to an error target.
+	// FeedbackController adapts the sampling fraction to an error target
+	// (§IV-B). It drives the Estimator via WithAdaptiveBudget and full-tree
+	// runs — simulated and live — via Config.Adaptive.
 	FeedbackController = core.FeedbackController
+	// FeedbackOption customizes NewFeedbackController.
+	FeedbackOption = core.FeedbackOption
+)
+
+// Feedback-controller options, re-exported for NewFeedbackController.
+var (
+	// WithFractionBounds clamps the adaptive fraction to [min, max]
+	// (default [0.01, 1]).
+	WithFractionBounds = core.WithFractionBounds
+	// WithGain sets the multiplicative adjustment step (default 1.5).
+	WithGain = core.WithGain
 )
 
 // Query kinds.
@@ -100,6 +124,11 @@ const (
 	TwoSigma   = stats.TwoSigma
 	ThreeSigma = stats.ThreeSigma
 )
+
+// ControlTopic names the live deployment's single-partition control
+// topic — the channel adaptive runs broadcast fraction updates on. Useful
+// for looking the control plane up in LiveResult.Bandwidth.
+const ControlTopic = core.ControlTopicName
 
 // Strategy selects the sampling algorithm a pipeline runs.
 type Strategy int
@@ -140,20 +169,42 @@ func Testbed() TreeSpec { return topology.Testbed() }
 // SingleNode returns a degenerate tree where sources feed the root directly.
 func SingleNode(sources int) TreeSpec { return topology.SingleNode(sources) }
 
-// Config assembles a pipeline configuration from user-level knobs.
+// Config assembles a pipeline configuration from user-level knobs. Every
+// knob applies to both Simulate and Run unless its comment says otherwise.
 type Config struct {
 	// Tree is the deployment; defaults to Testbed().
 	Tree TreeSpec
 	// Strategy defaults to WHS.
 	Strategy Strategy
 	// Fraction is the end-to-end sampling fraction in (0, 1]; default 0.1.
+	// When Adaptive is set the controller owns the budget and Fraction no
+	// longer sizes it; the SRS baseline's per-item coin-flip is still
+	// built from Fraction either way.
 	Fraction float64
-	// Workers configures ParallelWHS (default 4).
+	// Workers configures ParallelWHS (default 4). Other strategies ignore it.
 	Workers int
 	// Queries defaults to [Sum].
 	Queries []QueryKind
-	// Confidence defaults to TwoSigma (95%).
+	// Confidence is the error-bound level of every window result; defaults
+	// to TwoSigma (95%) in both modes.
 	Confidence Confidence
+	// Adaptive, when set, closes the paper's §IV-B feedback loop: the
+	// sampling fraction starts at the controller's current fraction and is
+	// re-tuned at every root window close to steer the realized relative
+	// error bound toward the controller's target. Simulated runs share the
+	// controller in memory; live runs broadcast each adjustment over the
+	// deployment's control topic, applied by every edge member at its
+	// next window boundary (the root, colocated with the controller,
+	// updates at the merge). Requires a non-COUNT query to observe.
+	// Takes precedence over Fraction for the budget (Fraction still
+	// configures the SRS baseline's coin-flip). A controller is stateful —
+	// build a fresh one per run.
+	Adaptive *FeedbackController
+	// SourceRate throttles each live source to at most this many items per
+	// second (0 = unthrottled). Adaptive live runs use it to stretch
+	// production across enough windows to converge. Simulated runs ignore
+	// it — their sources are rate-shaped by the workload generators.
+	SourceRate float64
 	// Partitions is the partition count of every live mq topic (default 1).
 	// Records are keyed by sub-stream, so ordering within a stratum is
 	// preserved at any partition count. Simulated runs ignore it.
@@ -257,6 +308,8 @@ func (c Config) streaming() bool { return c.Strategy == SRS || c.Strategy == Nat
 // Simulate runs the configured pipeline on deterministic virtual time for
 // the given duration: source i's items come from source(i), WAN links use
 // the tree's RTT/bandwidth parameters, and every window result is reported.
+// With Config.Adaptive set the sampling fraction re-tunes at every window
+// close and SimResult.Fractions records the trajectory.
 func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*SimResult, error) {
 	cfg = cfg.normalize()
 	return core.RunSim(core.SimConfig{
@@ -268,12 +321,17 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 		Queries:    cfg.Queries,
 		Confidence: cfg.Confidence,
 		Seed:       cfg.Seed,
+		Feedback:   cfg.Adaptive,
 		Streaming:  cfg.streaming(),
 	})
 }
 
-// Run executes the configured pipeline live: one goroutine-backed runtime
-// per edge node, chained by an in-memory broker, processing `items` items.
+// Run executes the configured pipeline live: every compiled node becomes a
+// consumer group of goroutine-backed runtimes chained by an in-memory
+// broker, processing `items` items total. The result always carries
+// runtime telemetry — end-to-end latency, per-link bytes, per-node
+// throughput — and, with Config.Adaptive set, the per-window fraction
+// trajectory driven over the deployment's control topic.
 func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error) {
 	cfg = cfg.normalize()
 	return core.RunLive(core.LiveConfig{
@@ -283,10 +341,13 @@ func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error
 		Cost:        cfg.cost(),
 		Items:       items,
 		Queries:     cfg.Queries,
+		Confidence:  cfg.Confidence,
 		Partitions:  cfg.Partitions,
 		RootShards:  cfg.RootShards,
 		LayerShards: cfg.layerShards(),
 		Seed:        cfg.Seed,
+		Feedback:    cfg.Adaptive,
+		SourceRate:  cfg.SourceRate,
 		Streaming:   cfg.streaming(),
 	})
 }
@@ -296,11 +357,18 @@ func NewGenerator(seed uint64, specs ...SubstreamSpec) *Generator {
 	return workload.New(seed, specs...)
 }
 
-// NewFeedbackController returns the §IV-B adaptive controller: it is a cost
-// function whose fraction moves toward the target relative error as window
-// results are Observed.
-func NewFeedbackController(initialFraction, targetRelError float64) *FeedbackController {
-	return core.NewFeedbackController(initialFraction, targetRelError)
+// NewFeedbackController returns the §IV-B adaptive controller: a
+// multiplicative-increase/decrease loop (default gain 1.5, fraction bounds
+// [0.01, 1] — see WithGain and WithFractionBounds) whose fraction moves
+// toward the target relative error as window results are observed.
+//
+// Three installation points, one per entry point: WithAdaptiveBudget on an
+// Estimator (caller feeds results back via Observe), or Config.Adaptive
+// for Simulate and Run (the runners observe every root window themselves —
+// live, the adjustment travels the deployment's control topic). The
+// controller is stateful; build a fresh one per run.
+func NewFeedbackController(initialFraction, targetRelError float64, opts ...FeedbackOption) *FeedbackController {
+	return core.NewFeedbackController(initialFraction, targetRelError, opts...)
 }
 
 // Compile-time facade checks.

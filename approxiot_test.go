@@ -149,6 +149,43 @@ func TestRunFacadeLayerSharded(t *testing.T) {
 	}
 }
 
+func TestRunFacadeAdaptive(t *testing.T) {
+	// Config.Adaptive closes the §IV-B loop end to end through the facade:
+	// the fraction trajectory is reported, the count invariant holds while
+	// the fraction moves, and the run carries live telemetry.
+	ctl := NewFeedbackController(0.1, 0.02)
+	res, err := Run(Config{Queries: []QueryKind{Sum, Count},
+		Partitions: 4, RootShards: 2, LayerShards: 2, Seed: 9,
+		Adaptive: ctl, SourceRate: 12000},
+		gaussianSources(3, 1000), 12000)
+	if err != nil {
+		t.Fatalf("Run adaptive: %v", err)
+	}
+	if res.Produced != 12000 {
+		t.Fatalf("produced = %d, want 12000", res.Produced)
+	}
+	if rel := math.Abs(res.EstimateCount-float64(res.Produced)) / float64(res.Produced); rel > 1e-9 {
+		t.Fatalf("adaptive live count invariant broken: %g vs %d", res.EstimateCount, res.Produced)
+	}
+	if len(res.Fractions) != len(res.Windows) || len(res.Fractions) == 0 {
+		t.Fatalf("fraction trajectory %d entries over %d windows", len(res.Fractions), len(res.Windows))
+	}
+	if res.Latency.Count() == 0 || res.Bandwidth.Total() == 0 || len(res.Nodes) == 0 {
+		t.Fatal("live telemetry missing on adaptive run")
+	}
+
+	// The same controller knob drives Simulate (shared-memory form).
+	sim, err := Simulate(Config{Queries: []QueryKind{Sum, Count}, Seed: 9,
+		Adaptive: NewFeedbackController(0.1, 0.02)},
+		gaussianSources(3, 250), 6*time.Second)
+	if err != nil {
+		t.Fatalf("Simulate adaptive: %v", err)
+	}
+	if len(sim.Fractions) != len(sim.Windows) || len(sim.Fractions) == 0 {
+		t.Fatalf("sim fraction trajectory %d entries over %d windows", len(sim.Fractions), len(sim.Windows))
+	}
+}
+
 func TestEstimatorQuickstartFlow(t *testing.T) {
 	e := NewEstimator(0.2, WithSeed(7))
 	for i := 0; i < 10000; i++ {

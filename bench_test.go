@@ -151,6 +151,43 @@ func BenchmarkAblationAlignment(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveAdaptive measures what the §IV-B control plane costs on the
+// live tree: the same fully-sharded deployment once with a frozen 25%
+// fraction and once with a FeedbackController steering toward a 2% error
+// target (unpaced — throughput is the point here, so no SourceRate). The
+// adaptive run's extra work is one Observe per window, one control record
+// published, and one control-topic drain per member per window; throughput
+// should be within noise of the frozen run.
+func BenchmarkLiveAdaptive(b *testing.B) {
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(7+uint64(i)*131, 1500)
+	}
+	run := func(b *testing.B, adaptive bool) {
+		var throughput float64
+		for i := 0; i < b.N; i++ {
+			cfg := approxiot.Config{
+				Fraction:    0.25,
+				Queries:     []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+				Partitions:  8,
+				RootShards:  4,
+				LayerShards: 4,
+				Seed:        7,
+			}
+			if adaptive {
+				cfg.Adaptive = approxiot.NewFeedbackController(0.25, 0.02)
+			}
+			res, err := approxiot.Run(cfg, source, 48000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			throughput += res.Throughput
+		}
+		b.ReportMetric(throughput/float64(b.N), "items/s")
+	}
+	b.Run("frozen", func(b *testing.B) { run(b, false) })
+	b.Run("adaptive", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLiveLayerShards measures end-to-end live throughput as every
 // tier of the tree scales out: shards×-member consumer groups at each edge
 // layer plus a shards×-member root group over 8-partition topics. On a

@@ -36,6 +36,10 @@ type estimatorConfig struct {
 // WithAdaptiveBudget installs a feedback controller as the estimator's cost
 // function: feed each window's Result back via controller.Observe and the
 // sampling fraction converges on the controller's error target (§IV-B).
+// This is the single-node installation point; full-tree runs — simulated
+// and live — adapt via Config.Adaptive instead, where the runner observes
+// every root window itself. Without this option the estimator keeps the
+// fixed fraction passed to NewEstimator.
 func WithAdaptiveBudget(controller *FeedbackController) EstimatorOption {
 	return func(c *estimatorConfig) {
 		if controller != nil {
@@ -65,7 +69,9 @@ func WithSeed(seed uint64) EstimatorOption {
 }
 
 // NewEstimator returns an estimator that keeps the given fraction of each
-// window's items, stratified per source.
+// window's items, stratified per source. Fractions outside (0, 1] fall
+// back to 1 (keep everything); defaults are 95% confidence, queries
+// [Sum, Mean, Count], and seed 1.
 func NewEstimator(fraction float64, opts ...EstimatorOption) *Estimator {
 	cfg := estimatorConfig{
 		fraction:   fraction,

@@ -1,21 +1,41 @@
 // Adaptive budgets (§IV-B): the paper's feedback mechanism refines the
 // sampling parameters when a window's error bound exceeds the analyst's
-// budget. This example streams a volatile workload through an Estimator
-// whose cost function is a FeedbackController targeting a 0.5% relative
-// error: watch the sampling fraction climb during the high-variance phase
-// and relax again when the stream calms down.
+// budget. Two demonstrations:
+//
+// Part 1 streams a volatile workload through a single-node Estimator whose
+// cost function is a FeedbackController targeting a 0.5% relative error:
+// watch the sampling fraction climb during the high-variance phase and
+// relax again when the stream calms down.
+//
+// Part 2 runs the same mechanism on the *live tree*: a paced workload flows
+// through the full 8/4/2/1 topology over the in-memory broker, the root
+// observes every merged window result, and each fraction adjustment is
+// broadcast over the deployment's control topic to every edge
+// consumer-group member (the colocated root updates at the merge) —
+// applied only at window boundaries, so the count estimate stays
+// exact while the fraction moves. The run also surfaces the live
+// telemetry the control loop can react to: end-to-end latency, per-link
+// bytes, and per-node throughput.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
 	"fmt"
+	"os"
+	"sort"
 
 	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/workload"
 	"github.com/approxiot/approxiot/internal/xrand"
 )
 
 func main() {
+	estimatorDemo()
+	liveDemo()
+}
+
+func estimatorDemo() {
 	const target = 0.005 // 0.5% relative error at 95% confidence
 
 	controller := approxiot.NewFeedbackController(0.05, target)
@@ -26,6 +46,7 @@ func main() {
 	)
 
 	rng := xrand.New(3)
+	fmt.Println("— part 1: single-node estimator —")
 	fmt.Println("window   fraction   rel-error   phase")
 	for window := 0; window < 30; window++ {
 		// Windows 10–19 are turbulent: value dispersion jumps 50×.
@@ -50,4 +71,91 @@ func main() {
 
 	fmt.Printf("\ntarget relative error: %.2f%% — the fraction rises through the\n", 100*target)
 	fmt.Println("volatile phase to hold the bound, then decays to save resources.")
+}
+
+func liveDemo() {
+	const (
+		target = 0.02 // 2% relative error at 95% confidence
+		items  = 48000
+	)
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(21+uint64(i)*1000, 1000)
+	}
+
+	fmt.Println("\n— part 2: live tree with a control plane —")
+	for _, combo := range []struct {
+		partitions, rootShards, layerShards int
+		trace                               bool
+	}{
+		{1, 1, 1, false},
+		{4, 2, 2, true},
+	} {
+		controller := approxiot.NewFeedbackController(0.05, target)
+		res, err := approxiot.Run(approxiot.Config{
+			Queries:     []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+			Partitions:  combo.partitions,
+			RootShards:  combo.rootShards,
+			LayerShards: combo.layerShards,
+			Seed:        21,
+			Adaptive:    controller,
+			SourceRate:  10000, // pace production across ~12 windows
+		}, source, items)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		fmt.Printf("\ndeployment {partitions=%d, root shards=%d, layer shards=%d}\n",
+			combo.partitions, combo.rootShards, combo.layerShards)
+		if combo.trace {
+			fmt.Println("window   fraction   rel-error   sample")
+			for i, w := range res.Windows {
+				r := w.Result(approxiot.Sum)
+				rel := 0.0
+				if r.Estimate.Value != 0 {
+					rel = r.Bound() / r.Estimate.Value
+				}
+				fmt.Printf("%6d   %7.2f%%   %8.3f%%   %6d\n",
+					i+1, 100*res.Fractions[i], 100*rel, w.SampleSize)
+			}
+		}
+		final := res.Fractions[len(res.Fractions)-1]
+		fmt.Printf("final fraction %.2f%% after %d windows; estimated count %.0f of %d produced (exact)\n",
+			100*final, len(res.Windows), res.EstimateCount, res.Produced)
+		fmt.Printf("latency    p50=%v p95=%v (end to end, source publish → root)\n",
+			res.Latency.Quantile(0.50), res.Latency.Quantile(0.95))
+		fmt.Printf("bandwidth  %d bytes total, %d on the control topic\n",
+			res.Bandwidth.Total(), res.Bandwidth.Link(approxiot.ControlTopic))
+		fmt.Printf("nodes      %s\n", busiestNodes(res.Nodes, 3))
+	}
+
+	fmt.Printf("\nthe controller holds the %.0f%% error target on the live tree exactly\n", 100*target)
+	fmt.Println("as it does in simulation — fraction updates ride the control topic and")
+	fmt.Println("land on window boundaries, so the count invariant never bends.")
+}
+
+// busiestNodes formats the top-k members by observed throughput.
+func busiestNodes(nodes map[string]approxiot.NodeTelemetry, k int) string {
+	type entry struct {
+		id  string
+		tel approxiot.NodeTelemetry
+	}
+	all := make([]entry, 0, len(nodes))
+	for id, tel := range nodes {
+		all = append(all, entry{id, tel})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].tel.Throughput != all[j].tel.Throughput {
+			return all[i].tel.Throughput > all[j].tel.Throughput
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := ""
+	for _, e := range all[:k] {
+		out += fmt.Sprintf("%s %.0f items/s  ", e.id, e.tel.Throughput)
+	}
+	return out
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/approxiot/approxiot/internal/query"
+)
+
+func TestControlRecordRoundTrip(t *testing.T) {
+	for _, f := range []float64{0.01, 0.3333333333333333, 0.8, 1} {
+		seq, got, err := decodeControl(encodeControl(42, f))
+		if err != nil {
+			t.Fatalf("decode(%g): %v", f, err)
+		}
+		if seq != 42 || got != f {
+			t.Fatalf("round trip (42, %g) -> (%d, %g)", f, seq, got)
+		}
+	}
+}
+
+func TestControlRecordRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0x01},
+		make([]byte, controlRecordSize-1),
+		make([]byte, controlRecordSize+1),
+		encodeControl(1, 0),    // fraction must be positive
+		encodeControl(1, -0.5), // ... and not negative
+		encodeControl(1, 1.5),  // ... and at most 1
+	}
+	for i, value := range bad {
+		if _, _, err := decodeControl(value); !errors.Is(err, ErrBadControlRecord) {
+			t.Fatalf("case %d: err = %v, want ErrBadControlRecord", i, err)
+		}
+	}
+	// NaN bits are rejected too.
+	nan := encodeControl(1, 0.5)
+	for i := 8; i < 16; i++ {
+		nan[i] = 0xFF
+	}
+	if _, _, err := decodeControl(nan); !errors.Is(err, ErrBadControlRecord) {
+		t.Fatalf("NaN fraction: err = %v, want ErrBadControlRecord", err)
+	}
+}
+
+func TestDynamicCostTracksFraction(t *testing.T) {
+	dc := newDynamicCost(0.5)
+	if got := dc.SampleSize(100); got != 50 {
+		t.Fatalf("SampleSize(100) at 0.5 = %d, want 50", got)
+	}
+	if got := dc.SampleSizeWeighted(1000); got != 500 {
+		t.Fatalf("SampleSizeWeighted(1000) at 0.5 = %d, want 500", got)
+	}
+	dc.set(0.1)
+	if got := dc.SampleSize(100); got != 10 {
+		t.Fatalf("SampleSize(100) after set(0.1) = %d, want 10", got)
+	}
+	// Effective semantics match EffectiveFractionBudget exactly.
+	for _, est := range []float64{0, 1, 7, 1234.5} {
+		want := EffectiveFractionBudget{Fraction: 0.1}.SampleSizeWeighted(est)
+		if got := dc.SampleSizeWeighted(est); got != want {
+			t.Fatalf("SampleSizeWeighted(%g) = %d, want %d", est, got, want)
+		}
+	}
+}
+
+func TestFeedbackCostReadsController(t *testing.T) {
+	ctl := NewFeedbackController(0.25, 0.01)
+	fc := feedbackCost{ctl: ctl}
+	if got := fc.SampleSize(100); got != 25 {
+		t.Fatalf("SampleSize(100) = %d, want 25", got)
+	}
+	if got := fc.SampleSizeWeighted(100); got != 25 {
+		t.Fatalf("SampleSizeWeighted(100) = %d, want 25", got)
+	}
+}
+
+func TestFeedbackControllerSetTarget(t *testing.T) {
+	ctl := NewFeedbackController(0.1, 0.05)
+	if got := ctl.Target(); got != 0.05 {
+		t.Fatalf("Target() = %g, want 0.05", got)
+	}
+	ctl.SetTarget(0.01)
+	if got := ctl.Target(); got != 0.01 {
+		t.Fatalf("Target() after SetTarget = %g, want 0.01", got)
+	}
+	ctl.SetTarget(0) // ignored
+	ctl.SetTarget(-1)
+	if got := ctl.Target(); got != 0.01 {
+		t.Fatalf("non-positive SetTarget changed target to %g", got)
+	}
+}
+
+func TestFeedbackKindSkipsCount(t *testing.T) {
+	// COUNT is exact under Eq. 8 (zero-width bound), so observing it would
+	// pin the fraction at the floor; the loop must pick an informative kind.
+	cases := []struct {
+		kinds []query.Kind
+		want  query.Kind
+	}{
+		{[]query.Kind{query.Sum}, query.Sum},
+		{[]query.Kind{query.Count, query.Sum}, query.Sum},
+		{[]query.Kind{query.Count, query.Mean, query.Sum}, query.Mean},
+		{[]query.Kind{query.Count}, query.Count}, // nothing better registered
+	}
+	for _, c := range cases {
+		if got := feedbackKind(c.kinds); got != c.want {
+			t.Fatalf("feedbackKind(%v) = %v, want %v", c.kinds, got, c.want)
+		}
+	}
+}

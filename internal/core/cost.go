@@ -173,6 +173,26 @@ func (f *FeedbackController) Fraction() float64 {
 	return f.fraction
 }
 
+// Target returns the current relative-error target.
+func (f *FeedbackController) Target() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.target
+}
+
+// SetTarget changes the relative-error target mid-run — the analyst
+// tightening or relaxing their error budget while the pipeline is live.
+// The fraction itself is untouched; subsequent Observe calls steer it
+// toward the new target. Non-positive targets are ignored.
+func (f *FeedbackController) SetTarget(target float64) {
+	if target <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.target = target
+}
+
 // SampleSize implements CostFunction at the current fraction.
 func (f *FeedbackController) SampleSize(observed int) int {
 	return FractionBudget{Fraction: f.Fraction()}.SampleSize(observed)

@@ -109,6 +109,137 @@ func TestCrossModeEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrossModeAdaptiveEquivalence extends the suite to adaptive runs: with
+// identical controller gains and comparable per-window volumes (sim windows
+// are 1 virtual second at 4000 items; live windows are 50 ms paced to 4000
+// items), the sim and live feedback loops must settle on the same fraction
+// plateau, and the count invariant — which weight compounding guarantees at
+// *any* fraction — must stay exact while the fraction moves, at every shard
+// combo.
+func TestCrossModeAdaptiveEquivalence(t *testing.T) {
+	const (
+		seed    = 21
+		initial = 0.05
+		target  = 0.02
+		gain    = 1.5
+	)
+
+	ctl := NewFeedbackController(initial, target, WithGain(gain))
+	sim, err := RunSim(SimConfig{
+		Spec:       topology.Testbed(),
+		Source:     microSource(seed, 125), // 8 sources × 4 × 125/s = 4000 per 1 s window
+		NewSampler: WHSFactory(),
+		Duration:   14 * time.Second,
+		Queries:    []query.Kind{query.Sum, query.Count},
+		Seed:       seed,
+		Feedback:   ctl,
+	})
+	if err != nil {
+		t.Fatalf("RunSim: %v", err)
+	}
+	if len(sim.Fractions) != len(sim.Windows) || len(sim.Fractions) == 0 {
+		t.Fatalf("sim recorded %d fractions over %d windows", len(sim.Fractions), len(sim.Windows))
+	}
+	var simEstimated float64
+	for _, w := range sim.Windows {
+		simEstimated += w.EstimatedInput
+	}
+	assertCountInvariant(t, "sim", simEstimated, float64(sim.Generated))
+	simFinal := sim.Fractions[len(sim.Fractions)-1]
+
+	combos := []struct {
+		name        string
+		partitions  int
+		rootShards  int
+		layerShards []int
+	}{
+		{"all-ones", 1, 1, nil},
+		{"fully-sharded", 4, 2, []int{2, 2}},
+	}
+	if testing.Short() {
+		combos = combos[1:] // keep the control plane under the race detector
+	}
+	for _, combo := range combos {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			ctl := NewFeedbackController(initial, target, WithGain(gain))
+			res, err := RunLive(LiveConfig{
+				Spec:        topology.Testbed(),
+				Source:      microSource(seed, 1000),
+				NewSampler:  WHSFactory(),
+				Items:       48000,
+				Window:      50 * time.Millisecond,
+				Queries:     []query.Kind{query.Sum, query.Count},
+				Partitions:  combo.partitions,
+				RootShards:  combo.rootShards,
+				LayerShards: combo.layerShards,
+				Seed:        seed,
+				Feedback:    ctl,
+				SourceRate:  10000, // 8 × 10000/s × 50 ms = 4000 per window
+			})
+			if err != nil {
+				t.Fatalf("RunLive: %v", err)
+			}
+			if res.Produced != 48000 {
+				t.Fatalf("produced %d, want 48000", res.Produced)
+			}
+			// The invariant the whole design hangs on: exact counts while
+			// the fraction moves under control-plane adaptation.
+			assertCountInvariant(t, "live", res.EstimateCount, float64(res.Produced))
+
+			if len(res.Fractions) != len(res.Windows) || len(res.Fractions) < 6 {
+				t.Fatalf("recorded %d fractions over %d windows, want one per window and enough to converge", len(res.Fractions), len(res.Windows))
+			}
+			for i, f := range res.Fractions {
+				if f < 0.01 || f > 1 {
+					t.Fatalf("window %d fraction %g outside controller bounds", i, f)
+				}
+			}
+			// Trajectory equivalence: both loops settle, and the live
+			// plateau is within a couple of MIMD steps of the sim plateau
+			// (wall-clock windows are noisier than virtual-time ones, so
+			// allow gain³ while typical runs agree within one step).
+			last := res.Fractions[len(res.Fractions)-1]
+			for _, f := range res.Fractions[len(res.Fractions)-4:] {
+				if f > last*gain+1e-12 || f < last/gain-1e-12 {
+					t.Fatalf("trajectory still moving at the tail: %v", res.Fractions)
+				}
+			}
+			slack := gain * gain * gain
+			if ratio := last / simFinal; ratio > slack || ratio < 1/slack {
+				t.Fatalf("live plateau %.4f vs sim plateau %.4f (ratio %.2f beyond gain³)", last, simFinal, ratio)
+			}
+
+			// Runtime observability: the adaptive loop is driven by these,
+			// so they must be live on every run.
+			if res.Latency.Count() == 0 || res.Latency.Quantile(0.5) <= 0 {
+				t.Fatalf("latency histogram empty: %v", res.Latency)
+			}
+			if res.Bandwidth.Total() == 0 {
+				t.Fatal("bandwidth account empty")
+			}
+			if got := res.Bandwidth.Link("control"); got == 0 {
+				t.Fatal("no control-plane bytes accounted")
+			}
+			if len(res.Nodes) == 0 {
+				t.Fatal("no node telemetry")
+			}
+			var rootThroughput float64
+			for id, tel := range res.Nodes {
+				if tel.Observed > 0 && tel.Throughput <= 0 {
+					t.Fatalf("node %s observed %d items at zero throughput", id, tel.Observed)
+				}
+				if id == "root-0" {
+					rootThroughput = tel.Throughput
+				}
+			}
+			if rootThroughput <= 0 {
+				t.Fatal("root-0 telemetry missing or idle")
+			}
+		})
+	}
+}
+
 // TestShardInvarianceProperty drives randomized {seed, partitions, shards}
 // deployments and checks that sharding is estimate-invariant: the merged
 // estimated input count of a sharded run equals the single-shard run's

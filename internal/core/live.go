@@ -7,8 +7,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/approxiot/approxiot/internal/metrics"
 	"github.com/approxiot/approxiot/internal/mq"
 	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stats"
 	"github.com/approxiot/approxiot/internal/stream"
 	"github.com/approxiot/approxiot/internal/streams"
 	"github.com/approxiot/approxiot/internal/topology"
@@ -41,6 +43,11 @@ type LiveConfig struct {
 	RootWork time.Duration
 	// Queries lists the root's aggregates (default SUM).
 	Queries []query.Kind
+	// Confidence selects the error-bound level of every window result
+	// (default 95%). Adaptive runs steer the relative *bound* at this
+	// confidence toward the controller's target, so sim and live must
+	// agree on it for their trajectories to be comparable.
+	Confidence stats.Confidence
 	// Streaming forwards per batch without windowing (SRS / native).
 	Streaming bool
 	// Partitions is the partition count of every mq topic (default 1).
@@ -61,6 +68,28 @@ type LiveConfig struct {
 	LayerShards []int
 	// Seed drives all samplers and generators.
 	Seed uint64
+	// Feedback, when set, closes the §IV-B loop on the live tree: every
+	// node's budget becomes a control-plane-driven fraction starting at
+	// the controller's current fraction. At each window close the root
+	// observes the merged WindowResult — the first registered non-COUNT
+	// query kind, since Eq. 8 makes COUNT exact and its bound
+	// uninformative — and publishes the adjusted fraction as a control
+	// record; every
+	// edge member drains the control topic at its next window boundary
+	// (root members are colocated with the controller and take the update
+	// directly at the merge), so fraction changes never land mid-interval.
+	// Feedback takes precedence over Cost (which may then be nil). A
+	// controller is stateful — use a fresh one per run.
+	Feedback *FeedbackController
+	// SourceRate throttles each source to at most this many items per
+	// second (0 = produce as fast as the pipeline accepts). Adaptive runs
+	// use it to stretch production across enough windows for the
+	// controller to converge.
+	SourceRate float64
+	// OnWindow, if set, observes every non-empty window result as it
+	// closes, after the feedback step. It runs on the window ticker
+	// goroutine — keep it fast.
+	OnWindow func(WindowResult)
 
 	// corruptRoot injects this many undecodable records into the root
 	// topic before the sources start — a test hook for DecodeErrors
@@ -74,9 +103,12 @@ type LiveResult struct {
 	Produced int64
 	// RootProcessed counts items the root aggregated (post sampling).
 	RootProcessed int64
-	// DecodeErrors counts records whose batch payload failed to decode
-	// anywhere in the pipeline. Corrupt records are counted and skipped —
-	// never silently dropped, never allowed to poison the run.
+	// DecodeErrors counts data-plane records whose batch payload failed
+	// to decode anywhere in the pipeline. Corrupt records are counted and
+	// skipped — never silently dropped, never allowed to poison the run.
+	// (Malformed broadcast control records are skipped without counting
+	// here: every member reads the same record, so a shared counter would
+	// report one bad record once per member.)
 	DecodeErrors int64
 	// Elapsed spans first publish to last root-side processing.
 	Elapsed time.Duration
@@ -91,6 +123,30 @@ type LiveResult struct {
 	EstimateSum float64
 	// EstimateCount totals the estimated input counts across windows.
 	EstimateCount float64
+	// Latency is the end-to-end item latency distribution — source publish
+	// instant to root-side processing — over the items that survived
+	// sampling to the root. Always populated.
+	Latency *metrics.Histogram
+	// Bandwidth accounts the bytes produced onto every link, keyed by the
+	// destination topic name (the control topic included). Always
+	// populated; produce-side accounting, so each byte counts once.
+	Bandwidth *metrics.BandwidthAccount
+	// Fractions is the adaptive trajectory: the controller's fraction
+	// after observing each entry of Windows, in order. Nil when Feedback
+	// is not configured.
+	Fractions []float64
+	// Nodes holds per-member lifetime telemetry keyed by member ID
+	// ("edge1-3", "root-0-shard2", ...). Always populated.
+	Nodes map[string]NodeTelemetry
+}
+
+// NodeTelemetry is one shard-group member's lifetime measurement.
+type NodeTelemetry struct {
+	// Observed counts items the member received; Emitted counts items it
+	// forwarded after sampling; Intervals counts its window closes.
+	Observed, Emitted, Intervals int64
+	// Throughput is Observed divided by the run's Elapsed span.
+	Throughput float64
 }
 
 // live-mode errors.
@@ -109,6 +165,15 @@ type samplingProcessor struct {
 	ctx        streams.ProcessorContext
 	cancel     func()
 	scratch    stream.Batch // reused decode buffer; IngestBatch copies out
+
+	bw   *metrics.BandwidthAccount
+	link string // destination topic, for bandwidth attribution
+
+	// Adaptive runs only: control is the member's private standalone
+	// consumer on the plan's control topic, drained at each window
+	// boundary into cost — so a whole interval samples under one fraction.
+	control *mq.Consumer
+	cost    *dynamicCost
 }
 
 var _ streams.Processor = (*samplingProcessor)(nil)
@@ -135,17 +200,53 @@ func (p *samplingProcessor) Process(msg streams.Message) error {
 }
 
 func (p *samplingProcessor) flush() {
+	p.applyControl()
 	for _, b := range p.node.CloseInterval() {
-		p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: b.Marshal(), Ts: p.ctx.Now()})
+		v := b.Marshal()
+		p.bw.Add(p.link, int64(len(v)))
+		p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: v, Ts: p.ctx.Now()})
 	}
 	// Zero pending only after forwarding: the drain probe must always see
 	// in-flight data as either buffered Ψ here or lag on the parent topic.
 	p.pending.Store(int64(p.node.Observed()))
 }
 
+// applyControl drains the member's control consumer and installs the
+// newest published fraction. It runs immediately before CloseInterval —
+// the window boundary — so Eq. 8 weight compounding never sees a
+// mid-interval fraction change. Later records win. A malformed record is
+// skipped and the member keeps its current fraction (self-healing at the
+// next update); it is NOT counted into DecodeErrors, which is a
+// data-plane counter — the control topic is a broadcast every member
+// reads, so per-member counting would inflate one bad record by the
+// deployment's member count.
+func (p *samplingProcessor) applyControl() {
+	if p.control == nil {
+		return
+	}
+	latest := -1.0
+	for {
+		recs, err := p.control.TryPoll(64)
+		if err != nil || len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			if _, f, err := decodeControl(rec.Value); err == nil {
+				latest = f
+			}
+		}
+	}
+	if latest > 0 {
+		p.cost.set(latest)
+	}
+}
+
 func (p *samplingProcessor) Close() error {
 	if p.cancel != nil {
 		p.cancel()
+	}
+	if p.control != nil {
+		p.control.Close()
 	}
 	return nil
 }
@@ -163,8 +264,9 @@ type rootProcessor struct {
 	work         time.Duration
 	processed    *atomic.Int64
 	decodeErrs   *atomic.Int64
-	lastActivity *atomic.Int64 // unix nanos of last root-side processing
-	scratch      stream.Batch  // reused decode buffer; IngestBatch copies out
+	lastActivity *atomic.Int64      // unix nanos of last root-side processing
+	latency      *metrics.Histogram // private per member; merged into the result at shutdown
+	scratch      stream.Batch       // reused decode buffer; IngestBatch copies out
 }
 
 var _ streams.Processor = (*rootProcessor)(nil)
@@ -178,6 +280,13 @@ func (p *rootProcessor) Process(msg streams.Message) error {
 		return nil
 	}
 	spin(time.Duration(len(p.scratch.Items)) * p.work)
+	now := time.Now()
+	for _, it := range p.scratch.Items {
+		// Items are stamped with their wall-clock publish instant at the
+		// source, so this is genuine end-to-end latency: edge window
+		// waits, broker hops, and the root's own service time all count.
+		p.latency.Observe(now.Sub(it.Ts))
+	}
 	p.mu.Lock()
 	p.node.IngestBatch(p.scratch)
 	p.mu.Unlock()
@@ -278,6 +387,13 @@ func (g *shardGroup) busy() bool {
 
 // RunLive executes one live experiment against the compiled deployment plan.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
+	if cfg.Feedback != nil {
+		// The adaptive loop owns the budget: members get private
+		// control-plane-driven costs below, and the plan carries the
+		// controller (in effective-fraction form) for validation and as
+		// the canonical cost of record.
+		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
+	}
 	plan, err := CompilePlan(PlanConfig{
 		Spec:        cfg.Spec,
 		NewSampler:  cfg.NewSampler,
@@ -297,8 +413,14 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	if cfg.Items <= 0 {
 		return nil, ErrNoItems
 	}
+	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
+		return nil, ErrFeedbackNeedsQuery
+	}
 	if cfg.Window <= 0 {
 		cfg.Window = 50 * time.Millisecond
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = stats.TwoSigma
 	}
 
 	spec := plan.Spec
@@ -313,7 +435,10 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		}
 	}
 
-	res := &LiveResult{}
+	res := &LiveResult{
+		Latency:   metrics.NewHistogram(),
+		Bandwidth: metrics.NewBandwidthAccount(),
+	}
 	var (
 		rootProcessed atomic.Int64
 		decodeErrs    atomic.Int64
@@ -321,7 +446,9 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	)
 
 	// Edge layers: one shard group per compiled node descriptor — the
-	// node's consumer group, desc.Shards members strong.
+	// node's consumer group, desc.Shards members strong. Adaptive runs
+	// give every member a private dynamic cost plus a standalone control
+	// consumer; the root publishes, the members drain at window close.
 	var groups []*shardGroup
 	stopAll := func() {
 		for i := len(groups) - 1; i >= 0; i-- {
@@ -331,16 +458,32 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	var edgeProcs []*samplingProcessor
 	for _, desc := range plan.EdgeNodes() {
 		desc := desc
+		var memberErr error
 		grp, err := newShardGroup(broker, desc, func(shard int) streams.Processor {
 			sp := &samplingProcessor{
-				node:       plan.NewNodeShard(desc, shard),
 				window:     cfg.Window,
 				streaming:  cfg.Streaming,
 				decodeErrs: &decodeErrs,
+				bw:         res.Bandwidth,
+				link:       desc.ParentTopic,
+			}
+			if cfg.Feedback != nil {
+				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
+				sp.node = plan.NewNodeShardCost(desc, shard, sp.cost)
+				c, cerr := mq.NewConsumer(broker, plan.ControlTopic)
+				if cerr != nil && memberErr == nil {
+					memberErr = cerr // keep the first failure; later shards must not clobber it
+				}
+				sp.control = c
+			} else {
+				sp.node = plan.NewNodeShard(desc, shard)
 			}
 			edgeProcs = append(edgeProcs, sp)
 			return sp
 		})
+		if err == nil {
+			err = memberErr
+		}
 		if err != nil {
 			stopAll()
 			return nil, err
@@ -351,15 +494,28 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	// Root consumer group: the same shard-group machinery, with
 	// root-flavored members. RootShards members split the root topic's
 	// partitions; each aggregates and samples its share, and a window
-	// ticker merges every member's Θ and runs the queries once.
+	// ticker merges every member's Θ and runs the queries once. The
+	// controller is colocated with the root (the paper's datacenter), so
+	// adaptive root members take fraction updates directly at the merge
+	// instead of round-tripping through the control topic.
 	rootProcs := make([]*rootProcessor, plan.RootShards)
+	rootCosts := make([]*dynamicCost, 0, plan.RootShards)
 	rootGrp, err := newShardGroup(broker, plan.Root(), func(shard int) streams.Processor {
 		p := &rootProcessor{
-			node:         plan.NewRootShard(shard),
 			work:         cfg.RootWork,
 			processed:    &rootProcessed,
 			decodeErrs:   &decodeErrs,
 			lastActivity: &lastActivity,
+			// Private histogram: shards must not serialize on one mutex in
+			// the per-item hot path. Merged into res.Latency at shutdown.
+			latency: metrics.NewHistogram(),
+		}
+		if cfg.Feedback != nil {
+			dc := newDynamicCost(cfg.Feedback.Fraction())
+			rootCosts = append(rootCosts, dc)
+			p.node = plan.NewNodeShardCost(plan.Root(), shard, dc)
+		} else {
+			p.node = plan.NewRootShard(shard)
 		}
 		rootProcs[shard] = p
 		return p
@@ -388,8 +544,10 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 		}
 	}
 
-	engine := query.NewEngine()
-	var windowMu sync.Mutex // serializes window closes; guards res.Windows
+	engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
+	ctlProducer := mq.NewProducer(broker)
+	var ctlSeq uint64
+	var windowMu sync.Mutex // serializes window closes; guards res state
 	closeWindow := func(at time.Time) {
 		windowMu.Lock()
 		defer windowMu.Unlock()
@@ -398,8 +556,30 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 			theta = append(theta, rp.closeInterval()...)
 		}
 		win := NewWindowResult(at, engine, plan.Queries, theta)
-		if win.SampleSize > 0 {
-			res.Windows = append(res.Windows, win)
+		if win.SampleSize == 0 {
+			return
+		}
+		res.Windows = append(res.Windows, win)
+		if cfg.Feedback != nil {
+			// §IV-B feedback step: observe the merged window, then fan the
+			// adjusted fraction out — directly to the colocated root
+			// members, via the control topic to every edge member. Edge
+			// windows already open keep their old fraction; the update
+			// lands at their next boundary.
+			f := cfg.Feedback.Observe(win.Result(feedbackKind(plan.Queries)))
+			for _, dc := range rootCosts {
+				dc.set(f)
+			}
+			ctlSeq++
+			payload := encodeControl(ctlSeq, f)
+			res.Bandwidth.Add(plan.ControlTopic, int64(len(payload)))
+			// The broker outlives every window close, so the only send
+			// failure mode is a deleted topic — impossible mid-run.
+			_, _, _ = ctlProducer.Send(plan.ControlTopic, nil, payload)
+			res.Fractions = append(res.Fractions, f)
+		}
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(win)
 		}
 	}
 
@@ -464,8 +644,13 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 				if int64(len(items)) > quota-sent {
 					items = items[:quota-sent]
 				}
-				for _, it := range items {
-					localTruth += it.Value
+				// Re-stamp with the wall-clock publish instant: generators
+				// assign synthetic workload time, but live latency is
+				// measured from here to root-side processing.
+				pub := time.Now()
+				for j := range items {
+					localTruth += items[j].Value
+					items[j].Ts = pub
 				}
 				for lo := 0; lo < len(items); {
 					hi := lo + 1
@@ -474,12 +659,22 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 						hi++
 					}
 					b := stream.Batch{Source: src, Weight: 1, Items: items[lo:hi]}
-					if _, _, err := producer.Send(topic, []byte(src), b.Marshal()); err != nil {
+					payload := b.Marshal()
+					res.Bandwidth.Add(topic, int64(len(payload)))
+					if _, _, err := producer.Send(topic, []byte(src), payload); err != nil {
 						return
 					}
 					lo = hi
 				}
 				sent += int64(len(items))
+				if cfg.SourceRate > 0 {
+					// Pace to the configured rate: sleep off any lead over
+					// the ideal sent/rate schedule.
+					ahead := time.Duration(float64(sent)/cfg.SourceRate*float64(time.Second)) - time.Since(start)
+					if ahead > 0 {
+						time.Sleep(ahead)
+					}
+				}
 			}
 			produced.Add(sent)
 			truthMu.Lock()
@@ -534,6 +729,24 @@ func RunLive(cfg LiveConfig) (*LiveResult, error) {
 	for _, w := range res.Windows {
 		res.EstimateSum += w.Result(query.Sum).Estimate.Value
 		res.EstimateCount += w.EstimatedInput
+	}
+	// Per-member telemetry, read after every group has stopped (the nodes
+	// are quiescent, so the lifetime counters are final).
+	res.Nodes = make(map[string]NodeTelemetry, len(edgeProcs)+len(rootProcs))
+	record := func(n *Node) {
+		st := n.Stats()
+		tel := NodeTelemetry{Observed: st.Observed, Emitted: st.Emitted, Intervals: st.Intervals}
+		if res.Elapsed > 0 {
+			tel.Throughput = float64(st.Observed) / res.Elapsed.Seconds()
+		}
+		res.Nodes[n.ID()] = tel
+	}
+	for _, sp := range edgeProcs {
+		record(sp.node)
+	}
+	for _, rp := range rootProcs {
+		record(rp.node)
+		res.Latency.Merge(rp.latency)
 	}
 	return res, nil
 }

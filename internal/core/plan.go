@@ -118,6 +118,12 @@ type Plan struct {
 	Layers [][]NodeDesc
 	// Sources holds one descriptor per IoT source.
 	Sources []SourceDesc
+	// ControlTopic is the deployment's single-partition control channel:
+	// the live root publishes fraction updates (§IV-B feedback) into it and
+	// every shard-group member drains it at its window boundaries. It is
+	// part of every compiled plan — an adaptive run uses it, a frozen-cost
+	// run just leaves it empty.
+	ControlTopic string
 
 	newSampler SamplerFactory
 	cost       CostFunction
@@ -127,6 +133,12 @@ type Plan struct {
 func topicName(layer, idx int) string {
 	return fmt.Sprintf("layer%d-node%d", layer, idx)
 }
+
+// ControlTopicName names the per-deployment control topic. Node topics are
+// all "layer<l>-node<i>", so the name cannot collide. Exported so callers
+// can look the control plane up in bandwidth accounts without duplicating
+// the string.
+const ControlTopicName = "control"
 
 // CompilePlan validates the configuration and compiles the tree into an
 // explicit node graph. It is the only place parent edges and topic names
@@ -184,16 +196,17 @@ func CompilePlan(cfg PlanConfig) (*Plan, error) {
 	}
 
 	p := &Plan{
-		Spec:        spec,
-		Queries:     append([]query.Kind(nil), cfg.Queries...),
-		Seed:        cfg.Seed,
-		Partitions:  cfg.Partitions,
-		RootShards:  cfg.RootShards,
-		LayerShards: layerShards,
-		Layers:      make([][]NodeDesc, len(spec.Layers)),
-		Sources:     make([]SourceDesc, spec.Sources),
-		newSampler:  cfg.NewSampler,
-		cost:        cfg.Cost,
+		Spec:         spec,
+		Queries:      append([]query.Kind(nil), cfg.Queries...),
+		Seed:         cfg.Seed,
+		Partitions:   cfg.Partitions,
+		RootShards:   cfg.RootShards,
+		LayerShards:  layerShards,
+		Layers:       make([][]NodeDesc, len(spec.Layers)),
+		Sources:      make([]SourceDesc, spec.Sources),
+		ControlTopic: ControlTopicName,
+		newSampler:   cfg.NewSampler,
+		cost:         cfg.Cost,
 	}
 	for l, ls := range spec.Layers {
 		p.Layers[l] = make([]NodeDesc, ls.Nodes)
@@ -230,8 +243,11 @@ func (p *Plan) RootLayer() int { return p.Spec.RootLayer() }
 // Root returns the root node's descriptor.
 func (p *Plan) Root() NodeDesc { return p.Layers[p.RootLayer()][0] }
 
-// Topics lists every live topic the plan requires, each with the plan's
-// partition count, in deterministic (layer, node) order.
+// Topics lists every live topic the plan requires — one per node with the
+// plan's partition count, in deterministic (layer, node) order, plus the
+// single-partition control topic last. Control records must reach every
+// shard-group member in one total order, so the control topic never
+// partitions regardless of the data-plane partition count.
 func (p *Plan) Topics() []TopicDesc {
 	var out []TopicDesc
 	for _, layer := range p.Layers {
@@ -239,6 +255,7 @@ func (p *Plan) Topics() []TopicDesc {
 			out = append(out, TopicDesc{Name: d.Topic, Partitions: p.Partitions})
 		}
 	}
+	out = append(out, TopicDesc{Name: p.ControlTopic, Partitions: 1})
 	return out
 }
 
@@ -278,11 +295,19 @@ func shardSeed(seed uint64, shard int) uint64 {
 // node's *total* sample cap, so it is divided across the group here; a
 // custom CostFunction with absolute semantics is applied per member as-is.
 func (p *Plan) NewNodeShard(d NodeDesc, shard int) *Node {
+	return p.NewNodeShardCost(d, shard, p.cost)
+}
+
+// NewNodeShardCost is NewNodeShard with the member's cost function
+// overridden — the adaptive live runner uses it to give every member a
+// private control-plane-driven budget in place of the plan's frozen one.
+// The FixedBudget group split applies to the override exactly as it would
+// to the plan cost.
+func (p *Plan) NewNodeShardCost(d NodeDesc, shard int, cost CostFunction) *Node {
 	id := d.ID
 	if shard > 0 {
 		id = fmt.Sprintf("%s-shard%d", d.ID, shard)
 	}
-	cost := p.cost
 	if fb, ok := cost.(FixedBudget); ok && d.Shards > 1 {
 		// Spread the cap exactly: Size/N each, remainder to the low shards,
 		// so shard budgets total Size and none is starved unless Size < N.

@@ -80,10 +80,11 @@ func TestCompilePlanWiring(t *testing.T) {
 		}
 	}
 
-	// One topic per computing node, defaulting to one partition.
+	// One topic per computing node plus the control topic, defaulting to
+	// one partition.
 	topics := plan.Topics()
-	if len(topics) != spec.NodeCount() {
-		t.Fatalf("%d topics, want %d", len(topics), spec.NodeCount())
+	if len(topics) != spec.NodeCount()+1 {
+		t.Fatalf("%d topics, want %d nodes + control", len(topics), spec.NodeCount())
 	}
 	seen := make(map[string]bool)
 	for _, td := range topics {
@@ -94,6 +95,9 @@ func TestCompilePlanWiring(t *testing.T) {
 			t.Fatalf("duplicate topic %q", td.Name)
 		}
 		seen[td.Name] = true
+	}
+	if plan.ControlTopic == "" || !seen[plan.ControlTopic] {
+		t.Fatalf("control topic %q missing from Topics()", plan.ControlTopic)
 	}
 
 	// EdgeNodes covers exactly the non-root descriptors.
@@ -241,6 +245,14 @@ func TestPlanPartitionKnobsPropagate(t *testing.T) {
 		t.Fatalf("knobs = %d/%d, want 8/4", plan.Partitions, plan.RootShards)
 	}
 	for _, td := range plan.Topics() {
+		if td.Name == plan.ControlTopic {
+			// Control records need one total order across every consumer,
+			// so the control topic never partitions.
+			if td.Partitions != 1 {
+				t.Fatalf("control topic compiled with %d partitions, want 1", td.Partitions)
+			}
+			continue
+		}
 		if td.Partitions != 8 {
 			t.Fatalf("topic %q compiled with %d partitions, want 8", td.Name, td.Partitions)
 		}

@@ -106,7 +106,18 @@ type SimConfig struct {
 	Confidence stats.Confidence
 	// Seed drives all samplers.
 	Seed uint64
-	// OnWindow, if set, observes every window result as it is produced.
+	// Feedback, when set, closes the §IV-B loop on the simulated tree:
+	// every node's budget reads the controller's fraction (effective
+	// end-to-end semantics, like EffectiveFractionBudget), and at each
+	// root window close the controller observes the result of the first
+	// registered non-COUNT query kind (COUNT is exact by Eq. 8, so its
+	// bound is uninformative) and adjusts. Feedback takes precedence over
+	// Cost (which may then be nil). In simulation the controller is shared
+	// memory — the live runner's control topic is the distributed form of
+	// the same loop. A controller is stateful — use a fresh one per run.
+	Feedback *FeedbackController
+	// OnWindow, if set, observes every window result as it is produced,
+	// after the feedback step.
 	OnWindow func(WindowResult)
 	// Failures optionally crash nodes mid-run.
 	Failures []Failure
@@ -142,6 +153,10 @@ type SimResult struct {
 	// RootObserved counts items that reached the root (post edge
 	// sampling, pre root sampling).
 	RootObserved int64
+	// Fractions is the adaptive trajectory: the controller's fraction
+	// after observing each entry of Windows, in order. Nil when Feedback
+	// is not configured.
+	Fractions []float64
 	// Elapsed is the simulated time covered (duration + drain).
 	Elapsed time.Duration
 }
@@ -232,6 +247,9 @@ func (sn *simNode) down(t time.Time) bool {
 
 // RunSim executes one experiment and returns its measurements.
 func RunSim(cfg SimConfig) (*SimResult, error) {
+	if cfg.Feedback != nil {
+		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
+	}
 	plan, err := CompilePlan(PlanConfig{
 		Spec:       cfg.Spec,
 		NewSampler: cfg.NewSampler,
@@ -247,6 +265,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 	if cfg.Duration <= 0 {
 		return nil, ErrNoDuration
+	}
+	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
+		return nil, ErrFeedbackNeedsQuery
 	}
 	if cfg.ChunksPerWindow <= 0 {
 		cfg.ChunksPerWindow = 8
@@ -469,6 +490,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			result, _ := root.root.CloseWindow(now)
 			if result.SampleSize > 0 {
 				res.Windows = append(res.Windows, result)
+				if cfg.Feedback != nil {
+					// §IV-B feedback step: in virtual time the adjusted
+					// fraction is visible to every node's next window close
+					// the moment Observe returns — the simulated analogue
+					// of the live runner's control-topic broadcast.
+					res.Fractions = append(res.Fractions, cfg.Feedback.Observe(result.Result(feedbackKind(plan.Queries))))
+				}
 				if cfg.OnWindow != nil {
 					cfg.OnWindow(result)
 				}

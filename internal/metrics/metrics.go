@@ -154,6 +154,34 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
+// Merge folds other's samples into h. Hot paths that would otherwise
+// contend on one histogram's mutex (e.g. parallel root shards) can observe
+// into private histograms and merge once at shutdown.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	buckets := other.buckets
+	count := other.count
+	sum := other.sum
+	min, max := other.min, other.max
+	other.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+}
+
 // Quantile returns the q-th quantile (0 < q <= 1) from the bucket bounds.
 // Exact min/max are returned at the extremes.
 func (h *Histogram) Quantile(q float64) time.Duration {

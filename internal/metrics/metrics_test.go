@@ -184,3 +184,49 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(time.Duration(i%1000) * time.Millisecond)
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		a.Observe(d)
+	}
+	for _, d := range []time.Duration{100 * time.Microsecond, 50 * time.Millisecond} {
+		b.Observe(d)
+	}
+
+	whole := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+		100 * time.Microsecond, 50 * time.Millisecond} {
+		whole.Observe(d)
+	}
+
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), whole.Count())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	if a.Mean() != whole.Mean() {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged q%.2f = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+
+	// Merging an empty histogram is a no-op; merging into an empty one
+	// copies min/max instead of keeping the zero min.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	if a.Count() != before {
+		t.Fatalf("empty merge changed count to %d", a.Count())
+	}
+	empty := NewHistogram()
+	empty.Merge(b)
+	if empty.Min() != b.Min() || empty.Max() != b.Max() || empty.Count() != b.Count() {
+		t.Fatalf("merge into empty = %d/%v/%v, want %d/%v/%v",
+			empty.Count(), empty.Min(), empty.Max(), b.Count(), b.Min(), b.Max())
+	}
+}

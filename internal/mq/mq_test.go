@@ -628,3 +628,66 @@ func TestGroupPerKeyOrderingAcrossMembers(t *testing.T) {
 		}
 	}
 }
+
+// TestControlTopicFanout pins the broadcast shape the live control plane
+// relies on: standalone consumers on a single-partition topic are
+// independent — every one of them sees every record, in publish order,
+// regardless of how many records it drains per poll — unlike group members,
+// which split the stream. A "latest wins" drain (the control-plane read
+// pattern) therefore converges every consumer to the same final record.
+func TestControlTopicFanout(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.CreateTopic("control", 1); err != nil {
+		t.Fatal(err)
+	}
+	const consumers, records = 3, 17
+
+	subs := make([]*Consumer, consumers)
+	for i := range subs {
+		c, err := NewConsumer(b, "control")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		subs[i] = c
+	}
+
+	p := NewProducer(b)
+	for seq := 0; seq < records; seq++ {
+		if _, _, err := p.Send("control", nil, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i, c := range subs {
+		// Drain with a small max to force multiple polls; the latest
+		// record must win and the full history must arrive in order.
+		var seen []byte
+		for {
+			recs, err := c.TryPoll(4)
+			if err != nil {
+				t.Fatalf("consumer %d: %v", i, err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			for _, rec := range recs {
+				seen = append(seen, rec.Value[0])
+			}
+		}
+		if len(seen) != records {
+			t.Fatalf("consumer %d saw %d records, want all %d", i, len(seen), records)
+		}
+		for seq, v := range seen {
+			if v != byte(seq) {
+				t.Fatalf("consumer %d: position %d holds seq %d", i, seq, v)
+			}
+		}
+		if latest := seen[len(seen)-1]; latest != records-1 {
+			t.Fatalf("consumer %d: latest-wins drain landed on %d", i, latest)
+		}
+		if lag := c.Lag(); lag != 0 {
+			t.Fatalf("consumer %d still lags %d after drain", i, lag)
+		}
+	}
+}
