@@ -10,7 +10,7 @@
 // over the thinned stream with rigorous error bounds, at a fraction of the
 // bandwidth and compute of exact execution.
 //
-// Three entry points:
+// Four entry points:
 //
 //   - Estimator: single-node online use. Feed items, close windows, read
 //     estimates with confidence intervals.
@@ -19,12 +19,19 @@
 //     evaluation figures use.
 //   - Run: execute the tree live on goroutines chained by an in-memory
 //     Kafka-style broker, mirroring the paper's Kafka Streams prototype.
+//     Batch-shaped: generator-fed, fixed item count, blocks until drained.
+//   - Open: the session-shaped form of Run — a long-lived Deployment
+//     handle with push ingestion (Ingest / Ingester valves), streaming
+//     window results (Windows), mid-run telemetry (Snapshot), adaptive
+//     steering (SetTarget), and graceful shutdown (Close). The deployment
+//     shape a continuously running edge-analytics service holds.
 //
 // The §IV-B adaptive feedback mechanism works in every entry point: a
 // FeedbackController re-tunes the sampling fraction window by window to
 // hold a target relative error (WithAdaptiveBudget on the Estimator,
-// Config.Adaptive for Simulate and Run — live runs broadcast each
-// adjustment over a control topic, exactly like the data plane).
+// Config.Adaptive for Simulate, Run and Open — live runs broadcast each
+// adjustment over a control topic, exactly like the data plane, and a
+// Deployment can retune the target mid-run via SetTarget).
 //
 // See ARCHITECTURE.md for the package map and live-dataflow diagram, the
 // examples/ directory for runnable programs, and EXPERIMENTS.md for the
@@ -202,9 +209,28 @@ type Config struct {
 	Adaptive *FeedbackController
 	// SourceRate throttles each live source to at most this many items per
 	// second (0 = unthrottled). Adaptive live runs use it to stretch
-	// production across enough windows to converge. Simulated runs ignore
-	// it — their sources are rate-shaped by the workload generators.
+	// production across enough windows to converge; Open's Ingester valves
+	// apply it to pushed streams too. Simulated runs ignore it — their
+	// sources are rate-shaped by the workload generators.
 	SourceRate float64
+	// Window is the live sampling/query interval (default 50 ms). It paces
+	// how often the root closes a window and emits a result — the cadence
+	// of a Deployment's Windows subscription. Simulated runs ignore it
+	// (the TreeSpec's virtual-time window applies there).
+	Window time.Duration
+	// MaxIngestLag is the live push-side backpressure high-water mark: an
+	// Ingest call blocks while its leaf topic's unconsumed backlog exceeds
+	// this many records, so pushers cannot outrun the pipeline into
+	// unbounded broker memory. 0 selects the default (8192); negative
+	// disables backpressure. Simulated runs ignore it.
+	MaxIngestLag int
+	// OnWindow, if set, observes every non-empty window result as it
+	// closes, after the feedback step — incremental observation in both
+	// modes (live runs additionally offer the Deployment.Windows
+	// subscription). It runs on the runner's window-close path: keep it
+	// fast, and from a live Deployment never call Close inside it (Close
+	// waits for the window ticker, so that deadlocks); Snapshot is safe.
+	OnWindow func(WindowResult)
 	// Partitions is the partition count of every live mq topic (default 1).
 	// Records are keyed by sub-stream, so ordering within a stratum is
 	// preserved at any partition count. Simulated runs ignore it.
@@ -322,6 +348,7 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 		Confidence: cfg.Confidence,
 		Seed:       cfg.Seed,
 		Feedback:   cfg.Adaptive,
+		OnWindow:   cfg.OnWindow,
 		Streaming:  cfg.streaming(),
 	})
 }
@@ -332,23 +359,31 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 // runtime telemetry — end-to-end latency, per-link bytes, per-node
 // throughput — and, with Config.Adaptive set, the per-window fraction
 // trajectory driven over the deployment's control topic.
+//
+// Run is the batch-shaped compatibility form of Open: it opens a
+// Deployment, feeds `items` generator items through the same Ingester
+// valves external pushers use, and closes. Long-lived services that push
+// their own data should hold a Deployment instead.
 func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error) {
 	cfg = cfg.normalize()
 	return core.RunLive(core.LiveConfig{
-		Spec:        cfg.Tree,
-		Source:      source,
-		NewSampler:  cfg.samplerFactory(),
-		Cost:        cfg.cost(),
-		Items:       items,
-		Queries:     cfg.Queries,
-		Confidence:  cfg.Confidence,
-		Partitions:  cfg.Partitions,
-		RootShards:  cfg.RootShards,
-		LayerShards: cfg.layerShards(),
-		Seed:        cfg.Seed,
-		Feedback:    cfg.Adaptive,
-		SourceRate:  cfg.SourceRate,
-		Streaming:   cfg.streaming(),
+		Spec:         cfg.Tree,
+		Source:       source,
+		NewSampler:   cfg.samplerFactory(),
+		Cost:         cfg.cost(),
+		Items:        items,
+		Window:       cfg.Window,
+		Queries:      cfg.Queries,
+		Confidence:   cfg.Confidence,
+		Partitions:   cfg.Partitions,
+		RootShards:   cfg.RootShards,
+		LayerShards:  cfg.layerShards(),
+		Seed:         cfg.Seed,
+		Feedback:     cfg.Adaptive,
+		SourceRate:   cfg.SourceRate,
+		MaxIngestLag: cfg.MaxIngestLag,
+		OnWindow:     cfg.OnWindow,
+		Streaming:    cfg.streaming(),
 	})
 }
 

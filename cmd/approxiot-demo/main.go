@@ -1,21 +1,29 @@
-// Command approxiot-demo runs the paper's testbed topology end to end on
-// simulated time and streams the root node's window results — approximate
-// answers with rigorous error bounds — to stdout, followed by a run summary
-// comparing the estimate against the exact ground truth.
+// Command approxiot-demo runs the paper's testbed topology as a live
+// deployment: a long-lived session over the in-memory broker, generator
+// sources pushing through the same Ingester valves an external client would
+// use, and the root's window results — approximate answers with rigorous
+// error bounds — printed as they close. Interrupt (Ctrl-C) drains the
+// pipeline gracefully and prints the final telemetry; a second interrupt
+// aborts without draining.
 //
 // Usage:
 //
-//	approxiot-demo                     # ApproxIoT at 10% for 10 simulated s
+//	approxiot-demo                     # ApproxIoT at 10%, run until Ctrl-C
 //	approxiot-demo -fraction 0.5
 //	approxiot-demo -strategy srs       # the SRS baseline
 //	approxiot-demo -workload skew      # the Fig. 10c extreme-skew stream
-//	approxiot-demo -duration 30s
+//	approxiot-demo -duration 10s       # stop on its own after 10 s
+//	approxiot-demo -target 0.01        # §IV-B adaptive, 1% error target
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/approxiot/approxiot"
@@ -27,7 +35,10 @@ func main() {
 		fraction = flag.Float64("fraction", 0.1, "end-to-end sampling fraction (0,1]")
 		strategy = flag.String("strategy", "whs", "whs | srs | native | parallel")
 		load     = flag.String("workload", "gaussian", "gaussian | poisson | skew | taxi | pollution")
-		duration = flag.Duration("duration", 10*time.Second, "simulated generation span")
+		rate     = flag.Float64("rate", 20000, "items/s pushed per source")
+		window   = flag.Duration("window", 500*time.Millisecond, "live query window")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = run until interrupt)")
+		target   = flag.Float64("target", 0, "adaptive relative-error target (0 = frozen fraction)")
 		seed     = flag.Uint64("seed", 2018, "random seed")
 	)
 	flag.Parse()
@@ -46,10 +57,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
-
 	source := sources(*load, *seed)
 	if source == nil {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *load)
+		os.Exit(2)
+	}
+	if *window < time.Millisecond {
+		fmt.Fprintf(os.Stderr, "window %v too small (minimum 1ms)\n", *window)
 		os.Exit(2)
 	}
 
@@ -58,42 +72,156 @@ func main() {
 		Fraction:   *fraction,
 		Queries:    []approxiot.QueryKind{approxiot.Sum, approxiot.Mean, approxiot.Count},
 		Confidence: approxiot.TwoSigma,
+		Window:     *window,
+		SourceRate: *rate,
 		Seed:       *seed,
 	}
+	if *target > 0 {
+		cfg.Adaptive = approxiot.NewFeedbackController(*fraction, *target)
+	}
 
-	fmt.Printf("ApproxIoT demo — %s at %.0f%% on the 8/4/2/1 testbed, %v of stream\n\n",
-		strat, *fraction*100, *duration)
-
-	res, err := approxiot.Simulate(cfg, source, *duration)
+	// abortCtx is wired into Open: cancelling it is the hard stop (no
+	// drain). The graceful path never touches it — Close does the draining.
+	abortCtx, abort := context.WithCancel(context.Background())
+	defer abort()
+	d, err := approxiot.Open(abortCtx, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simulate:", err)
+		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
 
-	for i, w := range res.Windows {
-		sum := w.Result(approxiot.Sum)
-		mean := w.Result(approxiot.Mean)
-		fmt.Printf("window %2d  SUM = %14.6g ± %-12.6g  MEAN = %10.6g ± %-10.6g  (ζ=%d of ~%.0f)\n",
-			i+1, sum.Estimate.Value, sum.Bound(),
-			mean.Estimate.Value, mean.Bound(),
-			w.SampleSize, w.EstimatedInput)
+	fmt.Printf("ApproxIoT live deployment — %s at %.0f%% on the 8/4/2/1 testbed, %v windows, %.0f items/s per source\n",
+		strat, *fraction*100, *window, *rate)
+	fmt.Println("Ctrl-C drains and exits; Ctrl-C twice aborts without draining.")
+	fmt.Println()
+
+	// stop ends ingestion: closed by the first interrupt or the -duration
+	// timer. The second interrupt escalates to an abort.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\ninterrupt — draining in-flight windows (interrupt again to abort)")
+		stopOnce.Do(func() { close(stop) })
+		first := time.Now()
+		for range sig {
+			// Debounce duplicate deliveries of the same logical interrupt:
+			// `timeout -s INT` (process-group delivery) can hand the signal
+			// to this process twice back-to-back, and that must not turn a
+			// graceful CI drain into an abort.
+			if time.Since(first) < 250*time.Millisecond {
+				continue
+			}
+			fmt.Println("second interrupt — aborting without drain")
+			abort()
+			return
+		}
+	}()
+	if *duration > 0 {
+		go func() {
+			select {
+			case <-time.After(*duration):
+				stopOnce.Do(func() { close(stop) })
+			case <-stop:
+			}
+		}()
 	}
 
-	truth := res.TotalTruth()
-	est := res.TotalEstimate(approxiot.Sum)
-	fmt.Printf("\nitems generated: %d   items at root: %d (%.1f%%)\n",
-		res.Generated, res.RootObserved, 100*float64(res.RootObserved)/float64(res.Generated))
-	fmt.Printf("exact total:     %.6g\n", truth)
-	fmt.Printf("estimated total: %.6g\n", est)
-	fmt.Printf("accuracy loss:   %.4f%%\n", 100*res.AccuracyLoss(approxiot.Sum))
-	fmt.Printf("latency:         mean=%v p95=%v\n", res.Latency.Mean().Round(time.Millisecond),
-		res.Latency.Quantile(0.95).Round(time.Millisecond))
-	var mb float64
-	for l, b := range res.LayerBytes {
-		fmt.Printf("layer %d traffic: %.2f MB\n", l, float64(b)/1e6)
-		mb += float64(b) / 1e6
+	// Print every window result as the root closes it — the streaming
+	// subscription, not the batch result.
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		i := 0
+		for w := range d.Windows() {
+			i++
+			sum := w.Result(approxiot.Sum)
+			mean := w.Result(approxiot.Mean)
+			fmt.Printf("window %3d  SUM = %14.6g ± %-12.6g  MEAN = %10.6g ± %-10.6g  (ζ=%d of ~%.0f)\n",
+				i, sum.Estimate.Value, sum.Bound(),
+				mean.Estimate.Value, mean.Bound(),
+				w.SampleSize, w.EstimatedInput)
+		}
+	}()
+
+	// One pusher per source slot: generator items through the public
+	// Ingester valve, paced by Config.SourceRate, until stop.
+	tree := approxiot.Testbed()
+	var feeders sync.WaitGroup
+	for slot := 0; slot < tree.Sources; slot++ {
+		ing, err := d.Ingester(slot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingester:", err)
+			os.Exit(1)
+		}
+		feeders.Add(1)
+		go func(slot int, ing *approxiot.Ingester) {
+			defer feeders.Done()
+			gen := source(slot)
+			now := time.Now()
+			chunk := *window / 4
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := gen.Generate(now, chunk)
+				now = now.Add(chunk)
+				if len(batch) == 0 {
+					continue
+				}
+				if err := ing.Push(batch...); err != nil {
+					return // draining or aborted
+				}
+			}
+		}(slot, ing)
 	}
-	fmt.Printf("total traffic:   %.2f MB\n", mb)
+
+	<-stop
+	feeders.Wait()
+	res, err := d.Close()
+	<-printerDone
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "closed with:", err)
+	}
+	printSummary(res)
+}
+
+// printSummary renders the final telemetry the deployment assembled:
+// counters, accuracy against ground truth, latency, and per-link bytes.
+func printSummary(res *approxiot.LiveResult) {
+	fmt.Printf("\n— final telemetry —\n")
+	produced := res.Produced
+	if produced == 0 {
+		produced = 1 // avoid 0/0 in the ratio below on an aborted empty run
+	}
+	fmt.Printf("items pushed:     %d   at root: %d (%.1f%%)   decode errors: %d\n",
+		res.Produced, res.RootProcessed,
+		100*float64(res.RootProcessed)/float64(produced), res.DecodeErrors)
+	fmt.Printf("elapsed:          %v   throughput: %.0f items/s\n",
+		res.Elapsed.Round(time.Millisecond), res.Throughput)
+	fmt.Printf("windows closed:   %d\n", len(res.Windows))
+	if res.TruthSum != 0 {
+		loss := (res.EstimateSum - res.TruthSum) / res.TruthSum
+		fmt.Printf("exact total:      %.6g\n", res.TruthSum)
+		fmt.Printf("estimated total:  %.6g  (%.4f%% off)\n", res.EstimateSum, 100*loss)
+	}
+	if res.Latency.Count() > 0 {
+		fmt.Printf("latency:          mean=%v p95=%v p99=%v\n",
+			res.Latency.Mean().Round(time.Millisecond),
+			res.Latency.Quantile(0.95).Round(time.Millisecond),
+			res.Latency.Quantile(0.99).Round(time.Millisecond))
+	}
+	if len(res.Fractions) > 0 {
+		fmt.Printf("fraction path:    %.3f → %.3f over %d adjustments\n",
+			res.Fractions[0], res.Fractions[len(res.Fractions)-1], len(res.Fractions))
+	}
+	links := res.Bandwidth.Snapshot()
+	fmt.Printf("bytes produced:   %.2f MB across %d links\n",
+		float64(res.Bandwidth.Total())/1e6, len(links))
 }
 
 // sources builds the per-source generator for a named workload.

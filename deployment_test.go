@@ -1,0 +1,258 @@
+package approxiot
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// deployConfig is the facade config the session tests share: small window so
+// several windows close quickly, paced sources so production spans them.
+func deployConfig() Config {
+	return Config{
+		Fraction:   0.25,
+		Queries:    []QueryKind{Sum, Count},
+		Seed:       7,
+		Window:     30 * time.Millisecond,
+		SourceRate: 6000,
+	}
+}
+
+// pushSources drives every slot of the deployment with the generator stream
+// Run's built-in client would produce for (seed, items): same quota split,
+// same chunking. Deliberately re-implemented rather than shared with the
+// wrapper's feed client — the session-vs-Run equivalence assertion is only
+// meaningful if the pusher is independent of the code it is compared
+// against. Returns once every slot's quota is pushed.
+func pushSources(t *testing.T, d *Deployment, seed uint64, items int64) {
+	t.Helper()
+	source := gaussianSources(seed, 1000)
+	sources := deployConfig().normalize().Tree.Sources
+	perSource := items / int64(sources)
+	remainder := items % int64(sources)
+	chunk := 30 * time.Millisecond / 4
+	var wg sync.WaitGroup
+	for slot := 0; slot < sources; slot++ {
+		quota := perSource
+		if int64(slot) < remainder {
+			quota++
+		}
+		ing, err := d.Ingester(slot)
+		if err != nil {
+			t.Errorf("Ingester(%d): %v", slot, err)
+			return
+		}
+		wg.Add(1)
+		go func(slot int, quota int64, ing *Ingester) {
+			defer wg.Done()
+			gen := source(slot)
+			now := time.Now()
+			var sent int64
+			for sent < quota {
+				batch := gen.Generate(now, chunk)
+				now = now.Add(chunk)
+				if len(batch) == 0 {
+					continue
+				}
+				if int64(len(batch)) > quota-sent {
+					batch = batch[:quota-sent]
+				}
+				if err := ing.Push(batch...); err != nil {
+					t.Errorf("Push(slot %d): %v", slot, err)
+					return
+				}
+				sent += int64(len(batch))
+			}
+		}(slot, quota, ing)
+	}
+	wg.Wait()
+}
+
+// TestOpenDeploymentEndToEnd is the facade acceptance path: Open a
+// deployment, push items through the valves, receive ≥2 window results over
+// the subscription while the run is in flight, read a mid-run Snapshot, and
+// get a final LiveResult from Close equivalent to the legacy Run path at the
+// same seed and volume.
+func TestOpenDeploymentEndToEnd(t *testing.T) {
+	const items = 16000
+	cfg := deployConfig()
+	d, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := d.State(); got != StateIngesting {
+		t.Fatalf("state after Open = %v, want ingesting", got)
+	}
+
+	windows := d.Windows()
+	seen2 := make(chan struct{})
+	var live []WindowResult
+	var collectWG sync.WaitGroup
+	collectWG.Add(1)
+	go func() {
+		defer collectWG.Done()
+		for w := range windows {
+			live = append(live, w)
+			if len(live) == 2 {
+				close(seen2)
+			}
+		}
+	}()
+
+	pushSources(t, d, cfg.Seed, items)
+
+	select {
+	case <-seen2:
+	case <-time.After(10 * time.Second):
+		t.Fatal("did not receive 2 window results while ingesting")
+	}
+
+	snap := d.Snapshot()
+	if snap.State != StateIngesting {
+		t.Fatalf("snapshot state = %v, want ingesting", snap.State)
+	}
+	if snap.Produced == 0 || snap.RootProcessed == 0 || snap.WindowsClosed < 2 {
+		t.Fatalf("snapshot counters implausible: %+v", snap)
+	}
+	if snap.Latency.Count() == 0 || len(snap.Bandwidth) == 0 || len(snap.Nodes) == 0 {
+		t.Fatal("snapshot telemetry empty mid-run")
+	}
+
+	res, err := d.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	collectWG.Wait()
+	if d.State() != StateClosed {
+		t.Fatalf("state after Close = %v, want closed", d.State())
+	}
+
+	legacy, err := Run(cfg, gaussianSources(cfg.Seed, 1000), items)
+	if err != nil {
+		t.Fatalf("legacy Run: %v", err)
+	}
+	if res.Produced != items || legacy.Produced != items {
+		t.Fatalf("produced %d (session) / %d (legacy), want %d", res.Produced, legacy.Produced, items)
+	}
+	if rel := math.Abs(res.TruthSum-legacy.TruthSum) / math.Abs(legacy.TruthSum); rel > 1e-12 {
+		t.Fatalf("truth diverged: %g vs %g", res.TruthSum, legacy.TruthSum)
+	}
+	for name, r := range map[string]*LiveResult{"session": res, "legacy": legacy} {
+		if rel := math.Abs(r.EstimateCount-float64(items)) / items; rel > 1e-9 {
+			t.Fatalf("%s: estimated count %.1f, want %d exactly (Eq. 8)", name, r.EstimateCount, items)
+		}
+	}
+	if len(live) == 0 || len(live) > len(res.Windows) {
+		t.Fatalf("subscription saw %d windows, result has %d", len(live), len(res.Windows))
+	}
+}
+
+func TestOpenCancelAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d, err := Open(ctx, deployConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.Ingest("sensor-a", Item{Value: 1}, Item{Value: 2}); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	cancel()
+	select {
+	case <-d.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("deployment did not close after cancel")
+	}
+	if _, err := d.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(d.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", d.Err())
+	}
+	if err := d.Ingest("sensor-a", Item{Value: 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after cancel err = %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenIngestAfterCloseAndSetTarget(t *testing.T) {
+	d, err := Open(nil, deployConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := d.SetTarget(0.05); !errors.Is(err, ErrNotAdaptive) {
+		t.Fatalf("SetTarget on frozen deployment err = %v, want ErrNotAdaptive", err)
+	}
+	if _, err := d.Ingester(-1); !errors.Is(err, ErrBadSourceSlot) {
+		t.Fatalf("Ingester(-1) err = %v, want ErrBadSourceSlot", err)
+	}
+	if _, err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Ingest("late", Item{Value: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close err = %v, want ErrClosed", err)
+	}
+
+	cfg := deployConfig()
+	cfg.Adaptive = NewFeedbackController(0.2, 0.02)
+	da, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open adaptive: %v", err)
+	}
+	defer da.Close()
+	if err := da.SetTarget(0.1); err != nil {
+		t.Fatalf("SetTarget: %v", err)
+	}
+	if got := da.Target(); got != 0.1 {
+		t.Fatalf("Target = %v, want 0.1", got)
+	}
+}
+
+// TestSimulateOnWindowHook closes the facade gap: incremental window
+// observation for Simulate via Config.OnWindow, mirroring the live
+// Windows() subscription.
+func TestSimulateOnWindowHook(t *testing.T) {
+	var hooked []WindowResult
+	cfg := Config{
+		Fraction: 0.2,
+		Seed:     5,
+		OnWindow: func(w WindowResult) { hooked = append(hooked, w) },
+	}
+	res, err := Simulate(cfg, gaussianSources(5, 2000), 3*time.Second)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no windows produced")
+	}
+	if len(hooked) != len(res.Windows) {
+		t.Fatalf("OnWindow observed %d windows, result has %d", len(hooked), len(res.Windows))
+	}
+	for i := range hooked {
+		if hooked[i].SampleSize != res.Windows[i].SampleSize {
+			t.Fatalf("hooked window %d differs from result window", i)
+		}
+	}
+}
+
+// TestRunOnWindowHook checks the same knob on the live batch path.
+func TestRunOnWindowHook(t *testing.T) {
+	var mu sync.Mutex
+	var hooked int
+	cfg := deployConfig()
+	cfg.OnWindow = func(WindowResult) {
+		mu.Lock()
+		hooked++
+		mu.Unlock()
+	}
+	res, err := Run(cfg, gaussianSources(7, 1000), 8000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hooked != len(res.Windows) {
+		t.Fatalf("OnWindow ran %d times for %d windows", hooked, len(res.Windows))
+	}
+}

@@ -1,6 +1,7 @@
 package approxiot_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,4 +79,37 @@ func ExampleSimulate() {
 	fmt.Printf("generated %d, estimated %.0f\n",
 		res.Generated, res.TotalEstimate(approxiot.Count))
 	// Output: generated 9600, estimated 9600
+}
+
+// Open is the session-shaped live entry point: a long-lived Deployment
+// handle with push ingestion, streaming window results, and graceful
+// shutdown. The Eq. 8 invariant survives sampling, sharding, and the
+// drain, so the final estimated count equals what was pushed, exactly.
+func ExampleOpen() {
+	d, err := approxiot.Open(context.Background(), approxiot.Config{
+		Fraction: 0.25,
+		Queries:  []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+		Seed:     42,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	items := make([]approxiot.Item, 1000)
+	for i := range items {
+		items[i].Value = float64(i)
+	}
+	for _, sensor := range []approxiot.SourceID{"temp-hall", "co2-lab"} {
+		if err := d.Ingest(sensor, items...); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	res, err := d.Close() // drains in-flight windows, returns the merged result
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("pushed %d, estimated count %.0f\n", res.Produced, res.EstimateCount)
+	// Output: pushed 2000, estimated count 2000
 }

@@ -1,0 +1,90 @@
+// A minimal push-ingestion session: Open a live deployment, push readings
+// for a few sensors by hand (no workload generators — this is the shape an
+// external data feed takes), watch window results stream out as the root
+// closes them, peek at mid-run telemetry, and Close for the final result.
+//
+//	go run ./examples/session
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/approxiot/approxiot"
+)
+
+func main() {
+	// A deployment on the paper's 8/4/2/1 testbed tree, sampling 25% and
+	// closing a query window every 40 ms. Open returns immediately: the
+	// tree is pumping, waiting for pushes.
+	d, err := approxiot.Open(context.Background(), approxiot.Config{
+		Fraction: 0.25,
+		Queries:  []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+		Window:   40 * time.Millisecond,
+		Seed:     42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+
+	// Subscribe before pushing so no window is missed. The channel closes
+	// when the deployment does.
+	windows := d.Windows()
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		n := 0
+		for w := range windows {
+			n++
+			sum := w.Result(approxiot.Sum)
+			fmt.Printf("window %2d  SUM = %12.1f ± %-10.1f  (ζ=%d of ~%.0f items)\n",
+				n, sum.Estimate.Value, sum.Bound(), w.SampleSize, w.EstimatedInput)
+		}
+	}()
+
+	// Push readings for three sensors. Ingest hashes each SourceID to a
+	// stable leaf, so a stratum always takes the same path up the tree.
+	// Spread the pushes across ~8 windows so several results stream out
+	// mid-run.
+	const rounds, perRound = 16, 500
+	var truth float64
+	for r := 0; r < rounds; r++ {
+		for _, sensor := range []approxiot.SourceID{"temp-hall", "temp-roof", "co2-lab"} {
+			items := make([]approxiot.Item, perRound)
+			for i := range items {
+				v := 20 + 5*math.Sin(float64(r*perRound+i)/300)
+				items[i] = approxiot.Item{Value: v}
+				truth += v
+			}
+			if err := d.Ingest(sensor, items...); err != nil {
+				fmt.Fprintln(os.Stderr, "ingest:", err)
+				os.Exit(1)
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Mid-run telemetry: before the session API this view existed only
+	// once, assembled at exit.
+	snap := d.Snapshot()
+	fmt.Printf("\nmid-run: state=%v pushed=%d at-root=%d windows=%d mean-latency=%v\n\n",
+		snap.State, snap.Produced, snap.RootProcessed, snap.WindowsClosed,
+		snap.Latency.Mean().Round(time.Microsecond))
+
+	// Graceful shutdown: drain in-flight windows, then read the final
+	// merged result.
+	res, err := d.Close()
+	<-printerDone
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("final: pushed=%d estimated-count=%.0f (exact by Eq. 8)\n",
+		res.Produced, res.EstimateCount)
+	fmt.Printf("       exact SUM=%.1f estimated SUM=%.1f (%.3f%% off)\n",
+		truth, res.EstimateSum, 100*(res.EstimateSum-truth)/truth)
+}

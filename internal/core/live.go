@@ -1,7 +1,6 @@
 package core
 
 import (
-	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -17,23 +16,29 @@ import (
 	"github.com/approxiot/approxiot/internal/workload"
 )
 
-// LiveConfig describes a live-mode run: the tree is instantiated as real
-// goroutines — every compiled node runs as a consumer group of one or more
-// streams.Runtime members, chained by mq topics — exactly mirroring the
+// LiveConfig describes a live-mode deployment: the tree is instantiated as
+// real goroutines — every compiled node runs as a consumer group of one or
+// more streams.Runtime members, chained by mq topics — exactly mirroring the
 // paper's Kafka/Kafka-Streams deployment (Fig. 4) scaled out the way Kafka
 // Streams applications scale: by adding instances to a consumer group.
 // Live mode measures compute throughput; WAN characteristics are the
 // simulated mode's job.
+//
+// Two entry points share this config: OpenLive returns a long-lived
+// LiveSession handle with push ingestion, and RunLive is the batch-shaped
+// wrapper (generator-fed, fixed item count, blocks until drained).
 type LiveConfig struct {
 	// Spec gives the tree structure (link parameters are ignored live).
 	Spec topology.TreeSpec
-	// Source builds source node i's generator. Required.
+	// Source builds source node i's generator. Required by RunLive; ignored
+	// by OpenLive, whose sessions are fed by pushes.
 	Source func(i int) workload.Source
 	// NewSampler builds each node's strategy. Required.
 	NewSampler SamplerFactory
 	// Cost is the budget policy shared by all nodes. Required.
 	Cost CostFunction
 	// Items is the total number of items to produce across all sources.
+	// Required by RunLive; ignored by OpenLive.
 	Items int64
 	// Window is the live sampling/query interval (default 50 ms — wall
 	// time is expensive, simulated seconds are not).
@@ -81,14 +86,23 @@ type LiveConfig struct {
 	// Feedback takes precedence over Cost (which may then be nil). A
 	// controller is stateful — use a fresh one per run.
 	Feedback *FeedbackController
-	// SourceRate throttles each source to at most this many items per
-	// second (0 = produce as fast as the pipeline accepts). Adaptive runs
-	// use it to stretch production across enough windows for the
-	// controller to converge.
+	// SourceRate throttles each source slot to at most this many items per
+	// second (0 = produce as fast as the pipeline accepts). The Ingester
+	// valves apply it to pushed streams too; adaptive runs use it to
+	// stretch production across enough windows for the controller to
+	// converge.
 	SourceRate float64
+	// MaxIngestLag is the push-side backpressure high-water mark: an
+	// Ingester blocks while its leaf topic's unconsumed backlog exceeds
+	// this many records, so pushers cannot outrun the pipeline into
+	// unbounded broker memory. 0 selects the default (8192); negative
+	// disables backpressure.
+	MaxIngestLag int
 	// OnWindow, if set, observes every non-empty window result as it
 	// closes, after the feedback step. It runs on the window ticker
-	// goroutine — keep it fast.
+	// goroutine — keep it fast, and never call the session's Close from
+	// it (Close waits for the ticker, so that deadlocks). Snapshot is
+	// safe to call from the hook.
 	OnWindow func(WindowResult)
 
 	// corruptRoot injects this many undecodable records into the root
@@ -385,370 +399,24 @@ func (g *shardGroup) busy() bool {
 	return false
 }
 
-// RunLive executes one live experiment against the compiled deployment plan.
+// RunLive executes one live experiment against the compiled deployment
+// plan: the batch-shaped compatibility wrapper over the session API. It
+// opens a LiveSession, feeds cfg.Items generator items through the same
+// Ingester valves external pushers use, drains, and returns the final
+// result — exactly the pre-session contract.
 func RunLive(cfg LiveConfig) (*LiveResult, error) {
-	if cfg.Feedback != nil {
-		// The adaptive loop owns the budget: members get private
-		// control-plane-driven costs below, and the plan carries the
-		// controller (in effective-fraction form) for validation and as
-		// the canonical cost of record.
-		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
-	}
-	plan, err := CompilePlan(PlanConfig{
-		Spec:        cfg.Spec,
-		NewSampler:  cfg.NewSampler,
-		Cost:        cfg.Cost,
-		Queries:     cfg.Queries,
-		Seed:        cfg.Seed,
-		Partitions:  cfg.Partitions,
-		RootShards:  cfg.RootShards,
-		LayerShards: cfg.LayerShards,
-	})
-	if err != nil {
-		return nil, err
-	}
 	if cfg.Source == nil {
 		return nil, ErrNoSourceFunc
 	}
 	if cfg.Items <= 0 {
 		return nil, ErrNoItems
 	}
-	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
-		return nil, ErrFeedbackNeedsQuery
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 50 * time.Millisecond
-	}
-	if cfg.Confidence == 0 {
-		cfg.Confidence = stats.TwoSigma
-	}
-
-	spec := plan.Spec
-	broker := mq.NewBroker()
-	defer broker.Close()
-
-	// The plan names every topic and fixes its partition count; create them
-	// before any runtime subscribes.
-	for _, td := range plan.Topics() {
-		if _, err := broker.CreateTopic(td.Name, td.Partitions, mq.WithRetention(4096)); err != nil {
-			return nil, err
-		}
-	}
-
-	res := &LiveResult{
-		Latency:   metrics.NewHistogram(),
-		Bandwidth: metrics.NewBandwidthAccount(),
-	}
-	var (
-		rootProcessed atomic.Int64
-		decodeErrs    atomic.Int64
-		lastActivity  atomic.Int64 // unix nanos of last root processing
-	)
-
-	// Edge layers: one shard group per compiled node descriptor — the
-	// node's consumer group, desc.Shards members strong. Adaptive runs
-	// give every member a private dynamic cost plus a standalone control
-	// consumer; the root publishes, the members drain at window close.
-	var groups []*shardGroup
-	stopAll := func() {
-		for i := len(groups) - 1; i >= 0; i-- {
-			groups[i].stop()
-		}
-	}
-	var edgeProcs []*samplingProcessor
-	for _, desc := range plan.EdgeNodes() {
-		desc := desc
-		var memberErr error
-		grp, err := newShardGroup(broker, desc, func(shard int) streams.Processor {
-			sp := &samplingProcessor{
-				window:     cfg.Window,
-				streaming:  cfg.Streaming,
-				decodeErrs: &decodeErrs,
-				bw:         res.Bandwidth,
-				link:       desc.ParentTopic,
-			}
-			if cfg.Feedback != nil {
-				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
-				sp.node = plan.NewNodeShardCost(desc, shard, sp.cost)
-				c, cerr := mq.NewConsumer(broker, plan.ControlTopic)
-				if cerr != nil && memberErr == nil {
-					memberErr = cerr // keep the first failure; later shards must not clobber it
-				}
-				sp.control = c
-			} else {
-				sp.node = plan.NewNodeShard(desc, shard)
-			}
-			edgeProcs = append(edgeProcs, sp)
-			return sp
-		})
-		if err == nil {
-			err = memberErr
-		}
-		if err != nil {
-			stopAll()
-			return nil, err
-		}
-		groups = append(groups, grp)
-	}
-
-	// Root consumer group: the same shard-group machinery, with
-	// root-flavored members. RootShards members split the root topic's
-	// partitions; each aggregates and samples its share, and a window
-	// ticker merges every member's Θ and runs the queries once. The
-	// controller is colocated with the root (the paper's datacenter), so
-	// adaptive root members take fraction updates directly at the merge
-	// instead of round-tripping through the control topic.
-	rootProcs := make([]*rootProcessor, plan.RootShards)
-	rootCosts := make([]*dynamicCost, 0, plan.RootShards)
-	rootGrp, err := newShardGroup(broker, plan.Root(), func(shard int) streams.Processor {
-		p := &rootProcessor{
-			work:         cfg.RootWork,
-			processed:    &rootProcessed,
-			decodeErrs:   &decodeErrs,
-			lastActivity: &lastActivity,
-			// Private histogram: shards must not serialize on one mutex in
-			// the per-item hot path. Merged into res.Latency at shutdown.
-			latency: metrics.NewHistogram(),
-		}
-		if cfg.Feedback != nil {
-			dc := newDynamicCost(cfg.Feedback.Fraction())
-			rootCosts = append(rootCosts, dc)
-			p.node = plan.NewNodeShardCost(plan.Root(), shard, dc)
-		} else {
-			p.node = plan.NewRootShard(shard)
-		}
-		rootProcs[shard] = p
-		return p
-	})
+	s, err := OpenLive(nil, cfg)
 	if err != nil {
-		stopAll()
 		return nil, err
 	}
-	groups = append(groups, rootGrp)
-
-	if cfg.corruptRoot > 0 {
-		// Test hook: poison the root topic before anything consumes it.
-		p := mq.NewProducer(broker)
-		for i := 0; i < cfg.corruptRoot; i++ {
-			if _, _, err := p.Send(plan.Root().Topic, nil, []byte{0xFF, 0xBA, 0xD0}); err != nil {
-				stopAll()
-				return nil, err
-			}
-		}
-	}
-
-	for _, g := range groups {
-		if err := g.start(); err != nil {
-			stopAll()
-			return nil, err
-		}
-	}
-
-	engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
-	ctlProducer := mq.NewProducer(broker)
-	var ctlSeq uint64
-	var windowMu sync.Mutex // serializes window closes; guards res state
-	closeWindow := func(at time.Time) {
-		windowMu.Lock()
-		defer windowMu.Unlock()
-		var theta []stream.Batch
-		for _, rp := range rootProcs {
-			theta = append(theta, rp.closeInterval()...)
-		}
-		win := NewWindowResult(at, engine, plan.Queries, theta)
-		if win.SampleSize == 0 {
-			return
-		}
-		res.Windows = append(res.Windows, win)
-		if cfg.Feedback != nil {
-			// §IV-B feedback step: observe the merged window, then fan the
-			// adjusted fraction out — directly to the colocated root
-			// members, via the control topic to every edge member. Edge
-			// windows already open keep their old fraction; the update
-			// lands at their next boundary.
-			f := cfg.Feedback.Observe(win.Result(feedbackKind(plan.Queries)))
-			for _, dc := range rootCosts {
-				dc.set(f)
-			}
-			ctlSeq++
-			payload := encodeControl(ctlSeq, f)
-			res.Bandwidth.Add(plan.ControlTopic, int64(len(payload)))
-			// The broker outlives every window close, so the only send
-			// failure mode is a deleted topic — impossible mid-run.
-			_, _, _ = ctlProducer.Send(plan.ControlTopic, nil, payload)
-			res.Fractions = append(res.Fractions, f)
-		}
-		if cfg.OnWindow != nil {
-			cfg.OnWindow(win)
-		}
-	}
-
-	// Window ticker: a blocking select — no busy branch — closes windows
-	// while the members pump.
-	tickCtx, cancelTick := context.WithCancel(context.Background())
-	var tickWG sync.WaitGroup
-	tickWG.Add(1)
-	go func() {
-		defer tickWG.Done()
-		ticker := time.NewTicker(cfg.Window)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-tickCtx.Done():
-				return
-			case now := <-ticker.C:
-				closeWindow(now)
-			}
-		}
-	}()
-
-	// Sources: produce Items total, split across source nodes — the
-	// remainder of Items/Sources spread one item each over the low-indexed
-	// sources, so exactly Items are produced — publishing one batch per
-	// sub-stream per chunk, keyed by SourceID so a sub-stream sticks to
-	// one partition.
-	start := time.Now()
-	lastActivity.Store(start.UnixNano())
-	perSource := cfg.Items / int64(spec.Sources)
-	remainder := cfg.Items % int64(spec.Sources)
-	var (
-		produced atomic.Int64
-		truthMu  sync.Mutex
-		srcWG    sync.WaitGroup
-	)
-	chunk := cfg.Window / 4
-	if chunk <= 0 {
-		chunk = cfg.Window
-	}
-	for s := 0; s < spec.Sources; s++ {
-		s := s
-		quota := perSource
-		if int64(s) < remainder {
-			quota++
-		}
-		srcWG.Add(1)
-		go func() {
-			defer srcWG.Done()
-			gen := cfg.Source(s)
-			producer := mq.NewProducer(broker)
-			topic := plan.Sources[s].Topic
-			var sent int64
-			now := start
-			var localTruth float64
-			for sent < quota {
-				items := gen.Generate(now, chunk)
-				now = now.Add(chunk)
-				if len(items) == 0 {
-					continue
-				}
-				if int64(len(items)) > quota-sent {
-					items = items[:quota-sent]
-				}
-				// Re-stamp with the wall-clock publish instant: generators
-				// assign synthetic workload time, but live latency is
-				// measured from here to root-side processing.
-				pub := time.Now()
-				for j := range items {
-					localTruth += items[j].Value
-					items[j].Ts = pub
-				}
-				for lo := 0; lo < len(items); {
-					hi := lo + 1
-					src := items[lo].Source
-					for hi < len(items) && items[hi].Source == src {
-						hi++
-					}
-					b := stream.Batch{Source: src, Weight: 1, Items: items[lo:hi]}
-					payload := b.Marshal()
-					res.Bandwidth.Add(topic, int64(len(payload)))
-					if _, _, err := producer.Send(topic, []byte(src), payload); err != nil {
-						return
-					}
-					lo = hi
-				}
-				sent += int64(len(items))
-				if cfg.SourceRate > 0 {
-					// Pace to the configured rate: sleep off any lead over
-					// the ideal sent/rate schedule.
-					ahead := time.Duration(float64(sent)/cfg.SourceRate*float64(time.Second)) - time.Since(start)
-					if ahead > 0 {
-						time.Sleep(ahead)
-					}
-				}
-			}
-			produced.Add(sent)
-			truthMu.Lock()
-			res.TruthSum += localTruth
-			truthMu.Unlock()
-		}()
-	}
-	srcWG.Wait()
-
-	// Drain: wait until every group is caught up and the root has been
-	// idle for several windows (final punctuation flushes included). Every
-	// in-flight item is visible to this probe as exactly one of: unfetched
-	// topic lag, a busy member pump (records dispatch after their offsets
-	// commit), or Ψ buffered in an edge member awaiting its window flush —
-	// so the conjunction below cannot declare quiescence early no matter
-	// how the scheduler starves the pipeline. Read order matters: pending
-	// is sampled BEFORE the group lags, so a batch that flushes mid-probe
-	// is caught either in Ψ at the pending read or as parent-topic lag in
-	// the later group sweep (flushes forward before zeroing pending).
-	deadline := time.Now().Add(2 * time.Minute)
-	for time.Now().Before(deadline) {
-		var lag, pending int64
-		busy := false
-		for _, sp := range edgeProcs {
-			pending += sp.pending.Load()
-		}
-		for _, g := range groups {
-			lag += g.lag()
-			busy = busy || g.busy()
-		}
-		idle := time.Since(time.Unix(0, lastActivity.Load()))
-		if lag == 0 && !busy && pending == 0 && idle > 4*cfg.Window {
-			break
-		}
-		time.Sleep(cfg.Window / 4)
-	}
-	end := time.Unix(0, lastActivity.Load())
-
-	cancelTick()
-	tickWG.Wait()
-	rootGrp.stop()          // root members fully drain their fetched records
-	closeWindow(time.Now()) // final partial window
-	stopAll()
-
-	res.Produced = produced.Load()
-	res.RootProcessed = rootProcessed.Load()
-	res.DecodeErrors = decodeErrs.Load()
-	res.Elapsed = end.Sub(start)
-	if res.Elapsed > 0 {
-		res.Throughput = float64(res.Produced) / res.Elapsed.Seconds()
-	}
-	for _, w := range res.Windows {
-		res.EstimateSum += w.Result(query.Sum).Estimate.Value
-		res.EstimateCount += w.EstimatedInput
-	}
-	// Per-member telemetry, read after every group has stopped (the nodes
-	// are quiescent, so the lifetime counters are final).
-	res.Nodes = make(map[string]NodeTelemetry, len(edgeProcs)+len(rootProcs))
-	record := func(n *Node) {
-		st := n.Stats()
-		tel := NodeTelemetry{Observed: st.Observed, Emitted: st.Emitted, Intervals: st.Intervals}
-		if res.Elapsed > 0 {
-			tel.Throughput = float64(st.Observed) / res.Elapsed.Seconds()
-		}
-		res.Nodes[n.ID()] = tel
-	}
-	for _, sp := range edgeProcs {
-		record(sp.node)
-	}
-	for _, rp := range rootProcs {
-		record(rp.node)
-		res.Latency.Merge(rp.latency)
-	}
-	return res, nil
+	s.feed(cfg.Source, cfg.Items)
+	return s.Close()
 }
 
 // spin burns CPU for roughly d, modelling per-item query execution cost.

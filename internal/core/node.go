@@ -3,6 +3,8 @@ package core
 import (
 	"time"
 
+	"sync/atomic"
+
 	"github.com/approxiot/approxiot/internal/query"
 	"github.com/approxiot/approxiot/internal/sample"
 	"github.com/approxiot/approxiot/internal/stream"
@@ -19,8 +21,10 @@ import (
 // that arrive in a later interval than their weight (the Fig. 3 case) are
 // processed with the carried, up-to-date weight.
 //
-// Node is not safe for concurrent use; runners own each node from a single
-// goroutine (live mode) or the event loop (simulated mode).
+// Node is not safe for concurrent *mutation*; runners own each node from a
+// single goroutine (live mode) or the event loop (simulated mode). The
+// lifetime counters behind Stats are atomic, so telemetry readers (the live
+// session's Snapshot) may call Stats at any time while the owner ingests.
 type Node struct {
 	id      string
 	sampler sample.Sampler
@@ -31,9 +35,9 @@ type Node struct {
 	lineage  map[lineageKey]int // (source, weight) → index into psi
 	observed int
 
-	totalObserved int64
-	totalEmitted  int64
-	intervals     int64
+	totalObserved atomic.Int64
+	totalEmitted  atomic.Int64
+	intervals     atomic.Int64
 }
 
 type lineageKey struct {
@@ -92,7 +96,7 @@ func (n *Node) addPair(src stream.SourceID, w float64, items []stream.Item) {
 		n.psi = append(n.psi, batch)
 	}
 	n.observed += len(items)
-	n.totalObserved += int64(len(items))
+	n.totalObserved.Add(int64(len(items)))
 }
 
 // Observed returns the number of items received in the current interval.
@@ -106,7 +110,7 @@ func (n *Node) LastWeight(src stream.SourceID) float64 { return n.weights.Get(sr
 // returned batches carry W^out and are ready to forward to the parent (or,
 // at the root, to append to Θ).
 func (n *Node) CloseInterval() []stream.Batch {
-	n.intervals++
+	n.intervals.Add(1)
 	if len(n.psi) == 0 {
 		return nil
 	}
@@ -119,21 +123,26 @@ func (n *Node) CloseInterval() []stream.Batch {
 		budget = wc.SampleSizeWeighted(est)
 	}
 	out := n.sampler.SampleInterval(n.psi, budget)
+	var emitted int64
 	for _, b := range out {
-		n.totalEmitted += int64(len(b.Items))
+		emitted += int64(len(b.Items))
 	}
+	n.totalEmitted.Add(emitted)
 	n.psi = nil
 	n.lineage = make(map[lineageKey]int)
 	n.observed = 0
 	return out
 }
 
-// Stats reports lifetime counters for instrumentation.
+// Stats reports lifetime counters for instrumentation. Safe to call from
+// any goroutine while the owner keeps ingesting: each counter is read
+// atomically (the triple is not one consistent cut, which telemetry does
+// not need).
 func (n *Node) Stats() NodeStats {
 	return NodeStats{
-		Observed:  n.totalObserved,
-		Emitted:   n.totalEmitted,
-		Intervals: n.intervals,
+		Observed:  n.totalObserved.Load(),
+		Emitted:   n.totalEmitted.Load(),
+		Intervals: n.intervals.Load(),
 	}
 }
 

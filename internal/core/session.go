@@ -1,0 +1,1018 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/metrics"
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stats"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/streams"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+// This file is the session layer of live mode: a LiveSession is the
+// long-lived deployment handle behind the facade's approxiot.Open. Where the
+// original RunLive was batch-shaped — produce a fixed item count, block, and
+// return — the session separates the lifecycle into explicit phases:
+//
+//	OpenLive    compile the plan, create topics, start every shard group
+//	            and the window ticker; return immediately
+//	ingesting   callers push items (Ingest / Ingester), subscribe to
+//	            window results (Windows), read telemetry (Snapshot), and
+//	            steer the adaptive controller (SetTarget)
+//	draining    Close stops accepting pushes and waits for in-flight
+//	            windows to reach the root
+//	closed      the final LiveResult is merged and returned; context
+//	            cancellation jumps here directly, skipping the drain but
+//	            keeping every already-closed window intact
+//
+// RunLive still exists as a thin compatibility wrapper: it opens a session,
+// runs the configured generators through the same Ingester valve every
+// external client uses, and closes.
+
+// Session lifecycle errors.
+var (
+	// ErrSessionClosed rejects operations on a session that has finished
+	// (Close completed or the context was cancelled).
+	ErrSessionClosed = errors.New("core: live session closed")
+	// ErrSessionDraining rejects pushes that arrive after Close started
+	// draining: accepted items could no longer be guaranteed to reach the
+	// root before the final window merge.
+	ErrSessionDraining = errors.New("core: live session draining")
+	// ErrNotAdaptive rejects SetTarget on a session opened without a
+	// feedback controller.
+	ErrNotAdaptive = errors.New("core: session has no feedback controller (set LiveConfig.Feedback / Config.Adaptive)")
+	// ErrBadSourceSlot rejects an Ingester request for a slot outside
+	// [0, Spec.Sources).
+	ErrBadSourceSlot = errors.New("core: source slot out of range")
+)
+
+// SessionState is one phase of the Deployment lifecycle.
+type SessionState int32
+
+// Lifecycle states, in order. A session is born ingesting; Close moves it
+// through draining to closed; context cancellation moves it to closed
+// directly.
+const (
+	StateIngesting SessionState = iota
+	StateDraining
+	StateClosed
+)
+
+// String implements fmt.Stringer.
+func (s SessionState) String() string {
+	switch s {
+	case StateIngesting:
+		return "ingesting"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int32(s))
+	}
+}
+
+// windowSubBuffer is the per-subscriber buffer of Windows channels. A
+// subscriber that falls further behind misses results (they remain in the
+// final LiveResult.Windows) rather than stalling the window ticker.
+const windowSubBuffer = 128
+
+// defaultMaxIngestLag is the push-side backpressure high-water mark: an
+// Ingester blocks while its leaf topic's unconsumed backlog exceeds this
+// many records, bounding broker memory no matter how fast callers push.
+const defaultMaxIngestLag = 8192
+
+// LiveSession is a running live deployment: the compiled tree instantiated
+// as shard groups over the in-memory broker, accepting pushed items and
+// emitting window results until closed. Construct with OpenLive; all
+// methods are safe for concurrent use.
+type LiveSession struct {
+	cfg    LiveConfig
+	plan   *Plan
+	broker *mq.Broker
+	engine *query.Engine
+
+	groups    []*shardGroup // every consumer group, root last
+	rootGrp   *shardGroup
+	edgeProcs []*samplingProcessor
+	rootProcs []*rootProcessor
+	rootCosts []*dynamicCost
+
+	res *LiveResult
+
+	// Run-wide counters, written by member pumps and ingesters, read by
+	// Snapshot at any time.
+	produced      atomic.Int64
+	rootProcessed atomic.Int64
+	decodeErrs    atomic.Int64
+	lastActivity  atomic.Int64 // unix nanos of last root-side processing
+	startNanos    atomic.Int64 // run start: first ingest (open time until then)
+	started       atomic.Bool
+
+	// Per-slot ground truth, folded into res.TruthSum in slot order at
+	// finalize so the total is deterministic regardless of goroutine
+	// scheduling.
+	truth []paddedFloat
+
+	// Window-close machinery. windowMu serializes closeWindow and guards
+	// res.Windows / res.Fractions. windowsClosed mirrors len(res.Windows)
+	// atomically so Snapshot never needs windowMu — closeWindow calls the
+	// OnWindow hook while holding it, and a hook that reads a Snapshot
+	// must not self-deadlock.
+	windowMu      sync.Mutex
+	windowsClosed atomic.Int64
+	ctlProducer   *mq.Producer
+	ctlSeq        uint64
+
+	// Windows() subscriptions.
+	subMu      sync.Mutex
+	subs       []chan WindowResult
+	subsClosed bool
+	subDrops   atomic.Int64
+
+	// Ingestion valves, one per source slot, created on demand.
+	ingMu     sync.Mutex
+	ingesters []*Ingester
+
+	// Push/Close barrier. Every Push holds pushMu for reading from its
+	// state check to its last Send; shutdown flips the state, closes
+	// drainCh (waking pacing sleeps), and takes pushMu for writing — so no
+	// push admitted before the state flip can still be mid-flight when the
+	// drain probe starts, and none can touch the broker or the truth
+	// accumulators after finalize.
+	pushMu  sync.RWMutex
+	drainCh chan struct{}
+
+	// Lifecycle.
+	state      atomic.Int32
+	ctx        context.Context
+	cancelTick context.CancelFunc
+	tickWG     sync.WaitGroup
+	watchWG    sync.WaitGroup
+	closeOnce  sync.Once
+	done       chan struct{}
+	errMu      sync.Mutex
+	closeErr   error
+}
+
+// paddedFloat is a mutex-guarded accumulator with its own cache line's
+// worth of state, so per-slot truth sums don't false-share.
+type paddedFloat struct {
+	mu sync.Mutex
+	v  float64
+	_  [40]byte
+}
+
+// OpenLive compiles cfg's deployment plan, instantiates it as live shard
+// groups, and returns the running session. It returns as soon as the tree is
+// pumping: no items flow until the caller pushes them (Ingest / Ingester).
+// cfg.Source and cfg.Items are ignored — they belong to the batch-shaped
+// RunLive wrapper. Cancelling ctx aborts the session: in-flight data is
+// dropped, but every window already closed keeps its exact-count estimates,
+// and all goroutines exit. A nil ctx behaves like context.Background().
+func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Feedback != nil {
+		// The adaptive loop owns the budget: members get private
+		// control-plane-driven costs below, and the plan carries the
+		// controller (in effective-fraction form) for validation and as
+		// the canonical cost of record.
+		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
+	}
+	plan, err := CompilePlan(PlanConfig{
+		Spec:        cfg.Spec,
+		NewSampler:  cfg.NewSampler,
+		Cost:        cfg.Cost,
+		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
+		Partitions:  cfg.Partitions,
+		RootShards:  cfg.RootShards,
+		LayerShards: cfg.LayerShards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
+		return nil, ErrFeedbackNeedsQuery
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = stats.TwoSigma
+	}
+	if cfg.MaxIngestLag == 0 {
+		cfg.MaxIngestLag = defaultMaxIngestLag
+	}
+
+	s := &LiveSession{
+		cfg:    cfg,
+		plan:   plan,
+		broker: mq.NewBroker(),
+		engine: query.NewEngine(query.WithConfidence(cfg.Confidence)),
+		res: &LiveResult{
+			Latency:   metrics.NewHistogram(),
+			Bandwidth: metrics.NewBandwidthAccount(),
+		},
+		truth:     make([]paddedFloat, plan.Spec.Sources),
+		ingesters: make([]*Ingester, plan.Spec.Sources),
+		ctx:       ctx,
+		drainCh:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	now := time.Now()
+	s.startNanos.Store(now.UnixNano())
+	s.lastActivity.Store(now.UnixNano())
+
+	// The plan names every topic and fixes its partition count; create them
+	// before any runtime subscribes.
+	for _, td := range plan.Topics() {
+		if _, err := s.broker.CreateTopic(td.Name, td.Partitions, mq.WithRetention(4096)); err != nil {
+			s.broker.Close()
+			return nil, err
+		}
+	}
+
+	// Edge layers: one shard group per compiled node descriptor — the
+	// node's consumer group, desc.Shards members strong. Adaptive runs
+	// give every member a private dynamic cost plus a standalone control
+	// consumer; the root publishes, the members drain at window close.
+	fail := func(err error) (*LiveSession, error) {
+		s.stopAll()
+		s.broker.Close()
+		return nil, err
+	}
+	for _, desc := range plan.EdgeNodes() {
+		desc := desc
+		var memberErr error
+		grp, err := newShardGroup(s.broker, desc, func(shard int) streams.Processor {
+			sp := &samplingProcessor{
+				window:     cfg.Window,
+				streaming:  cfg.Streaming,
+				decodeErrs: &s.decodeErrs,
+				bw:         s.res.Bandwidth,
+				link:       desc.ParentTopic,
+			}
+			if cfg.Feedback != nil {
+				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
+				sp.node = plan.NewNodeShardCost(desc, shard, sp.cost)
+				c, cerr := mq.NewConsumer(s.broker, plan.ControlTopic)
+				if cerr != nil && memberErr == nil {
+					memberErr = cerr // keep the first failure; later shards must not clobber it
+				}
+				sp.control = c
+			} else {
+				sp.node = plan.NewNodeShard(desc, shard)
+			}
+			s.edgeProcs = append(s.edgeProcs, sp)
+			return sp
+		})
+		if err == nil {
+			err = memberErr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		s.groups = append(s.groups, grp)
+	}
+
+	// Root consumer group: the same shard-group machinery, with
+	// root-flavored members. RootShards members split the root topic's
+	// partitions; each aggregates and samples its share, and a window
+	// ticker merges every member's Θ and runs the queries once. The
+	// controller is colocated with the root (the paper's datacenter), so
+	// adaptive root members take fraction updates directly at the merge
+	// instead of round-tripping through the control topic.
+	s.rootProcs = make([]*rootProcessor, plan.RootShards)
+	s.rootCosts = make([]*dynamicCost, 0, plan.RootShards)
+	rootGrp, err := newShardGroup(s.broker, plan.Root(), func(shard int) streams.Processor {
+		p := &rootProcessor{
+			work:         cfg.RootWork,
+			processed:    &s.rootProcessed,
+			decodeErrs:   &s.decodeErrs,
+			lastActivity: &s.lastActivity,
+			// Private histogram: shards must not serialize on one mutex in
+			// the per-item hot path. Merged into res.Latency at shutdown
+			// (and into fresh histograms by mid-run Snapshots).
+			latency: metrics.NewHistogram(),
+		}
+		if cfg.Feedback != nil {
+			dc := newDynamicCost(cfg.Feedback.Fraction())
+			s.rootCosts = append(s.rootCosts, dc)
+			p.node = plan.NewNodeShardCost(plan.Root(), shard, dc)
+		} else {
+			p.node = plan.NewRootShard(shard)
+		}
+		s.rootProcs[shard] = p
+		return p
+	})
+	if err != nil {
+		return fail(err)
+	}
+	s.rootGrp = rootGrp
+	s.groups = append(s.groups, rootGrp)
+
+	if cfg.corruptRoot > 0 {
+		// Test hook: poison the root topic before anything consumes it.
+		p := mq.NewProducer(s.broker)
+		for i := 0; i < cfg.corruptRoot; i++ {
+			if _, _, err := p.Send(plan.Root().Topic, nil, []byte{0xFF, 0xBA, 0xD0}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	for _, g := range s.groups {
+		if err := g.start(); err != nil {
+			return fail(err)
+		}
+	}
+
+	s.ctlProducer = mq.NewProducer(s.broker)
+
+	// Window ticker: a blocking select — no busy branch — closes windows
+	// while the members pump. Its context is private: the user's ctx abort
+	// path runs through shutdown, which stops the ticker in order.
+	tickCtx, cancelTick := context.WithCancel(context.Background())
+	s.cancelTick = cancelTick
+	s.tickWG.Add(1)
+	go func() {
+		defer s.tickWG.Done()
+		ticker := time.NewTicker(cfg.Window)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-tickCtx.Done():
+				return
+			case now := <-ticker.C:
+				s.closeWindow(now)
+			}
+		}
+	}()
+
+	// Context watcher: a cancelled ctx aborts the session without a drain.
+	s.watchWG.Add(1)
+	go func() {
+		defer s.watchWG.Done()
+		select {
+		case <-ctx.Done():
+			s.shutdown(false, ctx.Err())
+		case <-s.done:
+		}
+	}()
+	return s, nil
+}
+
+// State returns the session's lifecycle phase.
+func (s *LiveSession) State() SessionState { return SessionState(s.state.Load()) }
+
+// Done is closed when the session reaches the closed state — by Close or by
+// context cancellation. After Done, Close returns immediately with the
+// final result.
+func (s *LiveSession) Done() <-chan struct{} { return s.done }
+
+// Err returns the error the session closed with: nil after a clean Close,
+// the context's error after cancellation, nil while still running.
+func (s *LiveSession) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.closeErr
+}
+
+// stopAll stops every group in reverse start order. Safe on never-started
+// members.
+func (s *LiveSession) stopAll() {
+	for i := len(s.groups) - 1; i >= 0; i-- {
+		s.groups[i].stop()
+	}
+}
+
+// ingestAllowed returns the state-specific rejection for pushes, nil while
+// ingesting.
+func (s *LiveSession) ingestAllowed() error {
+	switch s.State() {
+	case StateIngesting:
+		if s.ctx.Err() != nil {
+			return ErrSessionClosed
+		}
+		return nil
+	case StateDraining:
+		return ErrSessionDraining
+	default:
+		return ErrSessionClosed
+	}
+}
+
+// markStarted pins the run's start instant to the first ingest, so Elapsed
+// and throughput measure the traffic span, not time the session idled
+// between OpenLive and the first push.
+func (s *LiveSession) markStarted() {
+	if s.started.CompareAndSwap(false, true) {
+		now := time.Now().UnixNano()
+		s.startNanos.Store(now)
+		s.lastActivity.Store(now)
+	}
+}
+
+// Ingester returns the push valve for one source slot (0 ≤ slot <
+// Spec.Sources): the live analogue of "IoT source number slot". Pushes
+// through the valve publish into the slot's leaf topic, are paced to
+// LiveConfig.SourceRate, and block for backpressure when the leaf topic's
+// unconsumed backlog exceeds LiveConfig.MaxIngestLag. The valve is cached:
+// every call for the same slot returns the same *Ingester.
+func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
+	if slot < 0 || slot >= s.plan.Spec.Sources {
+		return nil, fmt.Errorf("%w: slot %d of %d sources", ErrBadSourceSlot, slot, s.plan.Spec.Sources)
+	}
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	if in := s.ingesters[slot]; in != nil {
+		return in, nil
+	}
+	src := s.plan.Sources[slot]
+	leaf := s.plan.Layers[0][src.ParentIndex]
+	in := &Ingester{
+		s:        s,
+		slot:     slot,
+		topic:    src.Topic,
+		lagGroup: leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
+		producer: mq.NewProducer(s.broker),
+		rate:     s.cfg.SourceRate,
+	}
+	s.ingesters[slot] = in
+	return in, nil
+}
+
+// Ingest publishes items onto sub-stream src: every item's Source is set to
+// src, and the batch enters the tree at a stable leaf — src hashes to a
+// source slot, so one stratum always flows through the same layer-0 node
+// and per-stratum ordering is preserved. Items are stamped with the
+// wall-clock publish instant (their Ts is overwritten) for end-to-end
+// latency measurement. Returns ErrSessionDraining / ErrSessionClosed once
+// the session has left the ingesting state.
+func (s *LiveSession) Ingest(src stream.SourceID, items ...stream.Item) error {
+	for i := range items {
+		items[i].Source = src
+	}
+	in, err := s.Ingester(s.slotFor(src))
+	if err != nil {
+		return err
+	}
+	return in.Push(items...)
+}
+
+// slotFor maps a sub-stream to its source slot by stable hash.
+func (s *LiveSession) slotFor(src stream.SourceID) int {
+	h := fnv.New32a()
+	h.Write([]byte(src))
+	return int(h.Sum32() % uint32(s.plan.Spec.Sources))
+}
+
+// Windows returns a subscription to window results: every WindowResult the
+// root closes from now on is delivered in order, and the channel is closed
+// when the session closes. The per-subscriber buffer holds windowSubBuffer
+// results; a subscriber that falls further behind misses intermediate
+// results (every window remains in the final LiveResult.Windows) — the
+// window ticker never blocks on a slow reader.
+func (s *LiveSession) Windows() <-chan WindowResult {
+	ch := make(chan WindowResult, windowSubBuffer)
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subsClosed {
+		close(ch)
+		return ch
+	}
+	s.subs = append(s.subs, ch)
+	return ch
+}
+
+// publishWindow fans one closed window out to every subscriber.
+func (s *LiveSession) publishWindow(win WindowResult) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subsClosed {
+		return
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- win:
+		default:
+			s.subDrops.Add(1)
+		}
+	}
+}
+
+// closeSubs ends every Windows subscription.
+func (s *LiveSession) closeSubs() {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if s.subsClosed {
+		return
+	}
+	s.subsClosed = true
+	for _, ch := range s.subs {
+		close(ch)
+	}
+	s.subs = nil
+}
+
+// SetTarget retunes the adaptive controller's relative-error target mid-run
+// — the analyst tightening or relaxing their error budget while the
+// deployment serves. The change takes effect at the next window close.
+// Returns ErrNotAdaptive when the session was opened without a controller.
+func (s *LiveSession) SetTarget(target float64) error {
+	if s.cfg.Feedback == nil {
+		return ErrNotAdaptive
+	}
+	s.cfg.Feedback.SetTarget(target)
+	return nil
+}
+
+// Target returns the adaptive controller's current relative-error target (0
+// when the session is not adaptive).
+func (s *LiveSession) Target() float64 {
+	if s.cfg.Feedback == nil {
+		return 0
+	}
+	return s.cfg.Feedback.Target()
+}
+
+// closeWindow merges every root member's Θ, runs the queries, records the
+// result, steps the feedback loop, and fans the window out to hooks and
+// subscribers. Runs on the ticker goroutine (and once more during
+// shutdown).
+func (s *LiveSession) closeWindow(at time.Time) {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	var theta []stream.Batch
+	for _, rp := range s.rootProcs {
+		theta = append(theta, rp.closeInterval()...)
+	}
+	win := NewWindowResult(at, s.engine, s.plan.Queries, theta)
+	if win.SampleSize == 0 {
+		return
+	}
+	s.res.Windows = append(s.res.Windows, win)
+	s.windowsClosed.Add(1)
+	if s.cfg.Feedback != nil {
+		// §IV-B feedback step: observe the merged window, then fan the
+		// adjusted fraction out — directly to the colocated root
+		// members, via the control topic to every edge member. Edge
+		// windows already open keep their old fraction; the update
+		// lands at their next boundary.
+		f := s.cfg.Feedback.Observe(win.Result(feedbackKind(s.plan.Queries)))
+		for _, dc := range s.rootCosts {
+			dc.set(f)
+		}
+		s.ctlSeq++
+		payload := encodeControl(s.ctlSeq, f)
+		s.res.Bandwidth.Add(s.plan.ControlTopic, int64(len(payload)))
+		// The broker outlives every window close, so the only send
+		// failure mode is a deleted topic — impossible mid-run.
+		_, _, _ = s.ctlProducer.Send(s.plan.ControlTopic, nil, payload)
+		s.res.Fractions = append(s.res.Fractions, f)
+	}
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(win)
+	}
+	s.publishWindow(win)
+}
+
+// LiveSnapshot is a mid-run view of the deployment's telemetry — everything
+// the final LiveResult assembles at exit, readable at any moment while
+// members pump. All fields are copies or freshly-merged instruments; the
+// caller owns them.
+type LiveSnapshot struct {
+	// State is the lifecycle phase at capture time.
+	State SessionState
+	// Produced / RootProcessed / DecodeErrors mirror the LiveResult
+	// counters, at their current values.
+	Produced      int64
+	RootProcessed int64
+	DecodeErrors  int64
+	// WindowsClosed counts the non-empty windows closed so far.
+	WindowsClosed int
+	// Elapsed spans the first ingest to now (to the run's end once closed).
+	Elapsed time.Duration
+	// Throughput is Produced/Elapsed so far.
+	Throughput float64
+	// Fraction is the adaptive controller's current sampling fraction (0
+	// when the session is not adaptive).
+	Fraction float64
+	// Target is the adaptive controller's relative-error target (0 when
+	// not adaptive).
+	Target float64
+	// Latency is a merged copy of the end-to-end latency distribution over
+	// items that reached the root so far.
+	Latency *metrics.Histogram
+	// Bandwidth is a copy of the per-topic produce-side byte counters.
+	Bandwidth map[string]int64
+	// Nodes holds per-member lifetime telemetry keyed by member ID, at
+	// current counter values.
+	Nodes map[string]NodeTelemetry
+	// SubscriberDrops counts window results dropped on full Windows()
+	// subscriber buffers.
+	SubscriberDrops int64
+}
+
+// Snapshot captures the deployment's telemetry mid-run: counters, latency,
+// bandwidth, per-node throughput, and the adaptive fraction, all safe to
+// read while every member keeps writing. Before the session API this view
+// existed only once, assembled at exit.
+func (s *LiveSession) Snapshot() LiveSnapshot {
+	now := time.Now()
+	snap := LiveSnapshot{
+		State:           s.State(),
+		Produced:        s.produced.Load(),
+		RootProcessed:   s.rootProcessed.Load(),
+		DecodeErrors:    s.decodeErrs.Load(),
+		Latency:         metrics.NewHistogram(),
+		Bandwidth:       s.res.Bandwidth.Snapshot(),
+		SubscriberDrops: s.subDrops.Load(),
+	}
+	snap.WindowsClosed = int(s.windowsClosed.Load())
+	if s.cfg.Feedback != nil {
+		snap.Fraction = s.cfg.Feedback.Fraction()
+		snap.Target = s.cfg.Feedback.Target()
+	}
+	elapsed := now.Sub(time.Unix(0, s.startNanos.Load()))
+	if snap.State == StateClosed {
+		elapsed = s.res.Elapsed
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	snap.Elapsed = elapsed
+	if elapsed > 0 {
+		snap.Throughput = float64(snap.Produced) / elapsed.Seconds()
+	}
+	for _, rp := range s.rootProcs {
+		snap.Latency.Merge(rp.latency)
+	}
+	snap.Nodes = s.nodeTelemetry(elapsed)
+	return snap
+}
+
+// nodeTelemetry assembles the per-member lifetime counters at this instant,
+// scaled to the given elapsed span. Shared by mid-run Snapshots and the
+// final result merge, so the two can never diverge in shape.
+func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTelemetry {
+	nodes := make(map[string]NodeTelemetry, len(s.edgeProcs)+len(s.rootProcs))
+	record := func(n *Node) {
+		st := n.Stats()
+		tel := NodeTelemetry{Observed: st.Observed, Emitted: st.Emitted, Intervals: st.Intervals}
+		if elapsed > 0 {
+			tel.Throughput = float64(st.Observed) / elapsed.Seconds()
+		}
+		nodes[n.ID()] = tel
+	}
+	for _, sp := range s.edgeProcs {
+		record(sp.node)
+	}
+	for _, rp := range s.rootProcs {
+		record(rp.node)
+	}
+	return nodes
+}
+
+// drain waits until every group is caught up and the root has been idle for
+// several windows (final punctuation flushes included). Every in-flight
+// item is visible to this probe as exactly one of: unfetched topic lag, a
+// busy member pump (records dispatch after their offsets commit), or Ψ
+// buffered in an edge member awaiting its window flush — so the conjunction
+// below cannot declare quiescence early no matter how the scheduler starves
+// the pipeline. Read order matters: pending is sampled BEFORE the group
+// lags, so a batch that flushes mid-probe is caught either in Ψ at the
+// pending read or as parent-topic lag in the later group sweep (flushes
+// forward before zeroing pending). A cancelled context ends the drain
+// immediately.
+func (s *LiveSession) drain() {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if s.ctx.Err() != nil {
+			return
+		}
+		var lag, pending int64
+		busy := false
+		for _, sp := range s.edgeProcs {
+			pending += sp.pending.Load()
+		}
+		for _, g := range s.groups {
+			lag += g.lag()
+			busy = busy || g.busy()
+		}
+		idle := time.Since(time.Unix(0, s.lastActivity.Load()))
+		if lag == 0 && !busy && pending == 0 && idle > 4*s.cfg.Window {
+			return
+		}
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-time.After(s.cfg.Window / 4):
+		}
+	}
+}
+
+// Close drains the deployment and returns the final merged LiveResult:
+// pushes are rejected from the moment Close is called (ErrSessionDraining),
+// in-flight windows reach the root, the final partial window is closed, and
+// every goroutine the session owns exits. Close is idempotent — every call
+// returns the same result — and safe to call after context cancellation, in
+// which case it reports the context's error alongside the result assembled
+// at abort time.
+func (s *LiveSession) Close() (*LiveResult, error) {
+	s.shutdown(true, nil)
+	// Wait for the context watcher here rather than in shutdown: when the
+	// watcher itself triggers the shutdown (ctx cancelled), waiting inside
+	// would be the watcher waiting on its own exit.
+	s.watchWG.Wait()
+	return s.res, s.Err()
+}
+
+// shutdown runs the end-of-life sequence exactly once: optional drain, stop
+// the ticker, stop the root group (members fully drain fetched records),
+// close the final partial window, stop everything else, and merge the
+// result. Concurrent callers (Close, the context watcher) block until the
+// first caller finishes.
+func (s *LiveSession) shutdown(drain bool, cause error) {
+	s.closeOnce.Do(func() {
+		s.state.Store(int32(StateDraining))
+		// Barrier: wake pacing sleeps, then wait out every push that was
+		// admitted before the state flip. After this, no Push can reach
+		// the broker or the truth accumulators, so the drain probe cannot
+		// miss in-flight pushes and finalize reads settled counters.
+		close(s.drainCh)
+		s.pushMu.Lock()
+		s.pushMu.Unlock() //nolint:staticcheck // empty critical section IS the fence
+		if drain {
+			s.drain()
+		}
+		if err := s.ctx.Err(); err != nil && cause == nil {
+			cause = err // cancelled mid-Close: report it like an abort
+		}
+		end := time.Unix(0, s.lastActivity.Load())
+		s.cancelTick()
+		s.tickWG.Wait()
+		s.rootGrp.stop()          // root members fully drain their fetched records
+		s.closeWindow(time.Now()) // final partial window
+		s.stopAll()
+		s.broker.Close()
+		s.finalize(end)
+		s.errMu.Lock()
+		s.closeErr = cause
+		s.errMu.Unlock()
+		s.state.Store(int32(StateClosed))
+		s.closeSubs()
+		close(s.done)
+	})
+	<-s.done
+}
+
+// finalize merges the run's measurements into res. Runs once, after every
+// group has stopped (the nodes are quiescent, so lifetime counters are
+// final).
+func (s *LiveSession) finalize(end time.Time) {
+	res := s.res
+	res.Produced = s.produced.Load()
+	res.RootProcessed = s.rootProcessed.Load()
+	res.DecodeErrors = s.decodeErrs.Load()
+	for i := range s.truth {
+		s.truth[i].mu.Lock()
+		res.TruthSum += s.truth[i].v
+		s.truth[i].mu.Unlock()
+	}
+	res.Elapsed = end.Sub(time.Unix(0, s.startNanos.Load()))
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Produced) / res.Elapsed.Seconds()
+	}
+	s.windowMu.Lock()
+	windows := res.Windows
+	s.windowMu.Unlock()
+	for _, w := range windows {
+		res.EstimateSum += w.Result(query.Sum).Estimate.Value
+		res.EstimateCount += w.EstimatedInput
+	}
+	res.Nodes = s.nodeTelemetry(res.Elapsed)
+	for _, rp := range s.rootProcs {
+		res.Latency.Merge(rp.latency)
+	}
+}
+
+// Ingester is the push valve for one source slot: it stamps, batches, paces,
+// and publishes items into the slot's leaf topic. Obtain one per slot from
+// LiveSession.Ingester. Pushes through one Ingester are serialized (the
+// valve preserves per-stratum order); distinct slots push concurrently.
+type Ingester struct {
+	s        *LiveSession
+	slot     int
+	topic    string
+	lagGroup string
+	producer *mq.Producer
+	rate     float64
+
+	mu    sync.Mutex
+	sent  int64
+	epoch time.Time // pacing schedule origin: the valve's first push
+}
+
+// Slot returns the source slot this valve feeds.
+func (in *Ingester) Slot() int { return in.slot }
+
+// Sent returns the number of items pushed through this valve so far.
+func (in *Ingester) Sent() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.sent
+}
+
+// Push publishes items into the session: consecutive runs of the same
+// sub-stream become one weighted batch (weight 1 — the census), keyed by
+// SourceID so a stratum sticks to one partition. Every item is re-stamped
+// with the wall-clock publish instant (end-to-end latency is measured from
+// here), items with an empty Source default to the slot's stratum
+// ("source<slot>"), and ground truth is accumulated for the final
+// LiveResult. Push applies backpressure — it blocks while the leaf topic's
+// backlog exceeds LiveConfig.MaxIngestLag — and pacing: with
+// LiveConfig.SourceRate set, it sleeps off any lead over the rate schedule
+// before returning. Returns ErrSessionDraining / ErrSessionClosed once the
+// session has left the ingesting state.
+func (in *Ingester) Push(items ...stream.Item) error {
+	s := in.s
+	// The read half of the Push/Close barrier: held until the last Send so
+	// shutdown's write-lock acquisition is a fence behind every admitted
+	// push — none can land records or truth after the drain probe starts.
+	s.pushMu.RLock()
+	defer s.pushMu.RUnlock()
+	if err := s.ingestAllowed(); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.epoch.IsZero() {
+		in.epoch = time.Now()
+	}
+	if err := in.backpressure(); err != nil {
+		return err
+	}
+	s.markStarted()
+
+	// Re-stamp with the wall-clock publish instant: callers (and the
+	// built-in generator client) assign synthetic workload time, but live
+	// latency is measured from here to root-side processing.
+	pub := time.Now()
+	defaultSrc := stream.SourceID("")
+	for j := range items {
+		if items[j].Source == "" {
+			if defaultSrc == "" {
+				defaultSrc = stream.SourceID(fmt.Sprintf("source%d", in.slot))
+			}
+			items[j].Source = defaultSrc
+		}
+		items[j].Ts = pub
+	}
+	// Ground truth: item-by-item into the slot's running sum, so the
+	// per-slot total is bit-identical to the pre-session accumulator and
+	// the final fold (slot order, in finalize) is deterministic.
+	t := &s.truth[in.slot]
+	t.mu.Lock()
+	for j := range items {
+		t.v += items[j].Value
+	}
+	t.mu.Unlock()
+	for lo := 0; lo < len(items); {
+		hi := lo + 1
+		src := items[lo].Source
+		for hi < len(items) && items[hi].Source == src {
+			hi++
+		}
+		b := stream.Batch{Source: src, Weight: 1, Items: items[lo:hi]}
+		payload := b.Marshal()
+		s.res.Bandwidth.Add(in.topic, int64(len(payload)))
+		if _, _, err := in.producer.Send(in.topic, []byte(src), payload); err != nil {
+			if errors.Is(err, mq.ErrClosed) {
+				return ErrSessionClosed
+			}
+			return err
+		}
+		lo = hi
+	}
+	in.sent += int64(len(items))
+	s.produced.Add(int64(len(items)))
+
+	if in.rate > 0 {
+		// Pace to the configured rate: sleep off any lead over the ideal
+		// sent/rate schedule.
+		ahead := time.Duration(float64(in.sent)/in.rate*float64(time.Second)) - time.Since(in.epoch)
+		if ahead > 0 {
+			select {
+			case <-s.ctx.Done():
+			case <-s.drainCh: // Close must not wait out a pacing sleep
+			case <-time.After(ahead):
+			}
+		}
+	}
+	return nil
+}
+
+// backpressure blocks while the leaf topic's unconsumed backlog (records the
+// leaf node's consumer group has not yet committed past) exceeds the
+// session's high-water mark, so a pusher can never outrun the pipeline into
+// unbounded broker memory. It re-checks the session state while waiting.
+func (in *Ingester) backpressure() error {
+	s := in.s
+	if s.cfg.MaxIngestLag < 0 {
+		return nil
+	}
+	wait := s.cfg.Window / 8
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	for {
+		t, err := s.broker.Topic(in.topic)
+		if err != nil {
+			return ErrSessionClosed
+		}
+		lag, err := t.GroupLag(in.lagGroup)
+		if err != nil {
+			// Unknown group means the valve's lag-group name drifted from
+			// the shard-group appID scheme — a wiring bug. Surface it:
+			// silently admitting the push would disable backpressure and
+			// reopen the unbounded-broker-memory hole it exists to close.
+			return fmt.Errorf("core: ingest backpressure probe on %q: %w", in.topic, err)
+		}
+		if lag <= int64(s.cfg.MaxIngestLag) {
+			return nil
+		}
+		if err := s.ingestAllowed(); err != nil {
+			return err
+		}
+		select {
+		case <-s.ctx.Done():
+			return ErrSessionClosed
+		case <-time.After(wait):
+		}
+	}
+}
+
+// feed is the built-in generator ingestion client the RunLive wrapper uses:
+// it produces items total items, split across the tree's source slots — the
+// remainder of items/Sources spread one item each over the low-indexed
+// slots, so exactly items are produced — pushing each slot's stream through
+// the same Ingester valve external clients use. Blocks until every slot's
+// quota is pushed or the session stops accepting.
+func (s *LiveSession) feed(source func(i int) workload.Source, items int64) {
+	spec := s.plan.Spec
+	perSource := items / int64(spec.Sources)
+	remainder := items % int64(spec.Sources)
+	chunk := s.cfg.Window / 4
+	if chunk <= 0 {
+		chunk = s.cfg.Window
+	}
+	var wg sync.WaitGroup
+	for slot := 0; slot < spec.Sources; slot++ {
+		quota := perSource
+		if int64(slot) < remainder {
+			quota++
+		}
+		ing, err := s.Ingester(slot)
+		if err != nil {
+			continue // unreachable: slots come from the plan
+		}
+		wg.Add(1)
+		go func(slot int, quota int64, ing *Ingester) {
+			defer wg.Done()
+			gen := source(slot)
+			now := time.Now()
+			var sent int64
+			for sent < quota {
+				batch := gen.Generate(now, chunk)
+				now = now.Add(chunk)
+				if len(batch) == 0 {
+					continue
+				}
+				if int64(len(batch)) > quota-sent {
+					batch = batch[:quota-sent]
+				}
+				if err := ing.Push(batch...); err != nil {
+					return // session draining/closed: stop producing
+				}
+				sent += int64(len(batch))
+			}
+		}(slot, quota, ing)
+	}
+	wg.Wait()
+}

@@ -182,6 +182,16 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += sum
 }
 
+// Snapshot returns an independent copy of the histogram's current state.
+// Observers can keep writing while the copy is taken (every accessor locks),
+// and the caller owns the copy outright — the instrument mid-run Snapshot
+// telemetry hands out without freezing the hot path.
+func (h *Histogram) Snapshot() *Histogram {
+	out := NewHistogram()
+	out.Merge(h)
+	return out
+}
+
 // Quantile returns the q-th quantile (0 < q <= 1) from the bucket bounds.
 // Exact min/max are returned at the extremes.
 func (h *Histogram) Quantile(q float64) time.Duration {
@@ -255,6 +265,19 @@ func (b *BandwidthAccount) Link(name string) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.bytes[name]
+}
+
+// Snapshot returns a copy of the per-link byte counters at this instant.
+// Producers can keep adding while the copy is taken; the caller owns the
+// returned map.
+func (b *BandwidthAccount) Snapshot() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.bytes))
+	for link, n := range b.bytes {
+		out[link] = n
+	}
+	return out
 }
 
 // SavingRate returns the fraction of baseline bytes avoided:

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -228,5 +229,96 @@ func TestHistogramMerge(t *testing.T) {
 	if empty.Min() != b.Min() || empty.Max() != b.Max() || empty.Count() != b.Count() {
 		t.Fatalf("merge into empty = %d/%v/%v, want %d/%v/%v",
 			empty.Count(), empty.Min(), empty.Max(), b.Count(), b.Min(), b.Max())
+	}
+}
+
+func TestHistogramSnapshotWhileWriting(t *testing.T) {
+	// The live session reads latency mid-run: Snapshot must return a
+	// consistent, independent copy while observers keep writing (run under
+	// -race in CI).
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(time.Duration(1+i%1000) * time.Microsecond)
+				}
+			}
+		}()
+	}
+	var last int64
+	for i := 0; i < 100; i++ {
+		snap := h.Snapshot()
+		n := snap.Count()
+		if n < last {
+			t.Fatalf("snapshot count went backwards: %d after %d", n, last)
+		}
+		last = n
+		// The copy is independent: mutating it must not touch the source.
+		snap.Observe(time.Hour)
+		_ = snap.Quantile(0.99)
+	}
+	close(stop)
+	wg.Wait()
+	if h.Max() >= time.Hour {
+		t.Fatal("snapshot mutation leaked into the source histogram")
+	}
+	final := h.Snapshot()
+	if final.Count() != h.Count() || final.Mean() != h.Mean() {
+		t.Fatalf("quiescent snapshot differs: %v vs %v", final, h)
+	}
+}
+
+func TestBandwidthSnapshotWhileWriting(t *testing.T) {
+	b := NewBandwidthAccount()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			link := fmt.Sprintf("link%d", w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Add(link, 8)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		snap := b.Snapshot()
+		var total int64
+		for _, n := range snap {
+			total += n
+		}
+		if total < 0 {
+			t.Fatal("negative total")
+		}
+		snap["intruder"] = 1 // caller owns the copy
+	}
+	close(stop)
+	wg.Wait()
+	if b.Link("intruder") != 0 {
+		t.Fatal("snapshot map aliases the account")
+	}
+	snap := b.Snapshot()
+	delete(snap, "intruder")
+	var total int64
+	for _, n := range snap {
+		total += n
+	}
+	if total != b.Total() {
+		t.Fatalf("quiescent snapshot total %d != account total %d", total, b.Total())
 	}
 }
