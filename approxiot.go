@@ -137,6 +137,11 @@ const (
 // for looking the control plane up in LiveResult.Bandwidth.
 const ControlTopic = core.ControlTopicName
 
+// ErrEventTimeStreaming rejects Config.EventTime combined with a streaming
+// strategy (SRS, Native): streaming forwards per batch with no windows to
+// assign records to, so event-time windowing has nothing to act on.
+var ErrEventTimeStreaming = core.ErrEventTimeStreaming
+
 // Strategy selects the sampling algorithm a pipeline runs.
 type Strategy int
 
@@ -213,11 +218,38 @@ type Config struct {
 	// apply it to pushed streams too. Simulated runs ignore it — their
 	// sources are rate-shaped by the workload generators.
 	SourceRate float64
-	// Window is the live sampling/query interval (default 50 ms). It paces
-	// how often the root closes a window and emits a result — the cadence
-	// of a Deployment's Windows subscription. Simulated runs ignore it
-	// (the TreeSpec's virtual-time window applies there).
+	// Window is the live processing-time sampling/query interval (default
+	// 50 ms). It paces how often the root closes a window and emits a
+	// result — the cadence of a Deployment's Windows subscription.
+	// Simulated runs ignore it (the TreeSpec's virtual-time window applies
+	// there). With EventTime set it is only the wall-clock sweep cadence —
+	// windows are then defined by record timestamps, not by this ticker.
 	Window time.Duration
+	// EventTime switches both modes from processing-time windows
+	// ("whatever is buffered when the ticker fires") to event-time
+	// tumbling windows of Tree.Window length: records are assigned to
+	// windows by Item.Ts at every layer, per-source low watermarks ride
+	// the data path up the tree, and a window closes only when the
+	// watermark passes its end plus AllowedLateness. Live pushes keep
+	// caller-supplied event timestamps (a zero Ts defaults to the publish
+	// instant); WindowResult.Start/End identify each window. Records past
+	// the lateness horizon are counted into LiveResult.LateDropped (or
+	// SimResult.LateDropped) and dropped — closed windows stay exact.
+	// Incompatible with the streaming strategies (SRS, Native).
+	EventTime bool
+	// AllowedLateness is how far out of order records may arrive and still
+	// land in their window: window [s, s+W) closes once the watermark
+	// reaches s+W+AllowedLateness. Only meaningful with EventTime.
+	AllowedLateness time.Duration
+	// IdleTimeout bounds how long a silent sub-stream may hold the
+	// watermark back before it is excluded from the minimum (live: wall
+	// clock, default 4×Window; simulated: virtual time, default
+	// 4×Tree.Window — both raised to AllowedLateness if that is larger, so
+	// a source pausing within its promised lateness is never aged out).
+	// Negative disables the exclusion; live that requires single-member
+	// groups (RootShards and LayerShards of 1). Only meaningful with
+	// EventTime.
+	IdleTimeout time.Duration
 	// MaxIngestLag is the live push-side backpressure high-water mark: an
 	// Ingest call blocks while its leaf topic's unconsumed backlog exceeds
 	// this many records, so pushers cannot outrun the pipeline into
@@ -339,17 +371,20 @@ func (c Config) streaming() bool { return c.Strategy == SRS || c.Strategy == Nat
 func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*SimResult, error) {
 	cfg = cfg.normalize()
 	return core.RunSim(core.SimConfig{
-		Spec:       cfg.Tree,
-		Source:     source,
-		NewSampler: cfg.samplerFactory(),
-		Cost:       cfg.cost(),
-		Duration:   duration,
-		Queries:    cfg.Queries,
-		Confidence: cfg.Confidence,
-		Seed:       cfg.Seed,
-		Feedback:   cfg.Adaptive,
-		OnWindow:   cfg.OnWindow,
-		Streaming:  cfg.streaming(),
+		Spec:            cfg.Tree,
+		Source:          source,
+		NewSampler:      cfg.samplerFactory(),
+		Cost:            cfg.cost(),
+		Duration:        duration,
+		Queries:         cfg.Queries,
+		Confidence:      cfg.Confidence,
+		Seed:            cfg.Seed,
+		Feedback:        cfg.Adaptive,
+		OnWindow:        cfg.OnWindow,
+		Streaming:       cfg.streaming(),
+		EventTime:       cfg.EventTime,
+		AllowedLateness: cfg.AllowedLateness,
+		IdleTimeout:     cfg.IdleTimeout,
 	})
 }
 
@@ -367,23 +402,26 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error) {
 	cfg = cfg.normalize()
 	return core.RunLive(core.LiveConfig{
-		Spec:         cfg.Tree,
-		Source:       source,
-		NewSampler:   cfg.samplerFactory(),
-		Cost:         cfg.cost(),
-		Items:        items,
-		Window:       cfg.Window,
-		Queries:      cfg.Queries,
-		Confidence:   cfg.Confidence,
-		Partitions:   cfg.Partitions,
-		RootShards:   cfg.RootShards,
-		LayerShards:  cfg.layerShards(),
-		Seed:         cfg.Seed,
-		Feedback:     cfg.Adaptive,
-		SourceRate:   cfg.SourceRate,
-		MaxIngestLag: cfg.MaxIngestLag,
-		OnWindow:     cfg.OnWindow,
-		Streaming:    cfg.streaming(),
+		Spec:            cfg.Tree,
+		Source:          source,
+		NewSampler:      cfg.samplerFactory(),
+		Cost:            cfg.cost(),
+		Items:           items,
+		Window:          cfg.Window,
+		Queries:         cfg.Queries,
+		Confidence:      cfg.Confidence,
+		Partitions:      cfg.Partitions,
+		RootShards:      cfg.RootShards,
+		LayerShards:     cfg.layerShards(),
+		Seed:            cfg.Seed,
+		Feedback:        cfg.Adaptive,
+		SourceRate:      cfg.SourceRate,
+		MaxIngestLag:    cfg.MaxIngestLag,
+		OnWindow:        cfg.OnWindow,
+		Streaming:       cfg.streaming(),
+		EventTime:       cfg.EventTime,
+		AllowedLateness: cfg.AllowedLateness,
+		IdleTimeout:     cfg.IdleTimeout,
 	})
 }
 

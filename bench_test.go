@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/approxiot/approxiot"
 	"github.com/approxiot/approxiot/internal/bench"
@@ -217,4 +218,42 @@ func BenchmarkLiveLayerShards(b *testing.B) {
 			b.ReportMetric(throughput/float64(b.N), "items/s")
 		})
 	}
+}
+
+// BenchmarkLiveEventTime prices the event-time machinery against
+// processing-time windows on the same single-member deployment: per-record
+// window assignment by timestamp, per-chain watermark tracking, and the
+// heartbeat ladder, versus "whatever the ticker finds buffered".
+// Generator timestamps advance with the feed, so watermarks progress and
+// windows close in-band, not just at the end-of-stream sweep. The two
+// rows are an end-to-end cost comparison, not like-for-like windows: the
+// event-time run closes 1 s event windows driven by the generator's
+// virtual timeline, the processing-time run closes 50 ms wall-clock ones,
+// so window counts (and with them per-window overheads) differ by design.
+func BenchmarkLiveEventTime(b *testing.B) {
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(7+uint64(i)*131, 1500)
+	}
+	run := func(b *testing.B, eventTime bool) {
+		var throughput float64
+		for i := 0; i < b.N; i++ {
+			cfg := approxiot.Config{
+				Fraction: 0.25,
+				Queries:  []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+				Seed:     7,
+			}
+			if eventTime {
+				cfg.EventTime = true
+				cfg.AllowedLateness = 500 * time.Millisecond
+			}
+			res, err := approxiot.Run(cfg, source, 48000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			throughput += res.Throughput
+		}
+		b.ReportMetric(throughput/float64(b.N), "items/s")
+	}
+	b.Run("processing-time", func(b *testing.B) { run(b, false) })
+	b.Run("event-time", func(b *testing.B) { run(b, true) })
 }

@@ -83,21 +83,24 @@ var (
 func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 	cfg = cfg.normalize()
 	s, err := core.OpenLive(ctx, core.LiveConfig{
-		Spec:         cfg.Tree,
-		NewSampler:   cfg.samplerFactory(),
-		Cost:         cfg.cost(),
-		Window:       cfg.Window,
-		Queries:      cfg.Queries,
-		Confidence:   cfg.Confidence,
-		Partitions:   cfg.Partitions,
-		RootShards:   cfg.RootShards,
-		LayerShards:  cfg.layerShards(),
-		Seed:         cfg.Seed,
-		Feedback:     cfg.Adaptive,
-		SourceRate:   cfg.SourceRate,
-		MaxIngestLag: cfg.MaxIngestLag,
-		OnWindow:     cfg.OnWindow,
-		Streaming:    cfg.streaming(),
+		Spec:            cfg.Tree,
+		NewSampler:      cfg.samplerFactory(),
+		Cost:            cfg.cost(),
+		Window:          cfg.Window,
+		Queries:         cfg.Queries,
+		Confidence:      cfg.Confidence,
+		Partitions:      cfg.Partitions,
+		RootShards:      cfg.RootShards,
+		LayerShards:     cfg.layerShards(),
+		Seed:            cfg.Seed,
+		Feedback:        cfg.Adaptive,
+		SourceRate:      cfg.SourceRate,
+		MaxIngestLag:    cfg.MaxIngestLag,
+		OnWindow:        cfg.OnWindow,
+		Streaming:       cfg.streaming(),
+		EventTime:       cfg.EventTime,
+		AllowedLateness: cfg.AllowedLateness,
+		IdleTimeout:     cfg.IdleTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -107,11 +110,13 @@ func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 
 // Ingest publishes items onto sub-stream src: every item's Source is set to
 // src, the batch is stamped with its wall-clock publish instant (end-to-end
-// latency is measured from here), and src hashes to a stable source slot so
-// one stratum always enters the tree at the same leaf, preserving
-// per-stratum ordering. Subject to SourceRate pacing and MaxIngestLag
-// backpressure. Returns ErrDraining / ErrClosed once the Deployment has
-// left the ingesting state.
+// latency is measured from here; with Config.EventTime a caller-supplied
+// Item.Ts is preserved as the event timestamp, a zero Ts defaults to the
+// publish instant), and src hashes to a stable source slot so one stratum
+// always enters the tree at the same leaf, preserving per-stratum
+// ordering. Subject to SourceRate pacing and MaxIngestLag backpressure.
+// Returns ErrDraining / ErrClosed once the Deployment has left the
+// ingesting state.
 func (d *Deployment) Ingest(src SourceID, items ...Item) error {
 	return d.s.Ingest(src, items...)
 }

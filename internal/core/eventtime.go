@@ -1,0 +1,394 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+// This file is the event-time windowing machinery shared by the live and
+// the simulated runner (the MillWheel/Dataflow model, scaled down to what
+// the ApproxIoT tree needs):
+//
+//   - records are assigned to tumbling windows by their event timestamp
+//     (Item.Ts), not by when they happen to be buffered at a ticker;
+//   - every producer piggybacks a low watermark on the records it sends
+//     (mq.Record.Watermark, an (origin, instant) pair) — the promise that
+//     no future record of that chain carries an earlier event timestamp;
+//   - every node tracks the latest watermark per upstream
+//     (producer, sub-stream) chain and takes the minimum as its own
+//     watermark. Producers the compiled plan expects
+//     (Plan.ExpectedProducers) hold the minimum until heard from; chains
+//     silent longer than the idle timeout are excluded (the wall-clock
+//     ticker retained from processing-time mode plays exactly this role),
+//     except end-of-stream promises, which never age;
+//   - a window [s, s+W) closes once the node's watermark reaches
+//     s+W+AllowedLateness; records assigned to a window that is already
+//     closed are dropped and counted (LateDropped), never allowed to
+//     corrupt a closed window's exact count.
+//
+// Closes propagate bottom-up in the order the data does, on three rules
+// that together make every close complete: records are ingested BEFORE
+// their piggybacked watermark is folded; outbound stamps never promise
+// beyond what the sender has already forwarded (the dataWatermark /
+// outboundWatermark ladder); and members re-assert liveness upstream
+// (keepalives) while they hold buffered state, so a parent cannot age a
+// slow-but-live child out of the minimum and close windows over its data.
+// Empty windows forward zero-item heartbeat batches, so a quiet sub-stream
+// does not stall its ancestors.
+
+// eosWatermark is the end-of-stream watermark: far enough in the future to
+// close every window that could ever hold data, while staying inside the
+// range time.Time arithmetic in unix nanoseconds can represent.
+var eosWatermark = time.Date(2200, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// eosHorizon classifies end-of-stream promises: a chain watermark within a
+// year of eosWatermark can only descend from it (bound+lateness offsets
+// are operational spans, nowhere near a year). Such a chain is exempt from
+// the idle timeout — idleness models "more data may come, delayed", while
+// end-of-stream means "done forever", and aging a finished chain out of
+// the minimum would strand the windows its final flush should close.
+var eosHorizon = eosWatermark.AddDate(-1, 0, 0)
+
+// windowFloor returns the start (in unix nanoseconds) of the tumbling
+// window of length w that contains the instant tsNanos.
+func windowFloor(tsNanos int64, w time.Duration) int64 {
+	r := tsNanos % int64(w)
+	if r < 0 {
+		r += int64(w)
+	}
+	return tsNanos - r
+}
+
+// closedWindow is one event-time window a node has closed: its start
+// instant and the weighted sample batches that survived the node's sampler.
+type closedWindow struct {
+	start int64 // unix nanos of the window start
+	theta []stream.Batch
+}
+
+// startTime returns the window's start as a time.Time.
+func (c closedWindow) startTime() time.Time { return time.Unix(0, c.start).UTC() }
+
+// eventWindows buckets a node's Ψ store by event-time tumbling window: one
+// private sampling Node per open window, created on first assignment.
+// Closing is watermark-driven and monotone — once the close bound passes a
+// window start, records assigned below the bound are counted late and
+// dropped. Not safe for concurrent use; owners serialize access exactly as
+// they do for Node.
+type eventWindows struct {
+	window   time.Duration
+	lateness time.Duration
+	newNode  func() *Node
+
+	open     map[int64]*Node
+	bound    int64 // window starts below this are closed territory
+	boundSet bool
+	late     *atomic.Int64
+
+	// Lifetime counters (per-window nodes are ephemeral, so the window
+	// store aggregates them): observed items buffered, emitted items
+	// forwarded from closed windows, and windows closed. Atomic because
+	// telemetry readers (the live session's Snapshot) read them while the
+	// owner ingests.
+	obs, emit, wins atomic.Int64
+}
+
+func newEventWindows(window, lateness time.Duration, late *atomic.Int64, newNode func() *Node) *eventWindows {
+	return &eventWindows{
+		window:   window,
+		lateness: lateness,
+		newNode:  newNode,
+		open:     make(map[int64]*Node),
+		late:     late,
+	}
+}
+
+// ingest assigns a weighted batch's items to their event-time windows,
+// splitting the batch at window boundaries. Items that belong to a window
+// the close bound has already passed are dropped and counted late.
+func (ew *eventWindows) ingest(b stream.Batch) {
+	items := b.Items
+	for lo := 0; lo < len(items); {
+		w := windowFloor(items[lo].Ts.UnixNano(), ew.window)
+		hi := lo + 1
+		for hi < len(items) && windowFloor(items[hi].Ts.UnixNano(), ew.window) == w {
+			hi++
+		}
+		run := items[lo:hi]
+		if ew.boundSet && w < ew.bound {
+			ew.late.Add(int64(len(run)))
+		} else {
+			n := ew.open[w]
+			if n == nil {
+				n = ew.newNode()
+				ew.open[w] = n
+			}
+			// IngestBatch copies items out, so handing it a sub-slice of
+			// the caller's storage is safe.
+			n.IngestBatch(stream.Batch{Source: b.Source, Weight: b.Weight, Items: run})
+			ew.obs.Add(int64(len(run)))
+		}
+		lo = hi
+	}
+}
+
+// closeBoundFor returns the close bound a watermark implies: every window
+// [s, s+W) with s+W+lateness ≤ wm is closeable, so the first still-open
+// window start is floor(wm−W−L)+W.
+func (ew *eventWindows) closeBoundFor(wm time.Time) int64 {
+	cut := wm.UnixNano() - int64(ew.window) - int64(ew.lateness)
+	return windowFloor(cut, ew.window) + int64(ew.window)
+}
+
+// dataWatermark returns the outbound watermark for a closed window's data
+// records: start+lateness, the promise that every window BELOW start has
+// been fully forwarded. It must never reach the window's own close
+// threshold (start+window+lateness): that would authorize the parent to
+// close this very window after the flush's FIRST record, orphaning the
+// same window's remaining batches — and a whole-flush stamp at the final
+// watermark would orphan every later window of the flush the same way.
+// Zero (no promise) for windows at or before the unix epoch.
+func (ew *eventWindows) dataWatermark(start int64) time.Time {
+	v := start + int64(ew.lateness)
+	if v <= 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, v).UTC()
+}
+
+// outboundWatermark is the member's honest promise to its parent: every
+// window below the current close bound has been fully forwarded, so the
+// parent may close exactly that far — bound+lateness maps back to the same
+// bound — and not a window further. Zero (no promise yet) before the first
+// advance. A member must never stamp outbound records with its *inbound*
+// watermark: that can run a whole flush ahead of what the member has
+// actually forwarded, and a parent trusting it closes windows whose data
+// is still buffered below.
+func (ew *eventWindows) outboundWatermark() time.Time {
+	if !ew.boundSet {
+		return time.Time{}
+	}
+	return time.Unix(0, ew.bound+int64(ew.lateness)).UTC()
+}
+
+// wouldAdvance reports whether advance(wm) would move the close bound —
+// callers with a window-boundary obligation (draining the control topic)
+// use it to act only when a close is actually imminent.
+func (ew *eventWindows) wouldAdvance(wm time.Time) bool {
+	if wm.IsZero() {
+		return false
+	}
+	return !ew.boundSet || ew.closeBoundFor(wm) > ew.bound
+}
+
+// advance moves the close bound to what wm implies and closes every open
+// window below it, in ascending event-time order. The bound is monotone: a
+// regressing watermark (an idle source resuming with old data) closes
+// nothing and cannot reopen closed territory.
+func (ew *eventWindows) advance(wm time.Time) []closedWindow {
+	if !ew.wouldAdvance(wm) {
+		return nil
+	}
+	ew.bound = ew.closeBoundFor(wm)
+	ew.boundSet = true
+	var starts []int64
+	for s := range ew.open {
+		if s < ew.bound {
+			starts = append(starts, s)
+		}
+	}
+	if len(starts) == 0 {
+		return nil
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]closedWindow, 0, len(starts))
+	for _, s := range starts {
+		n := ew.open[s]
+		delete(ew.open, s)
+		theta := n.CloseInterval()
+		for _, b := range theta {
+			ew.emit.Add(int64(len(b.Items)))
+		}
+		ew.wins.Add(1)
+		out = append(out, closedWindow{start: s, theta: theta})
+	}
+	return out
+}
+
+// stats aggregates the lifetime counters across the ephemeral per-window
+// nodes: items buffered into windows (late drops excluded — they are
+// accounted separately), items emitted from closed windows, and windows
+// closed. Safe to call from any goroutine.
+func (ew *eventWindows) stats() NodeStats {
+	return NodeStats{
+		Observed:  ew.obs.Load(),
+		Emitted:   ew.emit.Load(),
+		Intervals: ew.wins.Load(),
+	}
+}
+
+// buffered counts the items currently held across open windows — the
+// event-time analogue of Node.Observed, feeding the live drain probe.
+func (ew *eventWindows) buffered() int {
+	total := 0
+	for _, n := range ew.open {
+		total += n.Observed()
+	}
+	return total
+}
+
+// chainKey identifies one producing chain's sub-stream at a node: the
+// upstream producer (a source valve or a child tree node) plus the
+// sub-stream it carried. Distinct chains may legitimately carry the same
+// sub-stream ID — sources with identical distributions share IDs to be
+// stratified together — so watermark progress must never be tracked per
+// sub-stream alone: the fast chain's watermark would close windows the
+// slow chain still holds data for.
+type chainKey struct {
+	from string
+	src  stream.SourceID
+}
+
+// sourceMark is one chain's watermark state at a node.
+type sourceMark struct {
+	wm   time.Time // highest piggybacked watermark seen
+	seen time.Time // arrival-clock instant of the last record (wall live, virtual sim)
+}
+
+// watermarkTracker derives a node's low watermark from the watermarks
+// piggybacked on arriving records: the minimum over every tracked
+// (producer, sub-stream) chain, excluding chains idle longer than the idle
+// timeout so one silent sensor cannot stall the whole tree (idle == 0
+// disables the exclusion). Not safe for concurrent use.
+type watermarkTracker struct {
+	idle   time.Duration
+	chains map[chainKey]*sourceMark
+}
+
+func newWatermarkTracker(idle time.Duration) *watermarkTracker {
+	return &watermarkTracker{idle: idle, chains: make(map[chainKey]*sourceMark)}
+}
+
+// expect registers a producer that is statically known (from the compiled
+// plan) to feed this node before it has sent anything: a placeholder entry
+// with a zero watermark that holds the node's watermark back until the
+// producer's first record arrives. Without expectations a node could only
+// learn of an upstream chain by hearing from it — and a sibling chain's
+// watermark could close windows the unheard chain still holds data for
+// (pumps race; there is no cross-producer ordering). A producer that never
+// speaks (an unused source slot, a shard member owning no partitions) ages
+// out through the idle timeout like any silent chain.
+func (t *watermarkTracker) expect(from string, now time.Time) {
+	key := chainKey{from: from}
+	if _, ok := t.chains[key]; !ok {
+		t.chains[key] = &sourceMark{seen: now}
+	}
+}
+
+// update folds one piggybacked watermark for src's chain, observed at
+// arrival-clock instant now, and reports whether the chain is new to this
+// tracker. Per-chain watermarks are monotone; the arrival stamp always
+// refreshes (a record of any vintage proves the chain is alive). The
+// producer's expectation placeholder, if any, is resolved: its real chains
+// now represent it.
+func (t *watermarkTracker) update(wm mq.Watermark, src stream.SourceID, now time.Time) (isNew bool) {
+	key := chainKey{from: wm.From, src: src}
+	m := t.chains[key]
+	if m == nil {
+		m = &sourceMark{}
+		t.chains[key] = m
+		isNew = true
+		delete(t.chains, chainKey{from: wm.From})
+	}
+	if wm.At.After(m.wm) {
+		m.wm = wm.At
+	}
+	m.seen = now
+	return isNew
+}
+
+// keepalive refreshes the idle clock of every chain from one producer
+// without touching any watermark: the producer said "alive, nothing to
+// promise yet". A producer this tracker has never heard real watermarks
+// from gets (or keeps) an expectation placeholder — alive-but-unpromising
+// must hold the minimum, exactly like a statically-expected producer that
+// has not spoken, or a sibling's flush could close windows the producer
+// is still buffering data for.
+func (t *watermarkTracker) keepalive(from string, now time.Time) {
+	refreshed := false
+	for key, m := range t.chains {
+		if key.from == from {
+			m.seen = now
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.chains[chainKey{from: from}] = &sourceMark{seen: now}
+	}
+}
+
+// watermark returns the node's current low watermark: the minimum over
+// non-idle chains, or the zero time when nothing qualifies — no data yet,
+// everything idle, or an expected producer still unheard (event time then
+// simply does not advance).
+func (t *watermarkTracker) watermark(now time.Time) time.Time {
+	wm, _ := t.watermarkState(now)
+	return wm
+}
+
+// watermarkState is watermark plus the reason a zero came back: blocked
+// reports that a non-idle expectation placeholder is holding the node —
+// as opposed to the tracker being empty or fully idle. Merging layers (the
+// live root ticker) must treat a blocked member as a veto, not as a member
+// with no opinion.
+func (t *watermarkTracker) watermarkState(now time.Time) (wm time.Time, blocked bool) {
+	var min time.Time
+	for _, m := range t.chains {
+		if t.idle > 0 && now.Sub(m.seen) > t.idle && m.wm.Before(eosHorizon) {
+			continue
+		}
+		if m.wm.IsZero() {
+			return time.Time{}, true // expected producer not yet heard from
+		}
+		if min.IsZero() || m.wm.Before(min) {
+			min = m.wm
+		}
+	}
+	return min, false
+}
+
+// activeSources lists the distinct sub-streams of the tracked, non-idle
+// chains — the set a node must cover with data or heartbeats when it
+// closes windows, so its parent's per-chain watermarks keep advancing.
+// Idle chains are deliberately left out: heartbeating them would keep them
+// artificially fresh upstream and re-introduce the stall the idle timeout
+// exists to break.
+func (t *watermarkTracker) activeSources(now time.Time) []stream.SourceID {
+	seen := make(map[stream.SourceID]bool, len(t.chains))
+	out := make([]stream.SourceID, 0, len(t.chains))
+	for key, m := range t.chains {
+		if t.idle > 0 && now.Sub(m.seen) > t.idle && m.wm.Before(eosHorizon) {
+			continue
+		}
+		if m.wm.IsZero() {
+			continue // expectation placeholder, not a sub-stream
+		}
+		if !seen[key.src] {
+			seen[key.src] = true
+			out = append(out, key.src)
+		}
+	}
+	return out
+}
+
+// heartbeat returns a zero-item batch for src: the payload a node forwards
+// to carry a watermark upstream when it has no data for a sub-stream.
+// Ingesting it is a no-op everywhere; only the piggybacked watermark and
+// the arrival stamp matter.
+func heartbeat(src stream.SourceID) stream.Batch {
+	return stream.Batch{Source: src, Weight: 1}
+}

@@ -40,9 +40,36 @@ type LiveConfig struct {
 	// Items is the total number of items to produce across all sources.
 	// Required by RunLive; ignored by OpenLive.
 	Items int64
-	// Window is the live sampling/query interval (default 50 ms — wall
-	// time is expensive, simulated seconds are not).
+	// Window is the live processing-time sampling/query interval (default
+	// 50 ms — wall time is expensive, simulated seconds are not). In
+	// event-time mode it is the wall-clock ticker cadence only: how often
+	// idle-source timeouts are re-checked and due windows are swept, not
+	// what defines a window.
 	Window time.Duration
+	// EventTime switches window assignment from "whatever is buffered at
+	// the tick" to event-time tumbling windows of Spec.Window length:
+	// records are bucketed by Item.Ts at every layer, per-source low
+	// watermarks piggyback on data records up the tree, and a window
+	// closes only when the watermark passes its end plus AllowedLateness.
+	// The wall-clock ticker is retained as the idle-source timeout. The
+	// Ingester valves preserve caller-supplied event timestamps (zero Ts
+	// defaults to the publish instant). Incompatible with Streaming.
+	EventTime bool
+	// AllowedLateness is how far event time may run behind the watermark
+	// before a window closes: window [s, s+W) closes once the watermark
+	// reaches s+W+AllowedLateness. Records assigned to a closed window are
+	// counted into LiveResult.LateDropped and dropped — never folded into
+	// a closed window's exact count. Only meaningful with EventTime.
+	AllowedLateness time.Duration
+	// IdleTimeout bounds how long a silent sub-stream can hold the
+	// watermark back in event-time mode: a source with no records for this
+	// long (wall clock) is excluded from the watermark minimum until it
+	// speaks again. 0 selects the default — 4×Window, raised to
+	// AllowedLateness if that is larger, so a source pausing within its
+	// promised lateness is never aged out. Negative disables the exclusion
+	// (a silent source then stalls event time, by request); that requires
+	// single-member groups (ErrEventTimeIdleSharded otherwise).
+	IdleTimeout time.Duration
 	// RootWork is the artificial per-item query execution cost at the
 	// datacenter, modelling the paper's saturated root (default 0).
 	RootWork time.Duration
@@ -124,6 +151,13 @@ type LiveResult struct {
 	// here: every member reads the same record, so a shared counter would
 	// report one bad record once per member.)
 	DecodeErrors int64
+	// LateDropped counts items that arrived past the lateness horizon in
+	// event-time mode: their window had already closed at the node that
+	// would have buffered them, so they were counted here and dropped
+	// rather than corrupting a closed window's exact count. An item is
+	// counted once, at the first node that rejects it. Always 0 in
+	// processing-time mode.
+	LateDropped int64
 	// Elapsed spans first publish to last root-side processing.
 	Elapsed time.Duration
 	// Throughput is Produced/Elapsed — the paper's "items processed per
@@ -164,14 +198,33 @@ type NodeTelemetry struct {
 }
 
 // live-mode errors.
-var ErrNoItems = errors.New("core: LiveConfig.Items must be positive")
+var (
+	ErrNoItems = errors.New("core: LiveConfig.Items must be positive")
+	// ErrEventTimeStreaming rejects EventTime combined with Streaming:
+	// streaming mode forwards per batch with no windows to assign records
+	// to, so event-time windowing has nothing to act on.
+	ErrEventTimeStreaming = errors.New("core: EventTime requires windowed mode (Streaming must be false)")
+	// ErrEventTimeIdleSharded rejects a disabled idle exclusion
+	// (IdleTimeout < 0) combined with multi-member consumer groups: a
+	// group member only hears the producers whose record keys hash to its
+	// partitions, and with aging disabled an unheard-but-expected producer
+	// would hold the member's watermark at zero forever.
+	ErrEventTimeIdleSharded = errors.New("core: IdleTimeout < 0 (no idle exclusion) requires single-member groups (RootShards 1, LayerShards 1)")
+)
 
 // samplingProcessor adapts a core.Node to the streams.Processor contract:
 // batches arrive as wire-encoded messages, windows flush on punctuation (or
 // immediately in streaming mode). One instance runs inside one shard-group
 // member and owns its Node exclusively.
+//
+// In event-time mode (ew non-nil) the member's Ψ store lives in ew instead
+// of node: records are bucketed by event timestamp, watermarks piggybacked
+// on arriving records feed wt, and windows close on watermark advance —
+// inline on Process when a record's watermark makes windows due, and on the
+// punctuation ticker, which is retained purely as the idle-source timeout.
 type samplingProcessor struct {
-	node       *Node
+	id         string
+	node       *Node // processing-time Ψ (nil in event-time mode)
 	window     time.Duration
 	streaming  bool
 	decodeErrs *atomic.Int64
@@ -182,6 +235,16 @@ type samplingProcessor struct {
 
 	bw   *metrics.BandwidthAccount
 	link string // destination topic, for bandwidth attribution
+
+	// Event-time mode only: ew buckets Ψ per event window, wt tracks the
+	// member's per-source low watermark, and quiesce (session-owned) stops
+	// the punctuation keepalives once shutdown starts — the end-of-stream
+	// cascade carries every promise that still matters, and a steady
+	// keepalive stream would hold the drain probe's idle check open
+	// forever.
+	ew      *eventWindows
+	wt      *watermarkTracker
+	quiesce *atomic.Bool
 
 	// Adaptive runs only: control is the member's private standalone
 	// consumer on the plan's control topic, drained at each window
@@ -205,6 +268,31 @@ func (p *samplingProcessor) Process(msg streams.Message) error {
 		p.decodeErrs.Add(1)
 		return nil
 	}
+	if p.ew != nil {
+		now := time.Now()
+		// Ingest before folding the record's watermark: the piggybacked
+		// watermark may close the very window this record's items belong
+		// to, and they must land inside it, not be counted late.
+		p.ew.ingest(p.scratch)
+		switch {
+		case msg.Watermark.At.IsZero():
+			if msg.Watermark.From != "" {
+				// Liveness keepalive: refresh the chain's idle clocks,
+				// promise nothing.
+				p.wt.keepalive(msg.Watermark.From, now)
+			}
+		default:
+			if p.wt.update(msg.Watermark, p.scratch.Source, now) {
+				// First sight of this chain: announce it upstream before
+				// any record can lift the parent's minimum past windows
+				// the chain still holds data for.
+				p.announce(p.scratch.Source)
+			}
+		}
+		p.advanceEventTime(now)
+		p.pending.Store(int64(p.ew.buffered()))
+		return nil
+	}
 	p.node.IngestBatch(p.scratch)
 	p.pending.Store(int64(p.node.Observed()))
 	if p.streaming {
@@ -214,6 +302,23 @@ func (p *samplingProcessor) Process(msg streams.Message) error {
 }
 
 func (p *samplingProcessor) flush() {
+	if p.ew != nil {
+		// Event-time punctuation: re-derive the watermark (idle sources
+		// may now be excluded) and sweep windows that became due, then
+		// re-assert liveness upstream — a member buffering data behind
+		// the lateness horizon has forwarded nothing yet, and without the
+		// keepalive its parent could age it out of the minimum and close
+		// windows its buffered data belongs to.
+		now := time.Now()
+		if !p.advanceEventTime(now) {
+			// An advance already re-asserted liveness (its heartbeats
+			// carry the outbound watermark for every active source);
+			// duplicate keepalives would only double the traffic.
+			p.keepalive(now)
+		}
+		p.pending.Store(int64(p.ew.buffered()))
+		return
+	}
 	p.applyControl()
 	for _, b := range p.node.CloseInterval() {
 		v := b.Marshal()
@@ -223,6 +328,86 @@ func (p *samplingProcessor) flush() {
 	// Zero pending only after forwarding: the drain probe must always see
 	// in-flight data as either buffered Ψ here or lag on the parent topic.
 	p.pending.Store(int64(p.node.Observed()))
+}
+
+// advanceEventTime closes every event window the member's current watermark
+// makes due, forwards the results, and reports whether the close bound
+// moved. Data records are stamped with their window's dataWatermark — the
+// ladder a parent must climb window by window, so a multi-window flush can
+// never close more at the parent than has already arrived — and after the
+// data, every active source gets a zero-item heartbeat at the outbound
+// watermark, so parents advance across empty windows and reach the final
+// bound. Control-topic drains stay pinned to window boundaries, exactly
+// like the processing-time flush.
+func (p *samplingProcessor) advanceEventTime(now time.Time) bool {
+	wm := p.wt.watermark(now)
+	if !p.ew.wouldAdvance(wm) {
+		return false
+	}
+	p.applyControl()
+	closed := p.ew.advance(wm)
+	for _, cw := range closed {
+		stamp := mq.Watermark{From: p.id, At: p.ew.dataWatermark(cw.start)}
+		for _, b := range cw.theta {
+			v := b.Marshal()
+			p.bw.Add(p.link, int64(len(v)))
+			p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: v, Ts: p.ctx.Now(), Watermark: stamp})
+		}
+	}
+	out := mq.Watermark{From: p.id, At: p.ew.outboundWatermark()}
+	for _, src := range p.wt.activeSources(now) {
+		v := heartbeat(src).Marshal()
+		p.bw.Add(p.link, int64(len(v)))
+		p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: out})
+	}
+	return true
+}
+
+// keepalive re-asserts the member's liveness upstream for every active
+// sub-stream: at the outbound watermark once one exists, else as a
+// zero-instant presence record that refreshes the parent's idle clocks
+// without promising anything. Idle sub-streams are deliberately not
+// covered — the member has excluded them from its own minimum, and
+// keeping them artificially fresh upstream would re-introduce the stall
+// the idle timeout exists to break.
+func (p *samplingProcessor) keepalive(now time.Time) {
+	if p.quiesce.Load() {
+		return
+	}
+	srcs := p.wt.activeSources(now)
+	if len(srcs) == 0 {
+		return
+	}
+	out := mq.Watermark{From: p.id, At: p.ew.outboundWatermark()}
+	for _, src := range srcs {
+		v := heartbeat(src).Marshal()
+		p.bw.Add(p.link, int64(len(v)))
+		p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: out})
+	}
+}
+
+// announce forwards a zero-item heartbeat for a newly-seen chain's
+// sub-stream at the member's outbound watermark — never the inbound one,
+// which may promise windows this member has not flushed yet — so the
+// parent registers the chain in its minimum before any close could pass
+// its data by. Before the member's first advance there is no promise to
+// make (and nothing the parent could close), so nothing is sent.
+func (p *samplingProcessor) announce(src stream.SourceID) {
+	wm := p.ew.outboundWatermark()
+	if wm.IsZero() {
+		return
+	}
+	v := heartbeat(src).Marshal()
+	p.bw.Add(p.link, int64(len(v)))
+	p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: mq.Watermark{From: p.id, At: wm}})
+}
+
+// stats returns the member's lifetime counters, whichever store owns them.
+func (p *samplingProcessor) stats() NodeStats {
+	if p.ew != nil {
+		return p.ew.stats()
+	}
+	return p.node.Stats()
 }
 
 // applyControl drains the member's control consumer and installs the
@@ -271,10 +456,18 @@ func (p *samplingProcessor) Close() error {
 // query cost, and maintains the run's root-side counters. In-flight records
 // are covered by the member Runtime's Busy gauge; buffered root Θ awaits
 // the window ticker, not the drain, so no pending counter is needed here.
+//
+// In event-time mode (ew non-nil) the member buckets Θ per event window and
+// tracks its per-source watermark in wt, both under mu; the session's
+// window ticker merges the members' watermarks and drives every member's
+// window closes to the same bound.
 type rootProcessor struct {
 	mu   sync.Mutex
-	node *Node
+	node *Node // processing-time Θ (nil in event-time mode)
+	ew   *eventWindows
+	wt   *watermarkTracker
 
+	id           string
 	work         time.Duration
 	processed    *atomic.Int64
 	decodeErrs   *atomic.Int64
@@ -297,12 +490,30 @@ func (p *rootProcessor) Process(msg streams.Message) error {
 	now := time.Now()
 	for _, it := range p.scratch.Items {
 		// Items are stamped with their wall-clock publish instant at the
-		// source, so this is genuine end-to-end latency: edge window
+		// source (Pub — and in processing-time mode Ts is the same
+		// instant), so this is genuine end-to-end latency: edge window
 		// waits, broker hops, and the root's own service time all count.
-		p.latency.Observe(now.Sub(it.Ts))
+		ref := it.Pub
+		if ref.IsZero() {
+			ref = it.Ts
+		}
+		p.latency.Observe(now.Sub(ref))
 	}
 	p.mu.Lock()
-	p.node.IngestBatch(p.scratch)
+	if p.ew != nil {
+		// Ingest before folding the watermark, mirroring the edge members.
+		p.ew.ingest(p.scratch)
+		switch {
+		case msg.Watermark.At.IsZero():
+			if msg.Watermark.From != "" {
+				p.wt.keepalive(msg.Watermark.From, now)
+			}
+		default:
+			p.wt.update(msg.Watermark, p.scratch.Source, now)
+		}
+	} else {
+		p.node.IngestBatch(p.scratch)
+	}
 	p.mu.Unlock()
 	p.processed.Add(int64(len(p.scratch.Items)))
 	p.lastActivity.Store(time.Now().UnixNano())
@@ -311,11 +522,37 @@ func (p *rootProcessor) Process(msg streams.Message) error {
 
 func (p *rootProcessor) Close() error { return nil }
 
-// closeInterval drains the member's Θ under its lock.
+// closeInterval drains the member's Θ under its lock (processing-time mode).
 func (p *rootProcessor) closeInterval() []stream.Batch {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.node.CloseInterval()
+}
+
+// watermarkState returns the member's current event-time watermark (zero
+// when the member has seen no live chains) and whether an expected-but-
+// unheard producer is holding it back.
+func (p *rootProcessor) watermarkState(now time.Time) (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wt.watermarkState(now)
+}
+
+// advanceTo closes the member's event windows up to the merged watermark
+// the session's ticker derived. All members advance to the same bound, so
+// a window is merged across members exactly once.
+func (p *rootProcessor) advanceTo(wm time.Time) []closedWindow {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ew.advance(wm)
+}
+
+// stats returns the member's lifetime counters, whichever store owns them.
+func (p *rootProcessor) stats() NodeStats {
+	if p.ew != nil {
+		return p.ew.stats()
+	}
+	return p.node.Stats()
 }
 
 // shardGroup is the live instantiation of one compiled node as a consumer

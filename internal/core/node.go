@@ -159,8 +159,14 @@ type NodeStats struct {
 // WindowResult is what the root writes per window: the approximate answers
 // with error bounds, plus bookkeeping the benchmarks consume.
 type WindowResult struct {
-	// At is the window-close instant.
+	// At is the window-close instant (wall clock live, virtual time in
+	// simulation).
 	At time.Time
+	// Start and End delimit the event-time tumbling window this result
+	// covers. They are set only in event-time mode (EventTime configs);
+	// processing-time windows, which are defined by the close ticker
+	// rather than by record timestamps, leave both zero.
+	Start, End time.Time
 	// Results holds one entry per registered query kind, in order.
 	Results []query.Result
 	// SampleSize is the number of items aggregated (ζ over all strata).

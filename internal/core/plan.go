@@ -10,19 +10,30 @@ import (
 
 // This file is the deployment-plan layer: the single place where a logical
 // topology.TreeSpec is compiled into concrete node wiring. Both runners —
-// RunSim (virtual time + WAN emulation) and RunLive (goroutines over the mq
-// broker) — execute the same compiled Plan, so a spec that validates and
+// RunSim (virtual time + WAN emulation) and the live session layer behind
+// OpenLive (goroutines over the mq broker; RunLive is its batch-shaped
+// wrapper) — execute the same compiled Plan, so a spec that validates and
 // wires one way in simulation is guaranteed to validate and wire the same
 // way live. Before the plan existed each runner re-derived the tree walk,
 // topic names, parent edges, and sampler seeding by hand.
 
 // Plan-compilation errors.
 var (
-	ErrNoPartitions           = errors.New("core: PlanConfig.Partitions must be at least 1")
-	ErrNoRootShards           = errors.New("core: PlanConfig.RootShards must be at least 1")
+	// ErrNoPartitions rejects a negative PlanConfig.Partitions (0 selects
+	// the single-partition default).
+	ErrNoPartitions = errors.New("core: PlanConfig.Partitions must be at least 1")
+	// ErrNoRootShards rejects a negative PlanConfig.RootShards (0 selects
+	// the single-member default).
+	ErrNoRootShards = errors.New("core: PlanConfig.RootShards must be at least 1")
+	// ErrShardsExceedPartitions rejects a consumer group sized beyond the
+	// topic's partition count: the surplus members would own nothing.
 	ErrShardsExceedPartitions = errors.New("core: shard count must not exceed Partitions (extra shards would own no partitions)")
-	ErrNegativeLayerShards    = errors.New("core: LayerShards entries must be non-negative")
-	ErrLayerShardsRoot        = errors.New("core: LayerShards configures edge layers only; size the root group with RootShards")
+	// ErrNegativeLayerShards rejects a negative LayerShards entry (0 means
+	// "default this layer to one member").
+	ErrNegativeLayerShards = errors.New("core: LayerShards entries must be non-negative")
+	// ErrLayerShardsRoot rejects a LayerShards slice long enough to reach
+	// the root layer, whose group is sized by RootShards alone.
+	ErrLayerShardsRoot = errors.New("core: LayerShards configures edge layers only; size the root group with RootShards")
 )
 
 // PlanConfig is the mode-independent description of a deployment: everything
@@ -94,7 +105,9 @@ type SourceDesc struct {
 
 // TopicDesc is one live mq topic the plan requires.
 type TopicDesc struct {
-	Name       string
+	// Name is the topic name ("layer0-node2", "control").
+	Name string
+	// Partitions is the partition count the topic must be created with.
 	Partitions int
 }
 
@@ -304,10 +317,7 @@ func (p *Plan) NewNodeShard(d NodeDesc, shard int) *Node {
 // The FixedBudget group split applies to the override exactly as it would
 // to the plan cost.
 func (p *Plan) NewNodeShardCost(d NodeDesc, shard int, cost CostFunction) *Node {
-	id := d.ID
-	if shard > 0 {
-		id = fmt.Sprintf("%s-shard%d", d.ID, shard)
-	}
+	id := memberID(d, shard)
 	if fb, ok := cost.(FixedBudget); ok && d.Shards > 1 {
 		// Spread the cap exactly: Size/N each, remainder to the low shards,
 		// so shard budgets total Size and none is starved unless Size < N.
@@ -318,6 +328,50 @@ func (p *Plan) NewNodeShardCost(d NodeDesc, shard int, cost CostFunction) *Node 
 		cost = FixedBudget{Size: size}
 	}
 	return NewNode(id, p.newSampler(d.Layer, d.Index, shardSeed(p.Seed, shard)), cost)
+}
+
+// memberID names one consumer-group member of a compiled node: shard 0
+// carries the node's canonical identity, members beyond get a -shardN
+// suffix. Telemetry keys (LiveResult.Nodes) and watermark chain origins
+// use these names.
+func memberID(d NodeDesc, shard int) string {
+	if shard > 0 {
+		return fmt.Sprintf("%s-shard%d", d.ID, shard)
+	}
+	return d.ID
+}
+
+// sourceFrom names source slot i's watermark chain origin — the identity
+// its ingestion valve (live) or generator (simulated) stamps on the
+// records it produces.
+func sourceFrom(slot int) string { return fmt.Sprintf("src%d", slot) }
+
+// ExpectedProducers lists the watermark chain origins statically known to
+// feed node d: the source valves of its slots (layer 0) or every consumer
+// group member of its child nodes. Event-time members register these as
+// expectations, so a producer the member has not yet heard from holds the
+// watermark back instead of being silently absent from the minimum — the
+// difference between an exact window and one that closes before a slow
+// sibling's data arrives.
+func (p *Plan) ExpectedProducers(d NodeDesc) []string {
+	var out []string
+	if d.Layer == 0 {
+		for _, src := range p.Sources {
+			if src.ParentIndex == d.Index {
+				out = append(out, sourceFrom(src.Index))
+			}
+		}
+		return out
+	}
+	for _, child := range p.Layers[d.Layer-1] {
+		if child.ParentIndex != d.Index {
+			continue
+		}
+		for shard := 0; shard < child.Shards; shard++ {
+			out = append(out, memberID(child, shard))
+		}
+	}
+	return out
 }
 
 // NewRootShard instantiates one member of the root's sampling stage; the

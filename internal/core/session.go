@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,11 +110,16 @@ type LiveSession struct {
 
 	res *LiveResult
 
+	// quiesce silences the event-time keepalive punctuations from the
+	// moment shutdown starts (see samplingProcessor.keepalive).
+	quiesce atomic.Bool
+
 	// Run-wide counters, written by member pumps and ingesters, read by
 	// Snapshot at any time.
 	produced      atomic.Int64
 	rootProcessed atomic.Int64
 	decodeErrs    atomic.Int64
+	lateDropped   atomic.Int64 // event-time mode: items past the lateness horizon
 	lastActivity  atomic.Int64 // unix nanos of last root-side processing
 	startNanos    atomic.Int64 // run start: first ingest (open time until then)
 	started       atomic.Bool
@@ -215,6 +221,39 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	if cfg.MaxIngestLag == 0 {
 		cfg.MaxIngestLag = defaultMaxIngestLag
 	}
+	if cfg.EventTime {
+		if cfg.Streaming {
+			return nil, ErrEventTimeStreaming
+		}
+		if cfg.AllowedLateness < 0 {
+			cfg.AllowedLateness = 0
+		}
+		switch {
+		case cfg.IdleTimeout == 0:
+			// Default: several sweep ticks, but never less than the
+			// lateness horizon — a source pausing for less than the
+			// lateness it was promised must not be aged out of the
+			// minimum, or its in-horizon records would be dropped by the
+			// very mechanism lateness exists to protect them from.
+			cfg.IdleTimeout = 4 * cfg.Window
+			if cfg.AllowedLateness > cfg.IdleTimeout {
+				cfg.IdleTimeout = cfg.AllowedLateness
+			}
+		case cfg.IdleTimeout < 0:
+			// No idle exclusion: expectation placeholders for producers a
+			// member never hears from would block its watermark forever.
+			// Single-member groups hear every producer of their node, so
+			// only they can run without the exclusion. (plan.LayerShards
+			// is normalized — one entry per layer, the root entry mirrors
+			// RootShards.)
+			for _, shards := range plan.LayerShards {
+				if shards > 1 {
+					return nil, ErrEventTimeIdleSharded
+				}
+			}
+			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
+		}
+	}
 
 	s := &LiveSession{
 		cfg:    cfg,
@@ -258,22 +297,39 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		var memberErr error
 		grp, err := newShardGroup(s.broker, desc, func(shard int) streams.Processor {
 			sp := &samplingProcessor{
+				id:         memberID(desc, shard),
+				quiesce:    &s.quiesce,
 				window:     cfg.Window,
 				streaming:  cfg.Streaming,
 				decodeErrs: &s.decodeErrs,
 				bw:         s.res.Bandwidth,
 				link:       desc.ParentTopic,
 			}
+			mk := func() *Node { return plan.NewNodeShard(desc, shard) }
 			if cfg.Feedback != nil {
 				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
-				sp.node = plan.NewNodeShardCost(desc, shard, sp.cost)
+				mk = func() *Node { return plan.NewNodeShardCost(desc, shard, sp.cost) }
 				c, cerr := mq.NewConsumer(s.broker, plan.ControlTopic)
 				if cerr != nil && memberErr == nil {
 					memberErr = cerr // keep the first failure; later shards must not clobber it
 				}
 				sp.control = c
+			}
+			if cfg.EventTime {
+				// Ψ lives in per-event-window nodes; mk seeds each window
+				// identically from the plan's lineage, so a window's
+				// sampling is independent of how many windows preceded it.
+				sp.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.lateDropped, mk)
+				sp.wt = newWatermarkTracker(cfg.IdleTimeout)
+				// Every producer the plan says can feed this node holds the
+				// watermark until heard from (or idled out) — sibling pumps
+				// race, and a chain must never be invisible to the minimum
+				// just because it is slow.
+				for _, from := range plan.ExpectedProducers(desc) {
+					sp.wt.expect(from, now)
+				}
 			} else {
-				sp.node = plan.NewNodeShard(desc, shard)
+				sp.node = mk()
 			}
 			s.edgeProcs = append(s.edgeProcs, sp)
 			return sp
@@ -298,6 +354,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	s.rootCosts = make([]*dynamicCost, 0, plan.RootShards)
 	rootGrp, err := newShardGroup(s.broker, plan.Root(), func(shard int) streams.Processor {
 		p := &rootProcessor{
+			id:           memberID(plan.Root(), shard),
 			work:         cfg.RootWork,
 			processed:    &s.rootProcessed,
 			decodeErrs:   &s.decodeErrs,
@@ -307,12 +364,20 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			// (and into fresh histograms by mid-run Snapshots).
 			latency: metrics.NewHistogram(),
 		}
+		mk := func() *Node { return plan.NewRootShard(shard) }
 		if cfg.Feedback != nil {
 			dc := newDynamicCost(cfg.Feedback.Fraction())
 			s.rootCosts = append(s.rootCosts, dc)
-			p.node = plan.NewNodeShardCost(plan.Root(), shard, dc)
+			mk = func() *Node { return plan.NewNodeShardCost(plan.Root(), shard, dc) }
+		}
+		if cfg.EventTime {
+			p.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.lateDropped, mk)
+			p.wt = newWatermarkTracker(cfg.IdleTimeout)
+			for _, from := range plan.ExpectedProducers(plan.Root()) {
+				p.wt.expect(from, now)
+			}
 		} else {
-			p.node = plan.NewRootShard(shard)
+			p.node = mk()
 		}
 		s.rootProcs[shard] = p
 		return p
@@ -443,12 +508,17 @@ func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
 	src := s.plan.Sources[slot]
 	leaf := s.plan.Layers[0][src.ParentIndex]
 	in := &Ingester{
-		s:        s,
-		slot:     slot,
-		topic:    src.Topic,
-		lagGroup: leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
-		producer: mq.NewProducer(s.broker),
-		rate:     s.cfg.SourceRate,
+		s:         s,
+		slot:      slot,
+		topic:     src.Topic,
+		lagGroup:  leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
+		producer:  mq.NewProducer(s.broker),
+		rate:      s.cfg.SourceRate,
+		eventTime: s.cfg.EventTime,
+		from:      sourceFrom(slot),
+	}
+	if in.eventTime {
+		in.marks = make(map[stream.SourceID]time.Time)
 	}
 	s.ingesters[slot] = in
 	return in, nil
@@ -458,9 +528,11 @@ func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
 // src, and the batch enters the tree at a stable leaf — src hashes to a
 // source slot, so one stratum always flows through the same layer-0 node
 // and per-stratum ordering is preserved. Items are stamped with the
-// wall-clock publish instant (their Ts is overwritten) for end-to-end
-// latency measurement. Returns ErrSessionDraining / ErrSessionClosed once
-// the session has left the ingesting state.
+// wall-clock publish instant (Pub, for end-to-end latency; in
+// processing-time mode Ts is overwritten with the same instant, in
+// event-time mode a caller-supplied Ts is preserved as the event
+// timestamp). Returns ErrSessionDraining / ErrSessionClosed once the
+// session has left the ingesting state.
 func (s *LiveSession) Ingest(src stream.SourceID, items ...stream.Item) error {
 	for i := range items {
 		items[i].Source = src
@@ -548,11 +620,16 @@ func (s *LiveSession) Target() float64 {
 	return s.cfg.Feedback.Target()
 }
 
-// closeWindow merges every root member's Θ, runs the queries, records the
-// result, steps the feedback loop, and fans the window out to hooks and
-// subscribers. Runs on the ticker goroutine (and once more during
-// shutdown).
+// closeWindow runs one window-close sweep. In processing-time mode it
+// merges every root member's Θ, runs the queries, and emits one window; in
+// event-time mode it merges the members' watermarks and emits every event
+// window the merged watermark makes due, in event-time order. Runs on the
+// ticker goroutine (and once more during shutdown).
 func (s *LiveSession) closeWindow(at time.Time) {
+	if s.cfg.EventTime {
+		s.closeEventWindows(at, s.rootWatermark(at))
+		return
+	}
 	s.windowMu.Lock()
 	defer s.windowMu.Unlock()
 	var theta []stream.Batch
@@ -563,6 +640,72 @@ func (s *LiveSession) closeWindow(at time.Time) {
 	if win.SampleSize == 0 {
 		return
 	}
+	s.emitWindowLocked(win)
+}
+
+// rootWatermark merges the root members' event-time watermarks: the
+// minimum over members that have one. A member still waiting on an
+// expected producer vetoes the merge (its windows would close incomplete);
+// a member with nothing live — every chain idle, a shard whose partitions
+// are empty past the idle timeout — has no opinion and is skipped, so it
+// cannot stall event time forever.
+func (s *LiveSession) rootWatermark(now time.Time) time.Time {
+	var min time.Time
+	for _, rp := range s.rootProcs {
+		wm, blocked := rp.watermarkState(now)
+		if blocked {
+			return time.Time{}
+		}
+		if wm.IsZero() {
+			continue
+		}
+		if min.IsZero() || wm.Before(min) {
+			min = wm
+		}
+	}
+	return min
+}
+
+// closeEventWindows advances every root member to the merged watermark,
+// merges the members' closed windows by window start, and emits each merged
+// window in ascending event-time order. Windows are exact: a member's
+// contribution to window s can only arrive before the merged watermark
+// passes s's close threshold (per-source watermark ordering), so a window
+// is complete when it closes and is never emitted twice.
+func (s *LiveSession) closeEventWindows(at, wm time.Time) {
+	s.windowMu.Lock()
+	defer s.windowMu.Unlock()
+	if wm.IsZero() {
+		return
+	}
+	merged := make(map[int64][]stream.Batch)
+	for _, rp := range s.rootProcs {
+		for _, cw := range rp.advanceTo(wm) {
+			merged[cw.start] = append(merged[cw.start], cw.theta...)
+		}
+	}
+	if len(merged) == 0 {
+		return
+	}
+	starts := make([]int64, 0, len(merged))
+	for st := range merged {
+		starts = append(starts, st)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, st := range starts {
+		win := NewWindowResult(at, s.engine, s.plan.Queries, merged[st])
+		win.Start = time.Unix(0, st).UTC()
+		win.End = win.Start.Add(s.plan.Spec.Window)
+		if win.SampleSize == 0 {
+			continue
+		}
+		s.emitWindowLocked(win)
+	}
+}
+
+// emitWindowLocked records one closed window, steps the feedback loop, and
+// fans the result out to hooks and subscribers. Callers hold windowMu.
+func (s *LiveSession) emitWindowLocked(win WindowResult) {
 	s.res.Windows = append(s.res.Windows, win)
 	s.windowsClosed.Add(1)
 	if s.cfg.Feedback != nil {
@@ -596,11 +739,12 @@ func (s *LiveSession) closeWindow(at time.Time) {
 type LiveSnapshot struct {
 	// State is the lifecycle phase at capture time.
 	State SessionState
-	// Produced / RootProcessed / DecodeErrors mirror the LiveResult
-	// counters, at their current values.
+	// Produced / RootProcessed / DecodeErrors / LateDropped mirror the
+	// LiveResult counters, at their current values.
 	Produced      int64
 	RootProcessed int64
 	DecodeErrors  int64
+	LateDropped   int64
 	// WindowsClosed counts the non-empty windows closed so far.
 	WindowsClosed int
 	// Elapsed spans the first ingest to now (to the run's end once closed).
@@ -637,6 +781,7 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 		Produced:        s.produced.Load(),
 		RootProcessed:   s.rootProcessed.Load(),
 		DecodeErrors:    s.decodeErrs.Load(),
+		LateDropped:     s.lateDropped.Load(),
 		Latency:         metrics.NewHistogram(),
 		Bandwidth:       s.res.Bandwidth.Snapshot(),
 		SubscriberDrops: s.subDrops.Load(),
@@ -669,19 +814,18 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 // final result merge, so the two can never diverge in shape.
 func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTelemetry {
 	nodes := make(map[string]NodeTelemetry, len(s.edgeProcs)+len(s.rootProcs))
-	record := func(n *Node) {
-		st := n.Stats()
+	record := func(id string, st NodeStats) {
 		tel := NodeTelemetry{Observed: st.Observed, Emitted: st.Emitted, Intervals: st.Intervals}
 		if elapsed > 0 {
 			tel.Throughput = float64(st.Observed) / elapsed.Seconds()
 		}
-		nodes[n.ID()] = tel
+		nodes[id] = tel
 	}
 	for _, sp := range s.edgeProcs {
-		record(sp.node)
+		record(sp.id, sp.stats())
 	}
 	for _, rp := range s.rootProcs {
-		record(rp.node)
+		record(rp.id, rp.stats())
 	}
 	return nodes
 }
@@ -747,6 +891,7 @@ func (s *LiveSession) Close() (*LiveResult, error) {
 // first caller finishes.
 func (s *LiveSession) shutdown(drain bool, cause error) {
 	s.closeOnce.Do(func() {
+		s.quiesce.Store(true)
 		s.state.Store(int32(StateDraining))
 		// Barrier: wake pacing sleeps, then wait out every push that was
 		// admitted before the state flip. After this, no Push can reach
@@ -756,6 +901,13 @@ func (s *LiveSession) shutdown(drain bool, cause error) {
 		s.pushMu.Lock()
 		s.pushMu.Unlock() //nolint:staticcheck // empty critical section IS the fence
 		if drain {
+			if s.cfg.EventTime {
+				// End of stream: push the end-of-stream watermark through
+				// every valve so the close wave cascades bottom-up through
+				// the same per-source machinery data used, and the drain
+				// probe below sees the buffered event windows flush.
+				s.sendEOS()
+			}
 			s.drain()
 		}
 		if err := s.ctx.Err(); err != nil && cause == nil {
@@ -764,8 +916,14 @@ func (s *LiveSession) shutdown(drain bool, cause error) {
 		end := time.Unix(0, s.lastActivity.Load())
 		s.cancelTick()
 		s.tickWG.Wait()
-		s.rootGrp.stop()          // root members fully drain their fetched records
-		s.closeWindow(time.Now()) // final partial window
+		s.rootGrp.stop() // root members fully drain their fetched records
+		if s.cfg.EventTime {
+			// Final sweep: whatever reached the root is emitted, in event
+			// order — the event-time form of the final partial window.
+			s.closeEventWindows(time.Now(), eosWatermark)
+		} else {
+			s.closeWindow(time.Now()) // final partial window
+		}
 		s.stopAll()
 		s.broker.Close()
 		s.finalize(end)
@@ -787,6 +945,7 @@ func (s *LiveSession) finalize(end time.Time) {
 	res.Produced = s.produced.Load()
 	res.RootProcessed = s.rootProcessed.Load()
 	res.DecodeErrors = s.decodeErrs.Load()
+	res.LateDropped = s.lateDropped.Load()
 	for i := range s.truth {
 		s.truth[i].mu.Lock()
 		res.TruthSum += s.truth[i].v
@@ -814,16 +973,22 @@ func (s *LiveSession) finalize(end time.Time) {
 // LiveSession.Ingester. Pushes through one Ingester are serialized (the
 // valve preserves per-stratum order); distinct slots push concurrently.
 type Ingester struct {
-	s        *LiveSession
-	slot     int
-	topic    string
-	lagGroup string
-	producer *mq.Producer
-	rate     float64
+	s         *LiveSession
+	slot      int
+	topic     string
+	lagGroup  string
+	producer  *mq.Producer
+	rate      float64
+	eventTime bool
+	from      string // watermark origin: this valve's chain identity
 
 	mu    sync.Mutex
 	sent  int64
 	epoch time.Time // pacing schedule origin: the valve's first push
+	// marks tracks, per sub-stream pushed through this valve, the highest
+	// event timestamp seen — the sub-stream's low watermark, piggybacked
+	// on every record the valve publishes (event-time mode only).
+	marks map[stream.SourceID]time.Time
 }
 
 // Slot returns the source slot this valve feeds.
@@ -838,15 +1003,19 @@ func (in *Ingester) Sent() int64 {
 
 // Push publishes items into the session: consecutive runs of the same
 // sub-stream become one weighted batch (weight 1 — the census), keyed by
-// SourceID so a stratum sticks to one partition. Every item is re-stamped
-// with the wall-clock publish instant (end-to-end latency is measured from
-// here), items with an empty Source default to the slot's stratum
-// ("source<slot>"), and ground truth is accumulated for the final
-// LiveResult. Push applies backpressure — it blocks while the leaf topic's
-// backlog exceeds LiveConfig.MaxIngestLag — and pacing: with
-// LiveConfig.SourceRate set, it sleeps off any lead over the rate schedule
-// before returning. Returns ErrSessionDraining / ErrSessionClosed once the
-// session has left the ingesting state.
+// SourceID so a stratum sticks to one partition. Every item's Pub is
+// stamped with the wall-clock publish instant (end-to-end latency is
+// measured from here). In processing-time mode Ts is re-stamped with the
+// same instant — the pre-event-time contract; in event-time mode a
+// caller-supplied Ts is the item's event timestamp and is preserved (zero
+// Ts defaults to the publish instant), and the sub-stream's low watermark
+// piggybacks on the published records. Items with an empty Source default
+// to the slot's stratum ("source<slot>"), and ground truth is accumulated
+// for the final LiveResult. Push applies backpressure — it blocks while
+// the leaf topic's backlog exceeds LiveConfig.MaxIngestLag — and pacing:
+// with LiveConfig.SourceRate set, it sleeps off any lead over the rate
+// schedule before returning. Returns ErrSessionDraining /
+// ErrSessionClosed once the session has left the ingesting state.
 func (in *Ingester) Push(items ...stream.Item) error {
 	s := in.s
 	// The read half of the Push/Close barrier: held until the last Send so
@@ -870,9 +1039,11 @@ func (in *Ingester) Push(items ...stream.Item) error {
 	}
 	s.markStarted()
 
-	// Re-stamp with the wall-clock publish instant: callers (and the
-	// built-in generator client) assign synthetic workload time, but live
-	// latency is measured from here to root-side processing.
+	// Stamp the wall-clock publish instant (Pub — end-to-end latency is
+	// measured from here to root-side processing). Processing-time mode
+	// re-stamps Ts with the same instant, the pre-event-time contract;
+	// event-time mode preserves caller-supplied event timestamps and only
+	// defaults a zero Ts to the publish instant.
 	pub := time.Now()
 	defaultSrc := stream.SourceID("")
 	for j := range items {
@@ -882,7 +1053,10 @@ func (in *Ingester) Push(items ...stream.Item) error {
 			}
 			items[j].Source = defaultSrc
 		}
-		items[j].Ts = pub
+		items[j].Pub = pub
+		if !in.eventTime || items[j].Ts.IsZero() {
+			items[j].Ts = pub
+		}
 	}
 	// Ground truth: item-by-item into the slot's running sum, so the
 	// per-slot total is bit-identical to the pre-session accumulator and
@@ -900,9 +1074,23 @@ func (in *Ingester) Push(items ...stream.Item) error {
 			hi++
 		}
 		b := stream.Batch{Source: src, Weight: 1, Items: items[lo:hi]}
+		// Event-time mode: advance the sub-stream's low watermark to the
+		// highest event timestamp in the run and piggyback it, so the leaf
+		// member's per-chain watermark tracks this valve exactly.
+		var wm mq.Watermark
+		if in.eventTime {
+			mark := in.marks[src]
+			for _, it := range b.Items {
+				if it.Ts.After(mark) {
+					mark = it.Ts
+				}
+			}
+			in.marks[src] = mark
+			wm = mq.Watermark{From: in.from, At: mark}
+		}
 		payload := b.Marshal()
 		s.res.Bandwidth.Add(in.topic, int64(len(payload)))
-		if _, _, err := in.producer.Send(in.topic, []byte(src), payload); err != nil {
+		if _, _, err := in.producer.SendWatermarked(in.topic, []byte(src), payload, wm); err != nil {
 			if errors.Is(err, mq.ErrClosed) {
 				return ErrSessionClosed
 			}
@@ -965,6 +1153,49 @@ func (in *Ingester) backpressure() error {
 			return ErrSessionClosed
 		case <-time.After(wait):
 		}
+	}
+}
+
+// sendEOS publishes an end-of-stream watermark heartbeat for every
+// sub-stream that ever pushed through this valve — or for the slot's
+// default stratum if nothing ever did: a zero-item batch carrying
+// eosWatermark, which closes every remaining event window at the leaf and
+// lets the close wave cascade to the root. Runs during shutdown, after the
+// push barrier — no concurrent Push can interleave.
+func (in *Ingester) sendEOS() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	srcs := make([]stream.SourceID, 0, len(in.marks)+1)
+	for src := range in.marks {
+		srcs = append(srcs, src)
+	}
+	if len(srcs) == 0 {
+		// An unused valve still speaks at end of stream: every member
+		// statically expects it (Plan.ExpectedProducers), and resolving
+		// the expectation in-band makes the close cascade deterministic
+		// instead of waiting on the idle timeout to age the placeholder.
+		srcs = append(srcs, stream.SourceID(fmt.Sprintf("source%d", in.slot)))
+	}
+	for _, src := range srcs {
+		payload := heartbeat(src).Marshal()
+		in.s.res.Bandwidth.Add(in.topic, int64(len(payload)))
+		// The broker outlives the drain; a send can only fail once the
+		// session is past the point of caring about these heartbeats.
+		_, _, _ = in.producer.SendWatermarked(in.topic, []byte(src), payload,
+			mq.Watermark{From: in.from, At: eosWatermark})
+	}
+}
+
+// sendEOS fans the end-of-stream watermark out through every source slot
+// (event-time shutdown only), creating valves for slots that were never
+// pushed so that every expected producer chain terminates explicitly.
+func (s *LiveSession) sendEOS() {
+	for slot := 0; slot < s.plan.Spec.Sources; slot++ {
+		in, err := s.Ingester(slot)
+		if err != nil {
+			continue // unreachable: slots come from the plan
+		}
+		in.sendEOS()
 	}
 }
 

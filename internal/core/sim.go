@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/approxiot/approxiot/internal/metrics"
+	"github.com/approxiot/approxiot/internal/mq"
 	"github.com/approxiot/approxiot/internal/netsim"
 	"github.com/approxiot/approxiot/internal/query"
 	"github.com/approxiot/approxiot/internal/sample"
@@ -102,6 +104,23 @@ type SimConfig struct {
 	// the edge layers (the Fig. 9 contrast) — only the root's query window
 	// remains. Reservoir-based strategies need Streaming=false.
 	Streaming bool
+	// EventTime switches window assignment from arrival order to
+	// event-time tumbling windows of Spec.Window length, driven by the
+	// same per-source watermark machinery the live runner uses — in
+	// virtual time. With LinkJitter reordering deliveries, records are
+	// assigned to the window their timestamp names, and records past the
+	// lateness horizon land in SimResult.LateDropped. Incompatible with
+	// Streaming.
+	EventTime bool
+	// AllowedLateness is how far event time may run behind the watermark
+	// before a window closes (see LiveConfig.AllowedLateness). Only
+	// meaningful with EventTime.
+	AllowedLateness time.Duration
+	// IdleTimeout bounds how long a silent sub-stream can hold the
+	// watermark back, in virtual time (default 4×Spec.Window, raised to
+	// AllowedLateness if that is larger; negative disables the exclusion).
+	// Only meaningful with EventTime.
+	IdleTimeout time.Duration
 	// Confidence for error bounds (default 95%).
 	Confidence stats.Confidence
 	// Seed drives all samplers.
@@ -153,6 +172,11 @@ type SimResult struct {
 	// RootObserved counts items that reached the root (post edge
 	// sampling, pre root sampling).
 	RootObserved int64
+	// LateDropped counts items that arrived past the lateness horizon in
+	// event-time mode: their window had already closed at the node that
+	// would have buffered them (counted once, at the first node that
+	// rejects them). Always 0 in processing-time mode.
+	LateDropped int64
 	// Fractions is the adaptive trajectory: the controller's fraction
 	// after observing each entry of Windows, in order. Nil when Feedback
 	// is not configured.
@@ -224,11 +248,16 @@ func xrandFor(layer, node int, seed uint64) *xrand.Rand {
 
 // simNode is one computing node plus its uplink.
 type simNode struct {
+	id     string // compiled node ID; the watermark origin for forwards
 	node   *Node
 	uplink *netsim.Link
 	parent *simNode // nil for root
 	isRoot bool
 	root   *Root
+	// Event-time mode: per-event-window Ψ and the node's watermark state,
+	// exactly the structures the live members carry.
+	ew *eventWindows
+	wt *watermarkTracker
 	// downs lists [from, to) windows during which the node is crashed.
 	downs []timeRange
 }
@@ -278,6 +307,27 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	if cfg.DrainWindows <= 0 {
 		cfg.DrainWindows = len(cfg.Spec.Layers) + 2
 	}
+	if cfg.EventTime {
+		if cfg.Streaming {
+			return nil, ErrEventTimeStreaming
+		}
+		if cfg.AllowedLateness < 0 {
+			cfg.AllowedLateness = 0
+		}
+		switch {
+		case cfg.IdleTimeout == 0:
+			// Default: several windows, but never less than the lateness
+			// horizon (mirrors the live runner — a source pausing within
+			// its promised lateness must not be aged out of the minimum).
+			cfg.IdleTimeout = 4 * plan.Spec.Window
+			if cfg.AllowedLateness > cfg.IdleTimeout {
+				cfg.IdleTimeout = cfg.AllowedLateness
+			}
+		case cfg.IdleTimeout < 0:
+			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
+		}
+	}
+	var late atomic.Int64 // event-time mode: items past the lateness horizon
 
 	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
 	sim := vclock.NewSim(epoch)
@@ -293,21 +343,35 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 
 	// Instantiate the compiled plan bottom-up: parent edges, IDs, and seed
-	// lineage all come from the node descriptors.
+	// lineage all come from the node descriptors. Event-time mode swaps
+	// every node's single-interval Ψ for a per-event-window store plus a
+	// watermark tracker — the same structures the live members carry.
+	engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
 	layers := make([][]*simNode, len(spec.Layers))
 	var root *simNode
 	for l := len(spec.Layers) - 1; l >= 0; l-- {
 		layers[l] = make([]*simNode, len(plan.Layers[l]))
 		for i, desc := range plan.Layers[l] {
-			sn := &simNode{}
+			desc := desc
+			sn := &simNode{id: desc.ID}
 			if desc.IsRoot {
-				engine := query.NewEngine(query.WithConfidence(cfg.Confidence))
 				sn.isRoot = true
 				sn.root = plan.NewRoot(engine)
 				root = sn
 			} else {
 				sn.node = plan.NewNode(desc)
 				sn.parent = layers[desc.ParentLayer][desc.ParentIndex]
+			}
+			if cfg.EventTime {
+				sn.ew = newEventWindows(spec.Window, cfg.AllowedLateness, &late,
+					func() *Node { return plan.NewNode(desc) })
+				sn.wt = newWatermarkTracker(cfg.IdleTimeout)
+				// Statically-known producers hold the watermark until heard
+				// from, exactly like the live members (see
+				// Plan.ExpectedProducers).
+				for _, from := range plan.ExpectedProducers(desc) {
+					sn.wt.expect(from, epoch)
+				}
 			}
 			layers[l][i] = sn
 		}
@@ -320,6 +384,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		opts := []netsim.LinkOption{
 			netsim.WithRTT(ls.LinkRTT),
 			netsim.WithBandwidth(ls.LinkBandwidth),
+		}
+		if cfg.EventTime {
+			// Watermarks ride the data path, so per-chain delivery must be
+			// ordered (as mq partitions are live): jitter then varies
+			// latency — cross-link arrival order still scrambles — without
+			// letting a watermark overtake the data it vouches for.
+			opts = append(opts, netsim.WithFIFO())
 		}
 		if cfg.LinkJitter > 0 {
 			opts = append(opts, netsim.WithJitter(cfg.LinkJitter, cfg.Seed^linkSeq))
@@ -348,17 +419,32 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	// Streams) — edge-window waits, network, and service queueing all
 	// count; waiting for the window result to be emitted does not.
 	var rootBusy time.Time
-	ingestAtRoot := func(b stream.Batch) {
+	ingestAtRoot := func(b stream.Batch, wm mq.Watermark) {
 		now := sim.Now()
 		for _, it := range b.Items {
 			res.Latency.Observe(now.Sub(it.Ts))
 		}
+		if cfg.EventTime {
+			// Ingest before folding the piggybacked watermark, mirroring
+			// the live members: a record must land in the window its own
+			// watermark may close.
+			root.ew.ingest(b)
+			switch {
+			case wm.At.IsZero():
+				if wm.From != "" {
+					root.wt.keepalive(wm.From, now)
+				}
+			default:
+				root.wt.update(wm, b.Source, now)
+			}
+			return
+		}
 		root.root.IngestBatch(b)
 	}
-	deliverToRoot := func(b stream.Batch) {
+	deliverToRoot := func(b stream.Batch, wm mq.Watermark) {
 		res.RootObserved += int64(len(b.Items))
 		if cfg.RootServiceRate <= 0 {
-			ingestAtRoot(b)
+			ingestAtRoot(b, wm)
 			return
 		}
 		start := sim.Now()
@@ -367,27 +453,50 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		}
 		work := time.Duration(float64(len(b.Items)) / cfg.RootServiceRate * float64(time.Second))
 		rootBusy = start.Add(work)
-		sim.At(rootBusy, func() { ingestAtRoot(b) })
+		sim.At(rootBusy, func() { ingestAtRoot(b, wm) })
 	}
 
-	// forward sends one batch from a child node over its uplink; deliver
-	// hands a batch to an edge node, either buffering it into the node's
-	// window (default) or sampling-and-relaying immediately (Streaming).
-	var deliver func(sn *simNode, layerIdx int, b stream.Batch)
-	forward := func(child *simNode, layerIdx int, b stream.Batch) {
+	// forward sends one batch from a child node over its uplink (wm is the
+	// piggybacked watermark, zero outside event-time mode); deliver hands a
+	// batch to an edge node — buffering it into the node's window (default),
+	// sampling-and-relaying immediately (Streaming), or assigning it to its
+	// event-time window and advancing the node's watermark (EventTime).
+	var deliver func(sn *simNode, layerIdx int, b stream.Batch, wm mq.Watermark)
+	var advanceEvent func(sn *simNode, layerIdx int) bool
+	forward := func(child *simNode, layerIdx int, b stream.Batch, wm mq.Watermark) {
 		size := b.WireSize()
 		res.LayerBytes[layerIdx+1] += int64(size)
 		res.LayerMessages[layerIdx+1]++
 		parent := child.parent
 		child.uplink.Send(size, func() {
 			if parent.isRoot {
-				deliverToRoot(b)
+				deliverToRoot(b, wm)
 			} else {
-				deliver(parent, layerIdx+1, b)
+				deliver(parent, layerIdx+1, b, wm)
 			}
 		})
 	}
-	deliver = func(sn *simNode, layerIdx int, b stream.Batch) {
+	deliver = func(sn *simNode, layerIdx int, b stream.Batch, wm mq.Watermark) {
+		if cfg.EventTime {
+			sn.ew.ingest(b)
+			switch {
+			case wm.At.IsZero():
+				if wm.From != "" {
+					sn.wt.keepalive(wm.From, sim.Now())
+				}
+			case sn.wt.update(wm, b.Source, sim.Now()):
+				// First sight of this chain: announce it upstream at the
+				// node's outbound watermark — never the inbound one, which
+				// may promise windows this node has not flushed yet — so no
+				// close can pass its data by (see the live runner's
+				// announce).
+				if out := sn.ew.outboundWatermark(); !out.IsZero() && !sn.down(sim.Now()) {
+					forward(sn, layerIdx, heartbeat(b.Source), mq.Watermark{From: sn.id, At: out})
+				}
+			}
+			advanceEvent(sn, layerIdx)
+			return
+		}
 		sn.node.IngestBatch(b)
 		if !cfg.Streaming {
 			return
@@ -397,8 +506,37 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			return
 		}
 		for _, ob := range out {
-			forward(sn, layerIdx, ob)
+			forward(sn, layerIdx, ob, mq.Watermark{})
 		}
+	}
+	// advanceEvent closes every event window the node's watermark makes
+	// due, forwards the results, and reports whether the close bound
+	// moved: data stamped with each window's dataWatermark (the watermark
+	// ladder — see the live runner's advanceEventTime), then a heartbeat
+	// per active sub-stream at the outbound watermark so parents advance
+	// across empty windows. A crashed node still resets its windows but
+	// forwards nothing, like the processing-time tick.
+	advanceEvent = func(sn *simNode, layerIdx int) bool {
+		now := sim.Now()
+		wm := sn.wt.watermark(now)
+		if !sn.ew.wouldAdvance(wm) {
+			return false
+		}
+		closed := sn.ew.advance(wm)
+		if sn.down(now) {
+			return true
+		}
+		for _, cw := range closed {
+			stamp := mq.Watermark{From: sn.id, At: sn.ew.dataWatermark(cw.start)}
+			for _, b := range cw.theta {
+				forward(sn, layerIdx, b, stamp)
+			}
+		}
+		out := mq.Watermark{From: sn.id, At: sn.ew.outboundWatermark()}
+		for _, src := range sn.wt.activeSources(now) {
+			forward(sn, layerIdx, heartbeat(src), out)
+		}
+		return true
 	}
 
 	end := epoch.Add(cfg.Duration)
@@ -414,6 +552,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		s := s
 		gen := cfg.Source(s)
 		link, parent := sourceLinks[s], sourceParents[s]
+		// Event-time mode: the source's per-sub-stream low watermark — the
+		// highest event timestamp generated so far — piggybacks on every
+		// batch it ships, exactly like the live Ingester valves.
+		var marks map[stream.SourceID]time.Time
+		if cfg.EventTime {
+			marks = make(map[stream.SourceID]time.Time)
+		}
 		var tick func()
 		tick = func() {
 			now := sim.Now()
@@ -434,13 +579,24 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 					endIdx++
 				}
 				b := stream.Batch{Source: src, Weight: 1, Items: items[start:endIdx]}
+				var wm mq.Watermark
+				if cfg.EventTime {
+					mark := marks[src]
+					for _, it := range b.Items {
+						if it.Ts.After(mark) {
+							mark = it.Ts
+						}
+					}
+					marks[src] = mark
+					wm = mq.Watermark{From: sourceFrom(s), At: mark}
+				}
 				size := b.WireSize()
 				res.LayerBytes[0] += int64(size)
 				res.LayerMessages[0]++
 				if parent.isRoot {
-					link.Send(size, func() { deliverToRoot(b) })
+					link.Send(size, func() { deliverToRoot(b, wm) })
 				} else {
-					link.Send(size, func() { deliver(parent, 0, b) })
+					link.Send(size, func() { deliver(parent, 0, b, wm) })
 				}
 				start = endIdx
 			}
@@ -459,6 +615,9 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 
 	// Window ticks for sampling layers (streaming mode forwards inline).
+	// In event-time mode the tick is the idle-source timeout: it re-derives
+	// the node's watermark — silent sub-streams may now be excluded — and
+	// sweeps windows that became due, instead of closing by arrival order.
 	for l := 0; l < rootLayer && !cfg.Streaming; l++ {
 		l := l
 		for _, sn := range layers[l] {
@@ -466,10 +625,24 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			var tick func()
 			tick = func() {
 				now := sim.Now()
-				out := sn.node.CloseInterval()
-				if !sn.down(now) {
-					for _, b := range out {
-						forward(sn, l, b)
+				if cfg.EventTime {
+					// Re-assert liveness upstream when the advance did not
+					// (its own heartbeats already do — see the live
+					// members' keepalive): a node buffering behind the
+					// lateness horizon has forwarded nothing, and its
+					// parent must not age it out of the minimum meanwhile.
+					if !advanceEvent(sn, l) && !sn.down(now) {
+						out := mq.Watermark{From: sn.id, At: sn.ew.outboundWatermark()}
+						for _, src := range sn.wt.activeSources(now) {
+							forward(sn, l, heartbeat(src), out)
+						}
+					}
+				} else {
+					out := sn.node.CloseInterval()
+					if !sn.down(now) {
+						for _, b := range out {
+							forward(sn, l, b, mq.Watermark{})
+						}
 					}
 				}
 				if !now.Add(spec.Window).After(drainEnd) {
@@ -480,26 +653,47 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 		}
 	}
 
-	// Root window ticks: run the queries over Θ. Only windows that
+	// emitRootWindow packages one window's Θ into a reported result and
+	// steps the feedback loop — shared by the processing-time tick, the
+	// event-time tick, and the end-of-stream sweep. Only windows that
 	// aggregated at least one item are reported (the warm-up and drain
 	// windows at the edges of the run are empty by construction).
+	emitRootWindow := func(result WindowResult) {
+		if result.SampleSize == 0 {
+			return
+		}
+		res.Windows = append(res.Windows, result)
+		if cfg.Feedback != nil {
+			// §IV-B feedback step: in virtual time the adjusted
+			// fraction is visible to every node's next window close
+			// the moment Observe returns — the simulated analogue
+			// of the live runner's control-topic broadcast.
+			res.Fractions = append(res.Fractions, cfg.Feedback.Observe(result.Result(feedbackKind(plan.Queries))))
+		}
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(result)
+		}
+	}
+	closeRootEvent := func(now, wm time.Time) {
+		for _, cw := range root.ew.advance(wm) {
+			win := NewWindowResult(now, engine, plan.Queries, cw.theta)
+			win.Start = cw.startTime()
+			win.End = win.Start.Add(spec.Window)
+			emitRootWindow(win)
+		}
+	}
+
+	// Root window ticks: run the queries over Θ — every event-time window
+	// the root's watermark makes due, or the single processing-time window.
 	{
 		var tick func()
 		tick = func() {
 			now := sim.Now()
-			result, _ := root.root.CloseWindow(now)
-			if result.SampleSize > 0 {
-				res.Windows = append(res.Windows, result)
-				if cfg.Feedback != nil {
-					// §IV-B feedback step: in virtual time the adjusted
-					// fraction is visible to every node's next window close
-					// the moment Observe returns — the simulated analogue
-					// of the live runner's control-topic broadcast.
-					res.Fractions = append(res.Fractions, cfg.Feedback.Observe(result.Result(feedbackKind(plan.Queries))))
-				}
-				if cfg.OnWindow != nil {
-					cfg.OnWindow(result)
-				}
+			if cfg.EventTime {
+				closeRootEvent(now, root.wt.watermark(now))
+			} else {
+				result, _ := root.root.CloseWindow(now)
+				emitRootWindow(result)
 			}
 			if !now.Add(spec.Window).After(drainEnd) {
 				sim.After(spec.Window, tick)
@@ -509,6 +703,33 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	}
 
 	sim.Run()
+	if cfg.EventTime {
+		// End of stream: the event queue is drained, so nothing is in
+		// flight — flush every remaining open window bottom-up with direct
+		// delivery (there are no links left to ride), then sweep the root.
+		// This is the virtual-time analogue of the live session's
+		// end-of-stream watermark cascade at Close.
+		for l := 0; l < rootLayer; l++ {
+			for _, sn := range layers[l] {
+				closed := sn.ew.advance(eosWatermark)
+				if sn.down(sim.Now()) {
+					continue
+				}
+				for _, cw := range closed {
+					for _, b := range cw.theta {
+						if sn.parent.isRoot {
+							res.RootObserved += int64(len(b.Items))
+							ingestAtRoot(b, mq.Watermark{From: sn.id, At: eosWatermark})
+						} else {
+							sn.parent.ew.ingest(b)
+						}
+					}
+				}
+			}
+		}
+		closeRootEvent(sim.Now(), eosWatermark)
+		res.LateDropped = late.Load()
+	}
 	res.Elapsed = sim.Now().Sub(epoch)
 	return res, nil
 }

@@ -1,0 +1,92 @@
+// Package docscheck keeps the repository's markdown honest: every relative
+// link in every *.md file must point at a file or directory that exists.
+// It runs as a plain test, so doc rot fails tier-1 and the CI docs job
+// alike — no external link-checker dependency needed.
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) links. Images ([![..]](..)) and reference
+// definitions are close enough in shape to be caught by the same pattern.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Only the repo's own documentation: skip VCS internals.
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("found only %d markdown files under %s — walk misconfigured?", len(mdFiles), root)
+	}
+
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("read %s: %v", md, err)
+		}
+		rel, _ := filepath.Rel(root, md)
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external or intra-document: not a file claim
+			}
+			// Strip an anchor suffix; the file half must still exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", rel, m[1], resolved)
+			}
+		}
+	}
+}

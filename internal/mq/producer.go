@@ -35,12 +35,18 @@ func NewProducer(broker *Broker, opts ...ProducerOption) *Producer {
 // Send appends value under key to the topic and returns the record's
 // position. An empty key round-robins across partitions.
 func (p *Producer) Send(topic string, key, value []byte) (partition int, offset int64, err error) {
+	return p.SendWatermarked(topic, key, value, Watermark{})
+}
+
+// SendWatermarked is Send with an event-time low watermark piggybacked on
+// the record (see Record.Watermark). A zero watermark is identical to Send.
+func (p *Producer) SendWatermarked(topic string, key, value []byte, watermark Watermark) (partition int, offset int64, err error) {
 	t, err := p.broker.Topic(topic)
 	if err != nil {
 		return 0, 0, err
 	}
 	partition = p.pick(t, key)
-	offset, err = t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn()})
+	offset, err = t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn(), Watermark: watermark})
 	return partition, offset, err
 }
 

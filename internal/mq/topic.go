@@ -15,10 +15,36 @@ type Record struct {
 	Value []byte
 	// Ts is the producer-assigned timestamp.
 	Ts time.Time
+	// Watermark is an optional piggybacked event-time low watermark. Zero
+	// means "no watermark". The broker treats it as opaque metadata;
+	// event-time consumers fold it into their own watermark tracking.
+	Watermark Watermark
 	// Partition and Offset locate the record once appended.
 	Partition int
 	Offset    int64
 }
+
+// Watermark is an event-time low watermark a producer piggybacks on its
+// records: the promise that (barring allowed lateness) no future record of
+// the same producing chain carries an event timestamp below At. From names
+// the originating chain — distinct producers may legitimately carry the
+// same record keys (shared sub-stream IDs), so consumers must track
+// watermark progress per (From, key), never per key alone.
+//
+// A zero At with a non-empty From is a liveness keepalive: the producer
+// promises nothing about event time yet (it may still be buffering its
+// first windows) but is alive — consumers refresh their idle clocks for
+// the chain without folding a watermark.
+type Watermark struct {
+	// From identifies the producing chain (a source valve, a tree node).
+	From string
+	// At is the low-watermark instant (zero: keepalive only).
+	At time.Time
+}
+
+// IsZero reports a watermark that carries nothing at all — neither a
+// low-watermark instant nor a keepalive identity.
+func (w Watermark) IsZero() bool { return w.From == "" && w.At.IsZero() }
 
 // TopicOption customizes topic creation.
 type TopicOption func(*Topic)

@@ -23,16 +23,18 @@ type Link struct {
 	bandwidth float64       // bits per second; 0 = unlimited
 	jitter    time.Duration // uniform ± on propagation
 	loss      float64       // per-message drop probability
+	fifo      bool          // ordered delivery: jitter varies delay, never order
 	rng       *xrand.Rand   // drives jitter and loss
 
-	busyUntil time.Time
-	bytesSent int64
-	msgsSent  int64
-	msgsLost  int64
-	busyTime  time.Duration
-	firstSend time.Time
-	lastSend  time.Time
-	started   bool
+	busyUntil   time.Time
+	lastArrival time.Time // high-water arrival instant for FIFO clamping
+	bytesSent   int64
+	msgsSent    int64
+	msgsLost    int64
+	busyTime    time.Duration
+	firstSend   time.Time
+	lastSend    time.Time
+	started     bool
 }
 
 // LinkOption customizes a Link.
@@ -73,6 +75,15 @@ func WithJitter(j time.Duration, seed uint64) LinkOption {
 			l.ensureRNG(seed)
 		}
 	}
+}
+
+// WithFIFO makes the link deliver messages in send order, like a TCP/Kafka
+// transport: jitter still perturbs per-message latency, but a message's
+// arrival is clamped to be no earlier than any message sent before it.
+// Event-time pipelines require per-chain ordered delivery — a watermark
+// overtaking the data it vouches for would orphan that data as late.
+func WithFIFO() LinkOption {
+	return func(l *Link) { l.fifo = true }
 }
 
 // WithLoss drops each message independently with probability p (seeded).
@@ -137,6 +148,12 @@ func (l *Link) Send(size int, deliver func()) time.Time {
 		}
 	}
 	arrival := l.busyUntil.Add(delay)
+	if l.fifo {
+		if arrival.Before(l.lastArrival) {
+			arrival = l.lastArrival
+		}
+		l.lastArrival = arrival
+	}
 
 	l.bytesSent += int64(size)
 	l.msgsSent++

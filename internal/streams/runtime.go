@@ -154,7 +154,7 @@ func (r *Runtime) dispatch(name string, msg Message) error {
 	case kindProcessor:
 		return r.instances[name].Process(msg)
 	case kindSink:
-		_, _, err := r.producer.Send(n.topic, msg.Key, msg.Value)
+		_, _, err := r.producer.SendWatermarked(n.topic, msg.Key, msg.Value, msg.Watermark)
 		return err
 	default:
 		return fmt.Errorf("streams: cannot dispatch into source %q", name)
@@ -236,7 +236,7 @@ func (r *Runtime) pump(ctx context.Context) {
 				return
 			}
 			for _, rec := range recs {
-				msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts}
+				msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark}
 				for _, child := range r.topo.nodes[src].children {
 					if err := r.dispatch(child, msg); err != nil {
 						r.fail(err)

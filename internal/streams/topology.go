@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
 )
 
 // Message is the unit that flows through a topology.
@@ -26,6 +28,11 @@ type Message struct {
 	Key   []byte
 	Value []byte
 	Ts    time.Time
+	// Watermark is the piggybacked event-time low watermark of the
+	// producing chain (zero = none). Sources copy it off the consumed
+	// mq.Record; sinks piggyback it back onto the produced record, so
+	// watermarks ride the data path across every hop.
+	Watermark mq.Watermark
 }
 
 // Processor is the low-level operator contract. Implementations are owned
