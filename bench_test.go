@@ -11,6 +11,8 @@ package approxiot_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -40,6 +42,19 @@ func figure(b *testing.B, id string) bench.Figure {
 	figCache[id] = fig
 	fmt.Println(fig.Format())
 	return fig
+}
+
+// benchItems returns the per-iteration item count for the live throughput
+// benchmarks: def by default, overridable with APPROXIOT_BENCH_ITEMS for
+// longer runs where the fixed ~2-3 window drain tail should be amortized
+// away (see EXPERIMENTS.md).
+func benchItems(def int64) int64 {
+	if v := os.Getenv("APPROXIOT_BENCH_ITEMS"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
 }
 
 // reportSeries attaches a series' value at x as a benchmark metric.
@@ -164,6 +179,8 @@ func BenchmarkLiveAdaptive(b *testing.B) {
 		return workload.GaussianMicro(7+uint64(i)*131, 1500)
 	}
 	run := func(b *testing.B, adaptive bool) {
+		b.ReportAllocs()
+		items := benchItems(48000)
 		var throughput float64
 		for i := 0; i < b.N; i++ {
 			cfg := approxiot.Config{
@@ -177,7 +194,7 @@ func BenchmarkLiveAdaptive(b *testing.B) {
 			if adaptive {
 				cfg.Adaptive = approxiot.NewFeedbackController(0.25, 0.02)
 			}
-			res, err := approxiot.Run(cfg, source, 48000)
+			res, err := approxiot.Run(cfg, source, items)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -200,6 +217,8 @@ func BenchmarkLiveLayerShards(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			items := benchItems(48000)
 			var throughput float64
 			for i := 0; i < b.N; i++ {
 				res, err := approxiot.Run(approxiot.Config{
@@ -209,7 +228,7 @@ func BenchmarkLiveLayerShards(b *testing.B) {
 					RootShards:  shards,
 					LayerShards: shards,
 					Seed:        7,
-				}, source, 48000)
+				}, source, items)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -235,6 +254,8 @@ func BenchmarkLiveEventTime(b *testing.B) {
 		return workload.GaussianMicro(7+uint64(i)*131, 1500)
 	}
 	run := func(b *testing.B, eventTime bool) {
+		b.ReportAllocs()
+		items := benchItems(48000)
 		var throughput float64
 		for i := 0; i < b.N; i++ {
 			cfg := approxiot.Config{
@@ -246,7 +267,7 @@ func BenchmarkLiveEventTime(b *testing.B) {
 				cfg.EventTime = true
 				cfg.AllowedLateness = 500 * time.Millisecond
 			}
-			res, err := approxiot.Run(cfg, source, 48000)
+			res, err := approxiot.Run(cfg, source, items)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// Batched-path equivalence suite: the hot path batches every hop — Ingester
+// pushes, member polls, processor dispatch, inter-layer emits — but batching
+// is a transport-level amortization, never a behavioral one. These tests run
+// the same workload with batching on (the default) and with recordAtATime
+// forcing the original per-record path, at every {Partitions, RootShards,
+// LayerShards} combination, and require the results to agree: exact count
+// invariants in processing time, bit-equal windows and LateDropped in event
+// time.
+
+// batchEquivCombos is the shard sweep shared with TestCrossModeEquivalence.
+var batchEquivCombos = []struct {
+	name        string
+	partitions  int
+	rootShards  int
+	layerShards []int
+}{
+	{"all-ones", 1, 1, nil},
+	{"partitioned-unsharded", 4, 1, nil},
+	{"root-sharded", 4, 4, nil},
+	{"layer-sharded", 4, 2, []int{2, 2}},
+	{"fully-sharded-uneven", 8, 4, []int{4, 3}},
+}
+
+// TestBatchedProcessingTimeEquivalence sweeps the shard combos in
+// processing-time mode at census budget. Wall-clock window boundaries are
+// nondeterministic, so the per-window split may differ between runs — but
+// the run-level invariants may not: every produced item lands in exactly one
+// window (Σ EstimatedInput = Produced) and at fraction 1 the estimate is the
+// truth, batched or not.
+func TestBatchedProcessingTimeEquivalence(t *testing.T) {
+	spec := topology.Testbed()
+	const seed, items = 21, 12000
+	for _, combo := range batchEquivCombos {
+		combo := combo
+		t.Run(combo.name, func(t *testing.T) {
+			run := func(perRecord bool) *LiveResult {
+				res, err := RunLive(LiveConfig{
+					Spec:          spec,
+					Source:        microSource(seed, 1000),
+					NewSampler:    WHSFactory(),
+					Cost:          EffectiveFractionBudget{Fraction: 1},
+					Items:         items,
+					Window:        30 * time.Millisecond,
+					Queries:       []query.Kind{query.Sum, query.Count},
+					Partitions:    combo.partitions,
+					RootShards:    combo.rootShards,
+					LayerShards:   combo.layerShards,
+					Seed:          seed,
+					recordAtATime: perRecord,
+				})
+				if err != nil {
+					t.Fatalf("RunLive(perRecord=%v): %v", perRecord, err)
+				}
+				return res
+			}
+			batched := run(false)
+			perRec := run(true)
+
+			for _, res := range []*LiveResult{batched, perRec} {
+				if res.Produced != items {
+					t.Fatalf("produced %d, want %d", res.Produced, items)
+				}
+				assertCountInvariant(t, "census", res.EstimateCount, float64(res.Produced))
+				// At census budget the sampler keeps everything with
+				// weight 1: the estimate IS the truth, so any batched-path
+				// loss (a dropped emit, a double flush) shows up here.
+				if rel := math.Abs(res.EstimateSum-res.TruthSum) / res.TruthSum; rel > crossModeTolerance {
+					t.Fatalf("census sum %.6f vs truth %.6f (rel %.2e)", res.EstimateSum, res.TruthSum, rel)
+				}
+			}
+			// Same seed, same generators: the ground truth is identical, so
+			// the census estimates of the two paths must agree exactly.
+			if rel := math.Abs(batched.EstimateSum-perRec.EstimateSum) / perRec.EstimateSum; rel > crossModeTolerance {
+				t.Fatalf("batched sum %.6f vs per-record %.6f (rel %.2e)", batched.EstimateSum, perRec.EstimateSum, rel)
+			}
+			if batched.EstimateCount != perRec.EstimateCount {
+				t.Fatalf("batched count %.2f vs per-record %.2f", batched.EstimateCount, perRec.EstimateCount)
+			}
+		})
+	}
+}
+
+// pushEventBatched is pushEventRun with the shard knobs and the batching
+// toggle exposed: it opens an event-time session, pushes each slot's items
+// through its Ingester, and closes.
+func pushEventBatched(t *testing.T, spec topology.TreeSpec, lateness time.Duration, perRecord bool, partitions, rootShards int, layerShards []int, perSlot [][]stream.Item) *LiveResult {
+	t.Helper()
+	s, err := OpenLive(nil, LiveConfig{
+		Spec:            spec,
+		NewSampler:      WHSFactory(),
+		Cost:            EffectiveFractionBudget{Fraction: 1},
+		Window:          10 * time.Millisecond,
+		Queries:         []query.Kind{query.Sum, query.Count},
+		Seed:            21,
+		EventTime:       true,
+		AllowedLateness: lateness,
+		Partitions:      partitions,
+		RootShards:      rootShards,
+		LayerShards:     layerShards,
+		recordAtATime:   perRecord,
+	})
+	if err != nil {
+		t.Fatalf("OpenLive: %v", err)
+	}
+	for slot, items := range perSlot {
+		ing, err := s.Ingester(slot)
+		if err != nil {
+			t.Fatalf("Ingester(%d): %v", slot, err)
+		}
+		buf := append([]stream.Item(nil), items...) // Push re-stamps Pub in place
+		if err := ing.Push(buf...); err != nil {
+			t.Fatalf("Push slot %d: %v", slot, err)
+		}
+	}
+	res, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return res
+}
+
+// TestBatchedEventTimeEquivalence is the deterministic half of the suite:
+// in event time, window boundaries come from item timestamps and the
+// watermark ladder, not the wall clock. At every shard combo both paths must
+// preserve the accounting identity Σ window counts + LateDropped = Produced
+// (with multiple partitions, inter-layer emits can reorder across partition
+// logs and legitimately drop late arrivals — a pre-existing property of
+// sharded event time that batching must not change, though the exact drop
+// count depends on poll interleaving). On the single-member, single-
+// partition deployment — where the permutation-invariance suite already
+// guarantees determinism — the batched and the per-record path must produce
+// bit-identical windows: same bounds, same exact counts, same sums, zero
+// late drops. A multi-record Ingester push becomes ONE broker batch whose
+// watermark ladder must close exactly the windows the per-record sends
+// would close.
+func TestBatchedEventTimeEquivalence(t *testing.T) {
+	spec := topology.Testbed() // 8 sources, 1 s windows
+	const slots, perSlot = 8, 30
+	span := 3 * time.Second
+	items := eventItems(slots, perSlot, span)
+
+	// Shuffle each slot once (within the full-span lateness horizon) so the
+	// run exercises out-of-order ingest; both paths get the same permutation.
+	rng := xrand.New(0xBA7C4)
+	shuffled := make([][]stream.Item, slots)
+	for s := range items {
+		perm := append([]stream.Item(nil), items[s]...)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := int(rng.Uint64() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		shuffled[s] = perm
+	}
+
+	for _, combo := range batchEquivCombos {
+		combo := combo
+		deterministic := combo.partitions == 1 && combo.rootShards == 1 && combo.layerShards == nil
+		t.Run(combo.name, func(t *testing.T) {
+			batched := pushEventBatched(t, spec, span, false, combo.partitions, combo.rootShards, combo.layerShards, shuffled)
+			perRec := pushEventBatched(t, spec, span, true, combo.partitions, combo.rootShards, combo.layerShards, shuffled)
+
+			for _, res := range []*LiveResult{batched, perRec} {
+				if res.Produced != int64(slots*perSlot) {
+					t.Fatalf("produced %d, want %d", res.Produced, slots*perSlot)
+				}
+				// Σ window counts + LateDropped = Produced, the accounting
+				// identity the batched path must preserve: every item is in
+				// exactly one window or counted dropped, never both, never
+				// neither.
+				var est float64
+				for _, w := range res.Windows {
+					est += w.EstimatedInput
+				}
+				assertCountInvariant(t, combo.name, est+float64(res.LateDropped), float64(res.Produced))
+			}
+			if !deterministic {
+				return
+			}
+			if batched.LateDropped != 0 || perRec.LateDropped != 0 {
+				t.Fatalf("dropped %d/%d in-horizon items on the single-member deployment", batched.LateDropped, perRec.LateDropped)
+			}
+			if len(batched.Windows) != len(perRec.Windows) {
+				t.Fatalf("batched closed %d windows, per-record %d", len(batched.Windows), len(perRec.Windows))
+			}
+			for i := range perRec.Windows {
+				bw, pw := batched.Windows[i], perRec.Windows[i]
+				if !bw.Start.Equal(pw.Start) || !bw.End.Equal(pw.End) {
+					t.Fatalf("window %d bounds batched [%v,%v) vs per-record [%v,%v)", i, bw.Start, bw.End, pw.Start, pw.End)
+				}
+				bc := bw.Result(query.Count).Estimate.Value
+				pc := pw.Result(query.Count).Estimate.Value
+				if bc != pc {
+					t.Fatalf("window %d count batched %.2f vs per-record %.2f", i, bc, pc)
+				}
+				bs := bw.Result(query.Sum).Estimate.Value
+				ps := pw.Result(query.Sum).Estimate.Value
+				if rel := math.Abs(bs-ps) / math.Abs(ps); rel > crossModeTolerance {
+					t.Fatalf("window %d sum batched %.6f vs per-record %.6f (rel %.2e)", i, bs, ps, rel)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedLateDroppedEquivalence pins the late-data contract on the
+// batched path: stragglers pushed past the horizon inside a multi-record
+// batch are dropped and counted exactly as per-record sends would drop
+// them — advanceEventTime runs per message, so a watermark crossing mid-
+// batch closes the same windows in both paths.
+func TestBatchedLateDroppedEquivalence(t *testing.T) {
+	spec := topology.Testbed()
+	const slots, perSlot = 8, 24
+	span := 4 * time.Second
+	items := eventItems(slots, perSlot, span)
+
+	run := func(perRecord bool) *LiveResult {
+		s, err := OpenLive(nil, LiveConfig{
+			Spec:            spec,
+			NewSampler:      WHSFactory(),
+			Cost:            EffectiveFractionBudget{Fraction: 1},
+			Window:          10 * time.Millisecond,
+			Queries:         []query.Kind{query.Sum, query.Count},
+			Seed:            7,
+			EventTime:       true,
+			AllowedLateness: 0,  // a window closes the moment the watermark touches its end
+			IdleTimeout:     -1, // closes are watermark-driven only
+			recordAtATime:   perRecord,
+		})
+		if err != nil {
+			t.Fatalf("OpenLive: %v", err)
+		}
+		for slot := range items {
+			ing, err := s.Ingester(slot)
+			if err != nil {
+				t.Fatalf("Ingester: %v", err)
+			}
+			buf := append([]stream.Item(nil), items[slot]...)
+			if err := ing.Push(buf...); err != nil {
+				t.Fatalf("Push: %v", err)
+			}
+		}
+		// Wait until the tree has processed most of the stream, so window 0
+		// is closed territory at the leaves — the stragglers below are then
+		// late by the per-record rules, and the batched path must agree.
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Snapshot().RootProcessed < int64(3*slots*perSlot/4) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		for slot := 0; slot < slots; slot++ {
+			ing, _ := s.Ingester(slot)
+			late := items[slot][0] // window 0
+			late.Value = 1e9       // unmissable if it leaked into a window
+			if err := ing.Push(late); err != nil {
+				t.Fatalf("late push: %v", err)
+			}
+		}
+		res, err := s.Close()
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return res
+	}
+
+	batched := run(false)
+	perRec := run(true)
+	for _, res := range []*LiveResult{batched, perRec} {
+		if res.LateDropped != slots {
+			t.Fatalf("LateDropped = %d, want %d", res.LateDropped, slots)
+		}
+		if res.Produced != int64(slots*(perSlot+1)) {
+			t.Fatalf("produced %d", res.Produced)
+		}
+		var est float64
+		for _, w := range res.Windows {
+			est += w.EstimatedInput
+			if w.Result(query.Sum).Estimate.Value > 1e8 {
+				t.Fatalf("late item leaked into window starting %v", w.Start)
+			}
+		}
+		assertCountInvariant(t, "on-time", est, float64(slots*perSlot))
+	}
+	if len(batched.Windows) != len(perRec.Windows) {
+		t.Fatalf("batched closed %d windows, per-record %d", len(batched.Windows), len(perRec.Windows))
+	}
+	for i := range perRec.Windows {
+		bc := batched.Windows[i].Result(query.Count).Estimate.Value
+		pc := perRec.Windows[i].Result(query.Count).Estimate.Value
+		if bc != pc {
+			t.Fatalf("window %d count batched %.2f vs per-record %.2f", i, bc, pc)
+		}
+	}
+}

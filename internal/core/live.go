@@ -136,6 +136,13 @@ type LiveConfig struct {
 	// topic before the sources start — a test hook for DecodeErrors
 	// accounting (unexported; tests live in this package).
 	corruptRoot int
+
+	// recordAtATime forces the pre-batching hot path everywhere: member
+	// runtimes dispatch one record per Process call and sinks/valves
+	// publish one record per broker append. The cross-mode equivalence
+	// suite uses it as the semantic reference the batched path must match
+	// bit for bit (unexported; tests live in this package).
+	recordAtATime bool
 }
 
 // LiveResult reports a live run's measurements.
@@ -233,8 +240,15 @@ type samplingProcessor struct {
 	cancel     func()
 	scratch    stream.Batch // reused decode buffer; IngestBatch copies out
 
-	bw   *metrics.BandwidthAccount
-	link string // destination topic, for bandwidth attribution
+	// bwc is the member's private produce-side byte counter for its parent
+	// link (lock-free; folded into the account at read time).
+	bwc *metrics.BandwidthCounter
+	// enc and outMsgs are the member's outbound-hop scratch: every flush
+	// encodes all of its batches into enc's reusable buffer via
+	// AppendMarshal, then forwards them as one message batch (one broker
+	// append downstream). See flushEmits for the buffer-ownership rule.
+	enc     batchEncoder
+	outMsgs []streams.Message
 
 	// Event-time mode only: ew buckets Ψ per event window, wt tracks the
 	// member's per-source low watermark, and quiesce (session-owned) stops
@@ -253,7 +267,91 @@ type samplingProcessor struct {
 	cost    *dynamicCost
 }
 
-var _ streams.Processor = (*samplingProcessor)(nil)
+// encSpan locates one encoded record inside a batchEncoder's buffer: the
+// key occupies [ks, ke) and the marshaled batch payload [ke, ve).
+type encSpan struct{ ks, ke, ve int }
+
+// batchEncoder accumulates (key, batch) encodings for one outbound flush in
+// a single reusable scratch buffer — AppendMarshal instead of per-batch
+// Marshal allocations. Because the mq broker retains produced Key/Value
+// bytes in its partition logs, the scratch itself must never be handed to a
+// send: materialize (messages / records) copies the accumulated encodings
+// into ONE freshly-allocated block per flush, slices the keys and values out
+// of it, and the block is never written again. The pool thus applies to the
+// transient encoding only; retained bytes still cost exactly one allocation
+// per flush, not one per record.
+type batchEncoder struct {
+	buf   []byte
+	spans []encSpan
+	wms   []mq.Watermark
+}
+
+// add encodes one outbound record: key bytes, then the batch payload.
+func (e *batchEncoder) add(key stream.SourceID, b stream.Batch, wm mq.Watermark) {
+	ks := len(e.buf)
+	e.buf = append(e.buf, key...)
+	ke := len(e.buf)
+	e.buf = b.AppendMarshal(e.buf)
+	e.spans = append(e.spans, encSpan{ks, ke, len(e.buf)})
+	e.wms = append(e.wms, wm)
+}
+
+func (e *batchEncoder) empty() bool { return len(e.spans) == 0 }
+
+// payloadBytes totals the encoded batch payloads (produce-side bandwidth;
+// keys are broker-internal routing metadata and are not accounted, matching
+// the per-record path).
+func (e *batchEncoder) payloadBytes() int64 {
+	var n int64
+	for _, sp := range e.spans {
+		n += int64(sp.ve - sp.ke)
+	}
+	return n
+}
+
+// messages materializes the accumulated encodings as streams messages
+// appended onto dst, backed by one retained block (see type comment).
+func (e *batchEncoder) messages(dst []streams.Message, ts time.Time) []streams.Message {
+	block := make([]byte, len(e.buf))
+	copy(block, e.buf)
+	for i, sp := range e.spans {
+		dst = append(dst, streams.Message{
+			Key:       block[sp.ks:sp.ke:sp.ke],
+			Value:     block[sp.ke:sp.ve:sp.ve],
+			Ts:        ts,
+			Watermark: e.wms[i],
+		})
+	}
+	return dst
+}
+
+// records materializes the accumulated encodings as mq records appended onto
+// dst, backed by one retained block — the direct-produce form the Ingester
+// valve hands to SendBatch.
+func (e *batchEncoder) records(dst []mq.Record) []mq.Record {
+	block := make([]byte, len(e.buf))
+	copy(block, e.buf)
+	for i, sp := range e.spans {
+		dst = append(dst, mq.Record{
+			Key:       block[sp.ks:sp.ke:sp.ke],
+			Value:     block[sp.ke:sp.ve:sp.ve],
+			Watermark: e.wms[i],
+		})
+	}
+	return dst
+}
+
+// reset recycles the scratch for the next flush.
+func (e *batchEncoder) reset() {
+	e.buf = e.buf[:0]
+	e.spans = e.spans[:0]
+	e.wms = e.wms[:0]
+}
+
+var (
+	_ streams.Processor      = (*samplingProcessor)(nil)
+	_ streams.BatchProcessor = (*samplingProcessor)(nil)
+)
 
 func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 	p.ctx = ctx
@@ -264,33 +362,13 @@ func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 }
 
 func (p *samplingProcessor) Process(msg streams.Message) error {
-	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
-		p.decodeErrs.Add(1)
+	if p.ew != nil {
+		p.processEvent(msg, time.Now())
+		p.pending.Store(int64(p.ew.buffered()))
 		return nil
 	}
-	if p.ew != nil {
-		now := time.Now()
-		// Ingest before folding the record's watermark: the piggybacked
-		// watermark may close the very window this record's items belong
-		// to, and they must land inside it, not be counted late.
-		p.ew.ingest(p.scratch)
-		switch {
-		case msg.Watermark.At.IsZero():
-			if msg.Watermark.From != "" {
-				// Liveness keepalive: refresh the chain's idle clocks,
-				// promise nothing.
-				p.wt.keepalive(msg.Watermark.From, now)
-			}
-		default:
-			if p.wt.update(msg.Watermark, p.scratch.Source, now) {
-				// First sight of this chain: announce it upstream before
-				// any record can lift the parent's minimum past windows
-				// the chain still holds data for.
-				p.announce(p.scratch.Source)
-			}
-		}
-		p.advanceEventTime(now)
-		p.pending.Store(int64(p.ew.buffered()))
+	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
+		p.decodeErrs.Add(1)
 		return nil
 	}
 	p.node.IngestBatch(p.scratch)
@@ -299,6 +377,95 @@ func (p *samplingProcessor) Process(msg streams.Message) error {
 		p.flush()
 	}
 	return nil
+}
+
+// ProcessBatch handles one polled batch: decode and ingest stay per-message
+// (so window assignment, the watermark ladder, and LateDropped accounting
+// are bit-identical to record-at-a-time processing) while the batch
+// amortizes the clock read, the pending-gauge store, and — via the emit
+// scratch — the downstream broker append.
+func (p *samplingProcessor) ProcessBatch(msgs []streams.Message) error {
+	if p.ew != nil {
+		now := time.Now()
+		for i := range msgs {
+			p.processEvent(msgs[i], now)
+		}
+		p.pending.Store(int64(p.ew.buffered()))
+		return nil
+	}
+	if p.streaming {
+		// Streaming mode forwards per ingested batch: a combined flush
+		// would hand the sampler one larger interval (different budget
+		// math), so batching must not regroup it.
+		for i := range msgs {
+			if err := p.Process(msgs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range msgs {
+		if err := stream.UnmarshalBatchInto(&p.scratch, msgs[i].Value); err != nil {
+			p.decodeErrs.Add(1)
+			continue
+		}
+		p.node.IngestBatch(p.scratch)
+	}
+	p.pending.Store(int64(p.node.Observed()))
+	return nil
+}
+
+// processEvent is the event-time per-message step, shared by Process and
+// ProcessBatch: ingest, fold the piggybacked watermark, and advance — the
+// advance runs per message, never deferred to the batch end, so a watermark
+// landing mid-batch closes exactly the windows it would have closed
+// unbatched and later records in the same batch are judged late against the
+// same bound.
+func (p *samplingProcessor) processEvent(msg streams.Message, now time.Time) {
+	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
+		p.decodeErrs.Add(1)
+		return
+	}
+	// Ingest before folding the record's watermark: the piggybacked
+	// watermark may close the very window this record's items belong
+	// to, and they must land inside it, not be counted late.
+	p.ew.ingest(p.scratch)
+	switch {
+	case msg.Watermark.At.IsZero():
+		if msg.Watermark.From != "" {
+			// Liveness keepalive: refresh the chain's idle clocks,
+			// promise nothing.
+			p.wt.keepalive(msg.Watermark.From, now)
+		}
+	default:
+		if p.wt.update(msg.Watermark, p.scratch.Source, now) {
+			// First sight of this chain: announce it upstream before
+			// any record can lift the parent's minimum past windows
+			// the chain still holds data for.
+			p.announce(p.scratch.Source)
+		}
+	}
+	p.advanceEventTime(now)
+}
+
+// flushEmits forwards everything the member's encoder accumulated as one
+// message batch — one downstream broker append — and accounts the bytes.
+// The broker retains produced Key/Value bytes, so the encoder materializes
+// them into one fresh block per flush; the encoder scratch (and the message
+// slice header) are recycled. outMsgs is scrubbed after the forward so spare
+// capacity never pins a retired block.
+func (p *samplingProcessor) flushEmits() {
+	if p.enc.empty() {
+		return
+	}
+	p.bwc.Add(p.enc.payloadBytes())
+	msgs := p.enc.messages(p.outMsgs[:0], p.ctx.Now())
+	p.enc.reset()
+	p.ctx.ForwardBatch(msgs)
+	for i := range msgs {
+		msgs[i] = streams.Message{}
+	}
+	p.outMsgs = msgs[:0]
 }
 
 func (p *samplingProcessor) flush() {
@@ -321,10 +488,9 @@ func (p *samplingProcessor) flush() {
 	}
 	p.applyControl()
 	for _, b := range p.node.CloseInterval() {
-		v := b.Marshal()
-		p.bw.Add(p.link, int64(len(v)))
-		p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: v, Ts: p.ctx.Now()})
+		p.enc.add(b.Source, b, mq.Watermark{})
 	}
+	p.flushEmits()
 	// Zero pending only after forwarding: the drain probe must always see
 	// in-flight data as either buffered Ψ here or lag on the parent topic.
 	p.pending.Store(int64(p.node.Observed()))
@@ -349,17 +515,14 @@ func (p *samplingProcessor) advanceEventTime(now time.Time) bool {
 	for _, cw := range closed {
 		stamp := mq.Watermark{From: p.id, At: p.ew.dataWatermark(cw.start)}
 		for _, b := range cw.theta {
-			v := b.Marshal()
-			p.bw.Add(p.link, int64(len(v)))
-			p.ctx.Forward(streams.Message{Key: []byte(b.Source), Value: v, Ts: p.ctx.Now(), Watermark: stamp})
+			p.enc.add(b.Source, b, stamp)
 		}
 	}
 	out := mq.Watermark{From: p.id, At: p.ew.outboundWatermark()}
 	for _, src := range p.wt.activeSources(now) {
-		v := heartbeat(src).Marshal()
-		p.bw.Add(p.link, int64(len(v)))
-		p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: out})
+		p.enc.add(src, heartbeat(src), out)
 	}
+	p.flushEmits()
 	return true
 }
 
@@ -380,10 +543,9 @@ func (p *samplingProcessor) keepalive(now time.Time) {
 	}
 	out := mq.Watermark{From: p.id, At: p.ew.outboundWatermark()}
 	for _, src := range srcs {
-		v := heartbeat(src).Marshal()
-		p.bw.Add(p.link, int64(len(v)))
-		p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: out})
+		p.enc.add(src, heartbeat(src), out)
 	}
+	p.flushEmits()
 }
 
 // announce forwards a zero-item heartbeat for a newly-seen chain's
@@ -397,9 +559,8 @@ func (p *samplingProcessor) announce(src stream.SourceID) {
 	if wm.IsZero() {
 		return
 	}
-	v := heartbeat(src).Marshal()
-	p.bw.Add(p.link, int64(len(v)))
-	p.ctx.Forward(streams.Message{Key: []byte(src), Value: v, Ts: p.ctx.Now(), Watermark: mq.Watermark{From: p.id, At: wm}})
+	p.enc.add(src, heartbeat(src), mq.Watermark{From: p.id, At: wm})
+	p.flushEmits()
 }
 
 // stats returns the member's lifetime counters, whichever store owns them.
@@ -476,15 +637,46 @@ type rootProcessor struct {
 	scratch      stream.Batch       // reused decode buffer; IngestBatch copies out
 }
 
-var _ streams.Processor = (*rootProcessor)(nil)
+var (
+	_ streams.Processor      = (*rootProcessor)(nil)
+	_ streams.BatchProcessor = (*rootProcessor)(nil)
+)
 
 func (p *rootProcessor) Init(streams.ProcessorContext) error { return nil }
 
 func (p *rootProcessor) Process(msg streams.Message) error {
 	p.lastActivity.Store(time.Now().UnixNano())
+	p.mu.Lock()
+	n := p.processLocked(msg)
+	p.mu.Unlock()
+	p.processed.Add(n)
+	p.lastActivity.Store(time.Now().UnixNano())
+	return nil
+}
+
+// ProcessBatch ingests one polled batch under a single mutex acquisition —
+// the per-record lock/unlock was pure overhead, since each member owns its
+// node privately and only the window ticker ever contends. Decode, the
+// watermark fold, and late accounting stay per-message inside the loop, so
+// batching changes no window content.
+func (p *rootProcessor) ProcessBatch(msgs []streams.Message) error {
+	p.lastActivity.Store(time.Now().UnixNano())
+	var total int64
+	p.mu.Lock()
+	for i := range msgs {
+		total += p.processLocked(msgs[i])
+	}
+	p.mu.Unlock()
+	p.processed.Add(total)
+	p.lastActivity.Store(time.Now().UnixNano())
+	return nil
+}
+
+// processLocked is the per-message root step. Callers hold p.mu.
+func (p *rootProcessor) processLocked(msg streams.Message) int64 {
 	if err := stream.UnmarshalBatchInto(&p.scratch, msg.Value); err != nil {
 		p.decodeErrs.Add(1)
-		return nil
+		return 0
 	}
 	spin(time.Duration(len(p.scratch.Items)) * p.work)
 	now := time.Now()
@@ -499,7 +691,6 @@ func (p *rootProcessor) Process(msg streams.Message) error {
 		}
 		p.latency.Observe(now.Sub(ref))
 	}
-	p.mu.Lock()
 	if p.ew != nil {
 		// Ingest before folding the watermark, mirroring the edge members.
 		p.ew.ingest(p.scratch)
@@ -514,10 +705,7 @@ func (p *rootProcessor) Process(msg streams.Message) error {
 	} else {
 		p.node.IngestBatch(p.scratch)
 	}
-	p.mu.Unlock()
-	p.processed.Add(int64(len(p.scratch.Items)))
-	p.lastActivity.Store(time.Now().UnixNano())
-	return nil
+	return int64(len(p.scratch.Items))
 }
 
 func (p *rootProcessor) Close() error { return nil }
@@ -569,9 +757,17 @@ type shardGroup struct {
 
 // newShardGroup builds (without starting) the group's members. newProc is
 // invoked once per member with the shard index and must return the member's
-// private processor.
-func newShardGroup(broker *mq.Broker, desc NodeDesc, newProc func(shard int) streams.Processor) (*shardGroup, error) {
+// private processor. recordAtATime forces the pre-batching dispatch path in
+// every member runtime (the equivalence suite's semantic reference).
+func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc func(shard int) streams.Processor) (*shardGroup, error) {
 	g := &shardGroup{}
+	opts := []streams.RuntimeOption{
+		streams.WithPollWait(time.Millisecond),
+		streams.WithPollBatch(512),
+	}
+	if recordAtATime {
+		opts = append(opts, streams.WithRecordAtATime())
+	}
 	for shard := 0; shard < desc.Shards; shard++ {
 		proc := newProc(shard)
 		b := streams.NewTopology().
@@ -585,9 +781,7 @@ func newShardGroup(broker *mq.Broker, desc NodeDesc, newProc func(shard int) str
 			g.stop()
 			return nil, err
 		}
-		rt, err := streams.NewRuntime(broker, topo, desc.ID,
-			streams.WithPollWait(time.Millisecond),
-			streams.WithPollBatch(512))
+		rt, err := streams.NewRuntime(broker, topo, desc.ID, opts...)
 		if err != nil {
 			g.stop()
 			return nil, err

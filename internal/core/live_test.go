@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -320,11 +322,18 @@ func TestLivePartitionedNativeExact(t *testing.T) {
 // sustain at least single-partition throughput (and scale with cores when
 // RootWork dominates, since shards spin in parallel).
 func BenchmarkLiveRootShards(b *testing.B) {
+	items := int64(24000)
+	if v := os.Getenv("APPROXIOT_BENCH_ITEMS"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			items = n
+		}
+	}
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			var throughput float64
 			for i := 0; i < b.N; i++ {
-				cfg := liveConfig(24000, 0.25)
+				cfg := liveConfig(items, 0.25)
 				cfg.RootWork = 5 * time.Microsecond
 				cfg.Partitions = shards
 				cfg.RootShards = shards

@@ -295,15 +295,16 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	for _, desc := range plan.EdgeNodes() {
 		desc := desc
 		var memberErr error
-		grp, err := newShardGroup(s.broker, desc, func(shard int) streams.Processor {
+		grp, err := newShardGroup(s.broker, desc, cfg.recordAtATime, func(shard int) streams.Processor {
 			sp := &samplingProcessor{
 				id:         memberID(desc, shard),
 				quiesce:    &s.quiesce,
 				window:     cfg.Window,
 				streaming:  cfg.Streaming,
 				decodeErrs: &s.decodeErrs,
-				bw:         s.res.Bandwidth,
-				link:       desc.ParentTopic,
+				// Private lock-free byte counter for the member's parent
+				// link; the account folds it in at read time.
+				bwc: s.res.Bandwidth.Counter(desc.ParentTopic),
 			}
 			mk := func() *Node { return plan.NewNodeShard(desc, shard) }
 			if cfg.Feedback != nil {
@@ -352,7 +353,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	// instead of round-tripping through the control topic.
 	s.rootProcs = make([]*rootProcessor, plan.RootShards)
 	s.rootCosts = make([]*dynamicCost, 0, plan.RootShards)
-	rootGrp, err := newShardGroup(s.broker, plan.Root(), func(shard int) streams.Processor {
+	rootGrp, err := newShardGroup(s.broker, plan.Root(), cfg.recordAtATime, func(shard int) streams.Processor {
 		p := &rootProcessor{
 			id:           memberID(plan.Root(), shard),
 			work:         cfg.RootWork,
@@ -513,8 +514,10 @@ func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
 		topic:     src.Topic,
 		lagGroup:  leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
 		producer:  mq.NewProducer(s.broker),
+		bwc:       s.res.Bandwidth.Counter(src.Topic),
 		rate:      s.cfg.SourceRate,
 		eventTime: s.cfg.EventTime,
+		perRecord: s.cfg.recordAtATime,
 		from:      sourceFrom(slot),
 	}
 	if in.eventTime {
@@ -978,8 +981,10 @@ type Ingester struct {
 	topic     string
 	lagGroup  string
 	producer  *mq.Producer
+	bwc       *metrics.BandwidthCounter // private leaf-link byte counter
 	rate      float64
 	eventTime bool
+	perRecord bool   // recordAtATime: publish one record per broker append
 	from      string // watermark origin: this valve's chain identity
 
 	mu    sync.Mutex
@@ -989,6 +994,13 @@ type Ingester struct {
 	// event timestamp seen — the sub-stream's low watermark, piggybacked
 	// on every record the valve publishes (event-time mode only).
 	marks map[stream.SourceID]time.Time
+	// enc / outRecs are the valve's publish scratch: one push encodes every
+	// same-source run into enc via AppendMarshal and lands the whole set
+	// with a single SendBatch (one topic lock, one consumer wakeup). The
+	// broker retains the produced bytes, so enc materializes them into one
+	// fresh block per push — see batchEncoder.
+	enc     batchEncoder
+	outRecs []mq.Record
 }
 
 // Slot returns the source slot this valve feeds.
@@ -1088,15 +1100,39 @@ func (in *Ingester) Push(items ...stream.Item) error {
 			in.marks[src] = mark
 			wm = mq.Watermark{From: in.from, At: mark}
 		}
-		payload := b.Marshal()
-		s.res.Bandwidth.Add(in.topic, int64(len(payload)))
-		if _, _, err := in.producer.SendWatermarked(in.topic, []byte(src), payload, wm); err != nil {
+		if in.perRecord {
+			// Seed path (equivalence reference): one append per run.
+			payload := b.Marshal()
+			in.bwc.Add(int64(len(payload)))
+			if _, _, err := in.producer.SendWatermarked(in.topic, []byte(src), payload, wm); err != nil {
+				if errors.Is(err, mq.ErrClosed) {
+					return ErrSessionClosed
+				}
+				return err
+			}
+		} else {
+			in.enc.add(src, b, wm)
+		}
+		lo = hi
+	}
+	if !in.enc.empty() {
+		// Land every run with one batched append: one topic lock, one
+		// consumer wakeup, and one retained block for the whole push.
+		in.bwc.Add(in.enc.payloadBytes())
+		recs := in.enc.records(in.outRecs[:0])
+		in.enc.reset()
+		err := in.producer.SendBatch(in.topic, recs)
+		// Scrub before recycling: spare capacity must not pin the block.
+		for i := range recs {
+			recs[i] = mq.Record{}
+		}
+		in.outRecs = recs[:0]
+		if err != nil {
 			if errors.Is(err, mq.ErrClosed) {
 				return ErrSessionClosed
 			}
 			return err
 		}
-		lo = hi
 	}
 	in.sent += int64(len(items))
 	s.produced.Add(int64(len(items)))

@@ -576,6 +576,7 @@ func BenchmarkSessionIngest(b *testing.B) {
 	for i := range items {
 		items[i] = stream.Item{Source: "bench", Value: float64(i)}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {

@@ -2,54 +2,55 @@
 // evaluation metrics (§V-A): throughput (items processed per second),
 // end-to-end latency (log-bucketed histogram with quantiles), and network
 // bandwidth (byte counters feeding the Fig. 7 saving rate).
+//
+// The instruments sit on the live tree's per-record hot path, so the write
+// sides are lock-free: Throughput.Add and Histogram.Observe are atomic
+// (per-bucket counters, CAS min/max), and BandwidthAccount hands hot-path
+// writers private per-member counters (Counter) that the read side folds in.
+// Readers (Snapshot, Quantile, Total, ...) may observe a sample mid-flight —
+// e.g. a bucket incremented before its count — which is fine for telemetry:
+// every accessor is eventually consistent and exact once writers quiesce.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Throughput measures items per second over an explicit time span.
+// Throughput measures items per second over an explicit time span. Add is
+// atomic — shard members on the hot path never contend on a lock.
 type Throughput struct {
-	mu    sync.Mutex
-	count int64
-	start time.Time
-	end   time.Time
+	count atomic.Int64
+	start int64        // unix nanos, fixed at construction
+	end   atomic.Int64 // unix nanos, monotone max over Add instants
 }
 
 // NewThroughput returns a meter whose span starts at start.
 func NewThroughput(start time.Time) *Throughput {
-	return &Throughput{start: start, end: start}
+	t := &Throughput{start: start.UnixNano()}
+	t.end.Store(start.UnixNano())
+	return t
 }
 
 // Add records n processed items at instant now.
 func (t *Throughput) Add(n int64, now time.Time) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.count += n
-	if now.After(t.end) {
-		t.end = now
-	}
+	t.count.Add(n)
+	storeMax(&t.end, now.UnixNano())
 }
 
 // Count returns the total items recorded.
-func (t *Throughput) Count() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.count
-}
+func (t *Throughput) Count() int64 { return t.count.Load() }
 
 // Rate returns items/second over the observed span (0 if the span is empty).
 func (t *Throughput) Rate() float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	span := t.end.Sub(t.start)
+	span := time.Duration(t.end.Load() - t.start)
 	if span <= 0 {
 		return 0
 	}
-	return float64(t.count) / span.Seconds()
+	return float64(t.count.Load()) / span.Seconds()
 }
 
 // RateOver returns items/second against an externally-measured duration.
@@ -60,16 +61,37 @@ func (t *Throughput) RateOver(d time.Duration) float64 {
 	return float64(t.Count()) / d.Seconds()
 }
 
+// storeMax raises a to at least v (CAS loop; lock-free monotone max).
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// storeMin lowers a to at most v (CAS loop; lock-free monotone min).
+func storeMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Histogram is a log-bucketed latency histogram: ~26 buckets per decade from
 // 1µs up to >1000s, accurate to a few percent — plenty for p50/p95/p99 on
 // simulated WAN latencies while using constant memory regardless of volume.
+// Observe is atomic per bucket, so concurrent observers (root shard members)
+// never serialize on a shared lock.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets [histBuckets]int64
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; math.MaxInt64 while empty
+	max     atomic.Int64 // nanoseconds
 }
 
 const (
@@ -103,89 +125,70 @@ func bucketValue(i int) time.Duration {
 }
 
 // NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
 
 // Observe records one latency sample.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[bucketIndex(d)]++
-	h.count++
-	h.sum += d
-	if h.count == 1 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	storeMin(&h.min, int64(d))
+	storeMax(&h.max, int64(d))
 }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Mean returns the average latency (0 when empty).
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.sum.Load() / n)
 }
 
 // Min returns the smallest sample (0 when empty).
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
+	v := h.min.Load()
+	if v == math.MaxInt64 {
+		return 0
+	}
+	return time.Duration(v)
 }
 
 // Max returns the largest sample (0 when empty).
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 
-// Merge folds other's samples into h. Hot paths that would otherwise
-// contend on one histogram's mutex (e.g. parallel root shards) can observe
-// into private histograms and merge once at shutdown.
+// Merge folds other's samples into h. Observers may keep writing to either
+// side; the fold is eventually consistent and exact once writers quiesce
+// (which is when the run merges per-member histograms into the result).
 func (h *Histogram) Merge(other *Histogram) {
-	other.mu.Lock()
-	buckets := other.buckets
-	count := other.count
-	sum := other.sum
-	min, max := other.min, other.max
-	other.mu.Unlock()
-	if count == 0 {
+	if other.count.Load() == 0 {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i, c := range buckets {
-		h.buckets[i] += c
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+		}
 	}
-	if h.count == 0 || min < h.min {
-		h.min = min
-	}
-	if max > h.max {
-		h.max = max
-	}
-	h.count += count
-	h.sum += sum
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	storeMin(&h.min, other.min.Load())
+	storeMax(&h.max, other.max.Load())
 }
 
 // Snapshot returns an independent copy of the histogram's current state.
-// Observers can keep writing while the copy is taken (every accessor locks),
-// and the caller owns the copy outright — the instrument mid-run Snapshot
-// telemetry hands out without freezing the hot path.
+// Observers can keep writing while the copy is taken, and the caller owns the
+// copy outright — the instrument mid-run Snapshot telemetry hands out without
+// freezing the hot path.
 func (h *Histogram) Snapshot() *Histogram {
 	out := NewHistogram()
 	out.Merge(h)
@@ -195,33 +198,32 @@ func (h *Histogram) Snapshot() *Histogram {
 // Quantile returns the q-th quantile (0 < q <= 1) from the bucket bounds.
 // Exact min/max are returned at the extremes.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return h.Min()
 	}
 	if q >= 1 {
-		return h.max
+		return h.Max()
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(count)))
 	var cum int64
-	for i, c := range h.buckets {
-		cum += c
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum >= target {
 			v := bucketValue(i)
-			if v < h.min {
-				v = h.min
+			if mn := h.Min(); v < mn {
+				v = mn
 			}
-			if v > h.max {
-				v = h.max
+			if mx := h.Max(); v > mx {
+				v = mx
 			}
 			return v
 		}
 	}
-	return h.max
+	return h.Max()
 }
 
 // String summarizes the distribution for logs and benches.
@@ -231,22 +233,62 @@ func (h *Histogram) String() string {
 }
 
 // BandwidthAccount accumulates bytes sent per named link and computes the
-// paper's bandwidth-saving rate against a baseline account.
+// paper's bandwidth-saving rate against a baseline account. Cold paths call
+// Add directly (mutex + map); hot paths request a private Counter once and
+// add to it lock-free — the read side folds registered counters in, so no
+// shard member ever contends on the shared lock between window boundaries.
 type BandwidthAccount struct {
-	mu    sync.Mutex
-	bytes map[string]int64
+	mu       sync.Mutex
+	bytes    map[string]int64
+	counters map[string][]*BandwidthCounter
 }
+
+// BandwidthCounter is one hot-path writer's private accumulator for a single
+// link, registered in its account and folded into totals at read time. The
+// padding keeps members on distinct cache lines (no false sharing between
+// shard members counting in a tight loop).
+type BandwidthCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Add records n more bytes on the counter's link.
+func (c *BandwidthCounter) Add(n int64) { c.n.Add(n) }
 
 // NewBandwidthAccount returns an empty account.
 func NewBandwidthAccount() *BandwidthAccount {
-	return &BandwidthAccount{bytes: make(map[string]int64)}
+	return &BandwidthAccount{
+		bytes:    make(map[string]int64),
+		counters: make(map[string][]*BandwidthCounter),
+	}
 }
 
-// Add records n bytes sent on the named link.
+// Add records n bytes sent on the named link (cold-path form).
 func (b *BandwidthAccount) Add(link string, n int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.bytes[link] += n
+}
+
+// Counter registers and returns a private accumulator for the named link.
+// Intended for per-member hot paths: each member holds its own counter, and
+// reads (Total, Link, Snapshot) merge every registered counter on demand.
+func (b *BandwidthAccount) Counter(link string) *BandwidthCounter {
+	c := &BandwidthCounter{}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.counters[link] = append(b.counters[link], c)
+	return c
+}
+
+// linkLocked sums one link's cold-path bytes and registered counters.
+// Callers hold b.mu.
+func (b *BandwidthAccount) linkLocked(link string) int64 {
+	n := b.bytes[link]
+	for _, c := range b.counters[link] {
+		n += c.n.Load()
+	}
+	return n
 }
 
 // Total returns bytes summed across all links.
@@ -254,8 +296,13 @@ func (b *BandwidthAccount) Total() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var total int64
-	for _, n := range b.bytes {
-		total += n
+	for link := range b.bytes {
+		total += b.linkLocked(link)
+	}
+	for link := range b.counters {
+		if _, dup := b.bytes[link]; !dup {
+			total += b.linkLocked(link)
+		}
 	}
 	return total
 }
@@ -264,18 +311,23 @@ func (b *BandwidthAccount) Total() int64 {
 func (b *BandwidthAccount) Link(name string) int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.bytes[name]
+	return b.linkLocked(name)
 }
 
-// Snapshot returns a copy of the per-link byte counters at this instant.
-// Producers can keep adding while the copy is taken; the caller owns the
-// returned map.
+// Snapshot returns a copy of the per-link byte counters at this instant,
+// per-member counters folded in. Producers can keep adding while the copy is
+// taken; the caller owns the returned map.
 func (b *BandwidthAccount) Snapshot() map[string]int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make(map[string]int64, len(b.bytes))
-	for link, n := range b.bytes {
-		out[link] = n
+	out := make(map[string]int64, len(b.bytes)+len(b.counters))
+	for link := range b.bytes {
+		out[link] = b.linkLocked(link)
+	}
+	for link := range b.counters {
+		if _, dup := out[link]; !dup {
+			out[link] = b.linkLocked(link)
+		}
 	}
 	return out
 }

@@ -322,3 +322,78 @@ func TestBandwidthSnapshotWhileWriting(t *testing.T) {
 		t.Fatalf("quiescent snapshot total %d != account total %d", total, b.Total())
 	}
 }
+
+// TestBandwidthCounters pins the hot-path accounting form: per-member
+// counters registered on a link accumulate contention-free and are merged
+// with Add-side bytes at read time, across Link, Total, and Snapshot.
+func TestBandwidthCounters(t *testing.T) {
+	b := NewBandwidthAccount()
+	c1 := b.Counter("edge")
+	c2 := b.Counter("edge") // second member, same link
+	c3 := b.Counter("root")
+	c1.Add(10)
+	c2.Add(5)
+	c3.Add(7)
+	b.Add("edge", 100) // slow-path adds merge with counters
+	b.Add("ctl", 3)
+	if got := b.Link("edge"); got != 115 {
+		t.Fatalf("Link(edge) = %d, want 115", got)
+	}
+	if got := b.Total(); got != 125 {
+		t.Fatalf("Total = %d, want 125", got)
+	}
+	snap := b.Snapshot()
+	want := map[string]int64{"edge": 115, "root": 7, "ctl": 3}
+	if len(snap) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", snap, want)
+	}
+	for link, n := range want {
+		if snap[link] != n {
+			t.Fatalf("Snapshot[%s] = %d, want %d", link, snap[link], n)
+		}
+	}
+}
+
+// TestBandwidthCountersConcurrent hammers one link's counters from many
+// goroutines while a reader folds totals, under the race detector.
+func TestBandwidthCountersConcurrent(t *testing.T) {
+	b := NewBandwidthAccount()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: totals must only ever grow
+		defer wg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := b.Total(); got < last {
+				t.Errorf("Total regressed: %d after %d", got, last)
+				return
+			} else {
+				last = got
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c := b.Counter("hot")
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := b.Link("hot"); got != workers*perWorker {
+		t.Fatalf("Link(hot) = %d, want %d", got, workers*perWorker)
+	}
+}

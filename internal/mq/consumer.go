@@ -95,23 +95,25 @@ func (g *group) commit(p int, offset int64) {
 }
 
 // claim atomically reads partition p's committed offset, fetches records
-// through fetch, and commits past them — all under the partition's offset
-// lock, so even when a rebalance leaves two members momentarily believing
-// they own p (assignments are snapshotted before fetching), a record is
-// delivered to at most one of them: the second claimant starts from the
-// advanced offset. Members on disjoint partitions proceed concurrently.
-func (g *group) claim(p int, fetch func(from int64) ([]Record, error)) ([]Record, error) {
+// through fetch (which appends onto dst and returns the extended slice), and
+// commits past them — all under the partition's offset lock, so even when a
+// rebalance leaves two members momentarily believing they own p (assignments
+// are snapshotted before fetching), a record is delivered to at most one of
+// them: the second claimant starts from the advanced offset. Members on
+// disjoint partitions proceed concurrently.
+func (g *group) claim(p int, dst []Record, fetch func(dst []Record, from int64) ([]Record, error)) ([]Record, error) {
 	po := &g.committed[p]
 	po.mu.Lock()
 	defer po.mu.Unlock()
-	recs, err := fetch(po.off)
-	if err != nil || len(recs) == 0 {
-		return recs, err
+	n0 := len(dst)
+	dst, err := fetch(dst, po.off)
+	if err != nil || len(dst) == n0 {
+		return dst, err
 	}
-	if next := recs[len(recs)-1].Offset + 1; next > po.off {
+	if next := dst[len(dst)-1].Offset + 1; next > po.off {
 		po.off = next
 	}
-	return recs, nil
+	return dst, nil
 }
 
 // Consumer reads records from one topic, either as a member of a consumer
@@ -170,6 +172,16 @@ func (c *Consumer) Assignment() []int {
 // from and advance the group's committed offsets (auto-commit);
 // standalone consumers advance private positions.
 func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
+	return c.PollInto(ctx, nil, max)
+}
+
+// PollInto is Poll with a caller-owned scratch slice: records are appended
+// onto dst (pass dst[:0] to recycle it across polls) and the extended slice
+// is returned, so a steady-state poll loop allocates nothing per poll. The
+// records — including their Key/Value bytes, which alias the broker's
+// retained log — remain valid after the call; only the slice header is
+// recycled by the caller.
+func (c *Consumer) PollInto(ctx context.Context, dst []Record, max int) ([]Record, error) {
 	if max <= 0 {
 		max = 1
 	}
@@ -177,24 +189,24 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			return nil, ErrClosed
+			return dst, ErrClosed
 		}
 		c.mu.Unlock()
 
 		wait := c.topic.waitCh() // arm before reading to avoid lost wakeups
-		recs, err := c.pollOnce(max)
+		out, err := c.pollOnce(dst, max)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		if len(recs) > 0 {
-			return recs, nil
+		if len(out) > len(dst) {
+			return out, nil
 		}
 		if c.topic.isClosed() {
-			return nil, ErrClosed
+			return dst, ErrClosed
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return dst, ctx.Err()
 		case <-wait:
 		}
 	}
@@ -203,10 +215,16 @@ func (c *Consumer) Poll(ctx context.Context, max int) ([]Record, error) {
 // TryPoll is a non-blocking Poll; it returns (nil, nil) when no records are
 // ready.
 func (c *Consumer) TryPoll(max int) ([]Record, error) {
+	return c.TryPollInto(nil, max)
+}
+
+// TryPollInto is a non-blocking PollInto; it returns dst unextended when no
+// records are ready.
+func (c *Consumer) TryPollInto(dst []Record, max int) ([]Record, error) {
 	if max <= 0 {
 		max = 1
 	}
-	return c.pollOnce(max)
+	return c.pollOnce(dst, max)
 }
 
 // WaitChan returns a channel closed on the topic's next append (or already
@@ -225,53 +243,58 @@ func (c *Consumer) TopicClosed() bool {
 	return c.topic.isClosed()
 }
 
-func (c *Consumer) pollOnce(max int) ([]Record, error) {
+// pollOnce appends up to max ready records onto dst and returns the extended
+// slice (dst unextended when nothing is ready). The append-into shape keeps
+// the hot poll path allocation-free once dst's capacity has warmed up.
+func (c *Consumer) pollOnce(dst []Record, max int) ([]Record, error) {
 	owned := c.Assignment()
 	if len(owned) == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	c.mu.Lock()
 	start := c.rrStart % len(owned)
 	c.rrStart++
 	c.mu.Unlock()
 
-	var out []Record
-	for i := 0; i < len(owned) && len(out) < max; i++ {
+	out := dst
+	base := len(dst)
+	for i := 0; i < len(owned) && len(out)-base < max; i++ {
 		p := owned[(start+i)%len(owned)]
+		budget := max - (len(out) - base)
 		if c.grp != nil {
 			// Group mode: fetch-and-commit atomically, so concurrent
 			// members — including stale owners mid-rebalance — never
 			// deliver the same record twice.
-			recs, err := c.grp.claim(p, func(from int64) ([]Record, error) {
-				recs, err := c.topic.Fetch(p, from, max-len(out))
+			got, err := c.grp.claim(p, out, func(dst []Record, from int64) ([]Record, error) {
+				got, err := c.topic.FetchInto(dst, p, from, budget)
 				if err == ErrOutOfRange {
 					// The log was compacted past the committed offset;
 					// skip forward to the oldest retained record.
-					return c.topic.Fetch(p, c.topic.LowWatermark(p), max-len(out))
+					return c.topic.FetchInto(dst, p, c.topic.LowWatermark(p), budget)
 				}
-				return recs, err
+				return got, err
 			})
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
-			out = append(out, recs...)
+			out = got
 			continue
 		}
 		from := c.position(p)
-		recs, err := c.topic.Fetch(p, from, max-len(out))
+		got, err := c.topic.FetchInto(out, p, from, budget)
 		if err == ErrOutOfRange {
 			// The log was compacted past our position; skip forward.
 			c.setPosition(p, c.topic.LowWatermark(p))
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		if len(recs) == 0 {
+		if len(got) == len(out) {
 			continue
 		}
-		c.setPosition(p, recs[len(recs)-1].Offset+1)
-		out = append(out, recs...)
+		c.setPosition(p, got[len(got)-1].Offset+1)
+		out = got
 	}
 	return out, nil
 }

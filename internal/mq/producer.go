@@ -1,6 +1,7 @@
 package mq
 
 import (
+	"bytes"
 	"hash/fnv"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,44 @@ func (p *Producer) SendWatermarked(topic string, key, value []byte, watermark Wa
 	partition = p.pick(t, key)
 	offset, err = t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn(), Watermark: watermark})
 	return partition, offset, err
+}
+
+// SendBatch appends a batch of records to the topic in one shot: one
+// timestamp read, one partition pick per key run, and a single topic-lock
+// acquisition (one consumer wakeup) for the whole batch — the amortization
+// that closes the per-record hot-path gap. Each record's Key, Value, and
+// Watermark are taken as given; Ts, Partition, and Offset are assigned by
+// the send. Consecutive records with equal keys reuse the previous pick, and
+// non-consecutive equal keys still hash identically, so per-key ordering is
+// exactly what per-record Sends would produce. Empty-keyed records
+// round-robin per run, not per record (the sticky-partitioner trade Kafka's
+// batching producer makes). An empty batch is a no-op.
+//
+// recs is written in place (Ts/Partition assignment) but not retained; the
+// caller may reuse it. Values ARE retained by the broker's partition logs —
+// callers must not mutate a sent Value (see the codec's buffer-ownership
+// rule).
+func (p *Producer) SendBatch(topic string, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	t, err := p.broker.Topic(topic)
+	if err != nil {
+		return err
+	}
+	now := p.nowFn()
+	var lastKey []byte
+	lastPart := -1
+	for i := range recs {
+		recs[i].Ts = now
+		if lastPart >= 0 && bytes.Equal(recs[i].Key, lastKey) {
+			recs[i].Partition = lastPart
+			continue
+		}
+		recs[i].Partition = p.pick(t, recs[i].Key)
+		lastKey, lastPart = recs[i].Key, recs[i].Partition
+	}
+	return t.appendBatch(recs)
 }
 
 // SendTo appends directly to a specific partition.

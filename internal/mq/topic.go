@@ -112,6 +112,48 @@ func (t *Topic) append(p int, rec Record) (int64, error) {
 	return offset, nil
 }
 
+// appendBatch appends a batch of records — each with Partition already
+// assigned by the producer — under a single topic-lock acquisition, waking
+// blocked consumers once for the whole batch instead of once per record.
+// Consecutive records sharing a partition are appended as one run under
+// that partition's lock.
+func (t *Topic) appendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	for lo := 0; lo < len(recs); {
+		p := recs[lo].Partition
+		hi := lo + 1
+		for hi < len(recs) && recs[hi].Partition == p {
+			hi++
+		}
+		t.parts[p].appendRun(recs[lo:hi], p)
+		lo = hi
+	}
+	old := t.changed
+	t.changed = make(chan struct{})
+	t.mu.Unlock()
+	close(old)
+
+	if t.retain > 0 {
+		for lo := 0; lo < len(recs); {
+			p := recs[lo].Partition
+			hi := lo + 1
+			for hi < len(recs) && recs[hi].Partition == p {
+				hi++
+			}
+			t.maybeCompact(p)
+			lo = hi
+		}
+	}
+	return nil
+}
+
 // closedChan is returned by waitCh on a shut-down topic so waiters armed
 // after the close still wake immediately.
 var closedChan = func() chan struct{} {
@@ -162,7 +204,15 @@ func (t *Topic) LowWatermark(p int) int64 {
 // It never blocks; an empty result means the caller is at the high
 // watermark. Reading below the low watermark returns ErrOutOfRange.
 func (t *Topic) Fetch(p int, from int64, max int) ([]Record, error) {
-	return t.parts[p].fetch(from, max)
+	return t.parts[p].fetchInto(nil, from, max)
+}
+
+// FetchInto is the scratch-reusing form of Fetch: records are appended to
+// dst (which may be nil or a recycled slice) and the extended slice is
+// returned, so a steady-state poll loop allocates nothing. On error the
+// returned slice is dst unchanged.
+func (t *Topic) FetchInto(dst []Record, p int, from int64, max int) ([]Record, error) {
+	return t.parts[p].fetchInto(dst, from, max)
 }
 
 // maybeCompact drops records that every group has committed past, keeping at
@@ -247,6 +297,19 @@ func (p *partition) append(rec Record, idx int) int64 {
 	return rec.Offset
 }
 
+// appendRun appends a run of records destined for this partition under one
+// lock acquisition. The stored copies get their Partition/Offset assigned;
+// the caller's slice is left untouched.
+func (p *partition) appendRun(recs []Record, idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rec := range recs {
+		rec.Partition = idx
+		rec.Offset = p.base + int64(len(p.records))
+		p.records = append(p.records, rec)
+	}
+}
+
 func (p *partition) highWatermark() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -259,23 +322,24 @@ func (p *partition) lowWatermark() int64 {
 	return p.base
 }
 
-func (p *partition) fetch(from int64, max int) ([]Record, error) {
+// fetchInto appends up to max records starting at offset from onto dst and
+// returns the extended slice — the zero-alloc fetch the hot poll path uses
+// (pass nil dst for the allocating form). On error dst is returned unchanged.
+func (p *partition) fetchInto(dst []Record, from int64, max int) ([]Record, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if from < p.base {
-		return nil, ErrOutOfRange
+		return dst, ErrOutOfRange
 	}
 	start := from - p.base
 	if start >= int64(len(p.records)) {
-		return nil, nil
+		return dst, nil
 	}
 	end := start + int64(max)
 	if end > int64(len(p.records)) {
 		end = int64(len(p.records))
 	}
-	out := make([]Record, end-start)
-	copy(out, p.records[start:end])
-	return out, nil
+	return append(dst, p.records[start:end]...), nil
 }
 
 // length returns the number of retained records.

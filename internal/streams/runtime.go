@@ -23,11 +23,20 @@ type Runtime struct {
 	clock     vclock.Clock
 	pollBatch int
 	pollWait  time.Duration
+	noBatch   bool // WithRecordAtATime: force the per-record seed path
 
 	consumers map[string]*mq.Consumer // source name → consumer
 	producer  *mq.Producer
 	contexts  map[string]*nodeContext
 	instances map[string]Processor
+
+	// Pump scratch, reused every poll cycle so the steady-state hot path
+	// allocates nothing: polled records, their Message views, and the
+	// record form ForwardBatch hands to sink sends. Owned by the single
+	// pump goroutine (sinkScratch also by synchronous dispatch from it).
+	recScratch  []mq.Record
+	msgScratch  []Message
+	sinkScratch []mq.Record
 
 	mu      sync.Mutex
 	puncts  []*punctuation
@@ -72,6 +81,15 @@ func WithPollWait(d time.Duration) RuntimeOption {
 			r.pollWait = d
 		}
 	}
+}
+
+// WithRecordAtATime forces the pre-batching hot path: every polled record is
+// dispatched with its own Process call and every sink emission is its own
+// broker append, even for BatchProcessor instances. The equivalence suite
+// uses it as the semantic reference the batched path must match; it is not
+// meant for production topologies.
+func WithRecordAtATime() RuntimeOption {
+	return func(r *Runtime) { r.noBatch = true }
 }
 
 // NewRuntime prepares a runtime for topo. appID namespaces the consumer
@@ -132,6 +150,17 @@ func (c *nodeContext) Forward(msg Message) {
 	}
 }
 
+func (c *nodeContext) ForwardBatch(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	for _, child := range c.node.children {
+		if err := c.rt.dispatchBatch(child, msgs); err != nil {
+			c.rt.fail(err)
+		}
+	}
+}
+
 func (c *nodeContext) Schedule(interval time.Duration, fn func(now time.Time)) func() {
 	if interval <= 0 {
 		interval = time.Millisecond
@@ -155,6 +184,54 @@ func (r *Runtime) dispatch(name string, msg Message) error {
 		return r.instances[name].Process(msg)
 	case kindSink:
 		_, _, err := r.producer.SendWatermarked(n.topic, msg.Key, msg.Value, msg.Watermark)
+		return err
+	default:
+		return fmt.Errorf("streams: cannot dispatch into source %q", name)
+	}
+}
+
+// dispatchBatch routes a whole polled batch into the node named name:
+// BatchProcessor instances take the slice in one call, plain processors get
+// the per-record loop (same order, same semantics), and sinks produce the
+// batch with a single SendBatch append. msgs is never retained.
+func (r *Runtime) dispatchBatch(name string, msgs []Message) error {
+	if len(msgs) == 1 {
+		return r.dispatch(name, msgs[0])
+	}
+	n := r.topo.nodes[name]
+	switch n.kind {
+	case kindProcessor:
+		if bp, ok := r.instances[name].(BatchProcessor); ok && !r.noBatch {
+			return bp.ProcessBatch(msgs)
+		}
+		inst := r.instances[name]
+		for i := range msgs {
+			if err := inst.Process(msgs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kindSink:
+		if r.noBatch {
+			for i := range msgs {
+				if _, _, err := r.producer.SendWatermarked(n.topic, msgs[i].Key, msgs[i].Value, msgs[i].Watermark); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		recs := r.sinkScratch[:0]
+		for i := range msgs {
+			recs = append(recs, mq.Record{Key: msgs[i].Key, Value: msgs[i].Value, Watermark: msgs[i].Watermark})
+		}
+		err := r.producer.SendBatch(n.topic, recs)
+		// Scrub the scratch before recycling: the records hold references to
+		// the callers' key/value bytes, and a stale reference in spare
+		// capacity would pin them past their lifetime.
+		for i := range recs {
+			recs[i] = mq.Record{}
+		}
+		r.sinkScratch = recs[:0]
 		return err
 	default:
 		return fmt.Errorf("streams: cannot dispatch into source %q", name)
@@ -228,17 +305,36 @@ func (r *Runtime) pump(ctx context.Context) {
 		}
 		progressed := false
 		for _, src := range sources {
-			recs, err := r.consumers[src].TryPoll(r.pollBatch)
+			recs, err := r.consumers[src].TryPollInto(r.recScratch[:0], r.pollBatch)
 			if err != nil {
 				if !errors.Is(err, mq.ErrClosed) {
 					r.fail(err)
 				}
 				return
 			}
-			for _, rec := range recs {
-				msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark}
+			r.recScratch = recs
+			if r.noBatch {
+				// Seed path: one dispatch per record, in order.
+				for _, rec := range recs {
+					msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark}
+					for _, child := range r.topo.nodes[src].children {
+						if err := r.dispatch(child, msg); err != nil {
+							r.fail(err)
+							return
+						}
+					}
+				}
+			} else if len(recs) > 0 {
+				// Batched path: view the fetch as one []Message and hand the
+				// whole batch down — BatchProcessor children decode/process
+				// per fetched batch, sinks append once per fetched batch.
+				msgs := r.msgScratch[:0]
+				for _, rec := range recs {
+					msgs = append(msgs, Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark})
+				}
+				r.msgScratch = msgs
 				for _, child := range r.topo.nodes[src].children {
-					if err := r.dispatch(child, msg); err != nil {
+					if err := r.dispatchBatch(child, msgs); err != nil {
 						r.fail(err)
 						return
 					}

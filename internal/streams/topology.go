@@ -47,10 +47,32 @@ type Processor interface {
 	Close() error
 }
 
+// BatchProcessor is an optional extension of Processor: an operator that can
+// take a whole polled batch in one call. When a runtime's source fetches N
+// records it hands BatchProcessor children the full []Message slice — one
+// dispatch, one downstream flush — instead of N Process calls. The batch
+// slice is only valid for the duration of the call and must not be retained.
+// Semantics must be identical to processing the messages one at a time in
+// order; batching is a transport-level amortization, never a behavioral one.
+type BatchProcessor interface {
+	Processor
+	// ProcessBatch handles a polled batch of messages, in order. Returning
+	// an error stops the runtime.
+	ProcessBatch(msgs []Message) error
+}
+
 // ProcessorContext is the API a Processor uses to interact with its node.
 type ProcessorContext interface {
 	// Forward emits a message to every downstream child of this node.
 	Forward(msg Message)
+	// ForwardBatch emits a batch of messages, in order, to every downstream
+	// child of this node. Sink children produce the whole batch with a
+	// single broker append (one lock acquisition, one consumer wakeup);
+	// BatchProcessor children receive the slice in one call. The slice is
+	// not retained — callers may reuse it after ForwardBatch returns —
+	// but the Key/Value bytes may be retained by the broker (see the codec
+	// buffer-ownership rule).
+	ForwardBatch(msgs []Message)
 	// Schedule registers a punctuation: fn fires every interval on the
 	// runtime's clock until the runtime stops or cancel is called.
 	Schedule(interval time.Duration, fn func(now time.Time)) (cancel func())

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerates the tracked-benchmark numbers behind BENCH_baseline.json.
+#
+# Usage:
+#   scripts/bench_baseline.sh            # default scale (48k/24k items per run)
+#   APPROXIOT_BENCH_ITEMS=192000 scripts/bench_baseline.sh
+#                                        # longer runs: amortizes the fixed
+#                                        # ~2-3 window drain tail out of the
+#                                        # items/s figure (the EXPERIMENTS.md
+#                                        # hot-path numbers use 192000)
+#
+# Results are machine-dependent: record `nproc` and the cpu: line go test
+# prints alongside any numbers you paste into BENCH_baseline.json or
+# EXPERIMENTS.md. -benchtime=2x keeps a full sweep under a minute; raise it
+# (and prefer the median of a few runs) when updating the baseline file on a
+# quiet machine.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "# cores: $(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+go test -run xxx -bench 'BenchmarkLiveAdaptive|BenchmarkLiveLayerShards|BenchmarkLiveEventTime' -benchtime=2x .
+go test -run xxx -bench 'BenchmarkLiveRootShards' -benchtime=2x ./internal/core/
+go test -run xxx -bench 'BenchmarkSessionIngest' -benchtime=2000x ./internal/core/
