@@ -142,6 +142,11 @@ const ControlTopic = core.ControlTopicName
 // assign records to, so event-time windowing has nothing to act on.
 var ErrEventTimeStreaming = core.ErrEventTimeStreaming
 
+// ErrDrainTimeout reports that a live Close hit Config.DrainTimeout before
+// the pipeline quiesced: the final result was assembled anyway, but
+// in-flight items may be missing from it (LiveResult.DrainTimedOut is set).
+var ErrDrainTimeout = core.ErrDrainTimeout
+
 // Strategy selects the sampling algorithm a pipeline runs.
 type Strategy int
 
@@ -256,6 +261,20 @@ type Config struct {
 	// unbounded broker memory. 0 selects the default (8192); negative
 	// disables backpressure. Simulated runs ignore it.
 	MaxIngestLag int
+	// DrainTimeout bounds how long a live Close waits for the pipeline to
+	// quiesce before assembling the final result anyway; a wedged drain
+	// then surfaces ErrDrainTimeout (and LiveResult.DrainTimedOut) instead
+	// of silently returning a result missing in-flight items. 0 selects
+	// the default (2 minutes); negative waits forever. Simulated runs
+	// ignore it (virtual time cannot wedge).
+	DrainTimeout time.Duration
+	// OpsAddr, when non-empty, makes Open serve the deployment's
+	// operational HTTP surface on this address ("127.0.0.1:9377", or ":0"
+	// for an ephemeral port): /health, /metrics (Prometheus text
+	// exposition), and /metrics/query windowed history. Equivalent to
+	// calling Deployment.ServeOps(OpsAddr) right after Open; the surface
+	// shuts down with the Deployment. Run and Simulate ignore it.
+	OpsAddr string
 	// OnWindow, if set, observes every non-empty window result as it
 	// closes, after the feedback step — incremental observation in both
 	// modes (live runs additionally offer the Deployment.Windows
@@ -417,6 +436,7 @@ func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error
 		Feedback:        cfg.Adaptive,
 		SourceRate:      cfg.SourceRate,
 		MaxIngestLag:    cfg.MaxIngestLag,
+		DrainTimeout:    cfg.DrainTimeout,
 		OnWindow:        cfg.OnWindow,
 		Streaming:       cfg.streaming(),
 		EventTime:       cfg.EventTime,

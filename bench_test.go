@@ -278,3 +278,74 @@ func BenchmarkLiveEventTime(b *testing.B) {
 	b.Run("processing-time", func(b *testing.B) { run(b, false) })
 	b.Run("event-time", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkLiveOpsSurface prices the operational surface: the same pushed
+// deployment with and without Config.OpsAddr. The ops sampler polls
+// Snapshot once a second off the hot path, so the two rows should differ
+// only by run-to-run noise — this benchmark is the receipt for that claim
+// (EXPERIMENTS.md records the numbers).
+func BenchmarkLiveOpsSurface(b *testing.B) {
+	run := func(b *testing.B, ops bool) {
+		b.ReportAllocs()
+		items := benchItems(48000)
+		var throughput float64
+		for i := 0; i < b.N; i++ {
+			cfg := approxiot.Config{
+				Fraction: 0.25,
+				Queries:  []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+				Seed:     7,
+			}
+			if ops {
+				cfg.OpsAddr = "127.0.0.1:0"
+			}
+			d, err := approxiot.Open(nil, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Generator-fed pushes through the public valves, every slot
+			// concurrently — the same feed shape Run uses.
+			tree := cfg.Tree
+			if tree.Sources == 0 {
+				tree = approxiot.Testbed()
+			}
+			perSlot := items / int64(tree.Sources)
+			var wg sync.WaitGroup
+			for slot := 0; slot < tree.Sources; slot++ {
+				ing, err := d.Ingester(slot)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(slot int, ing *approxiot.Ingester) {
+					defer wg.Done()
+					gen := workload.GaussianMicro(7+uint64(slot)*131, 1500)
+					now := time.Now()
+					var sent int64
+					for sent < perSlot {
+						batch := gen.Generate(now, 12*time.Millisecond)
+						now = now.Add(12 * time.Millisecond)
+						if len(batch) == 0 {
+							continue
+						}
+						if int64(len(batch)) > perSlot-sent {
+							batch = batch[:perSlot-sent]
+						}
+						if err := ing.Push(batch...); err != nil {
+							return
+						}
+						sent += int64(len(batch))
+					}
+				}(slot, ing)
+			}
+			wg.Wait()
+			res, err := d.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			throughput += res.Throughput
+		}
+		b.ReportMetric(throughput/float64(b.N), "items/s")
+	}
+	b.Run("no-ops", func(b *testing.B) { run(b, false) })
+	b.Run("ops", func(b *testing.B) { run(b, true) })
+}

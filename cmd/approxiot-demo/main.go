@@ -14,6 +14,7 @@
 //	approxiot-demo -workload skew      # the Fig. 10c extreme-skew stream
 //	approxiot-demo -duration 10s       # stop on its own after 10 s
 //	approxiot-demo -target 0.01        # §IV-B adaptive, 1% error target
+//	approxiot-demo -ops 127.0.0.1:9377 # serve /health and /metrics over HTTP
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		window   = flag.Duration("window", 500*time.Millisecond, "live query window")
 		duration = flag.Duration("duration", 0, "stop after this long (0 = run until interrupt)")
 		target   = flag.Float64("target", 0, "adaptive relative-error target (0 = frozen fraction)")
+		ops      = flag.String("ops", "", "serve the operational HTTP surface (/health, /metrics, /metrics/query) on this address (empty = off)")
 		seed     = flag.Uint64("seed", 2018, "random seed")
 	)
 	flag.Parse()
@@ -75,6 +77,7 @@ func main() {
 		Window:     *window,
 		SourceRate: *rate,
 		Seed:       *seed,
+		OpsAddr:    *ops,
 	}
 	if *target > 0 {
 		cfg.Adaptive = approxiot.NewFeedbackController(*fraction, *target)
@@ -92,6 +95,9 @@ func main() {
 
 	fmt.Printf("ApproxIoT live deployment — %s at %.0f%% on the 8/4/2/1 testbed, %v windows, %.0f items/s per source\n",
 		strat, *fraction*100, *window, *rate)
+	if addr := d.OpsAddr(); addr != "" {
+		fmt.Printf("ops surface on http://%s  (/health, /metrics, /metrics/query)\n", addr)
+	}
 	fmt.Println("Ctrl-C drains and exits; Ctrl-C twice aborts without draining.")
 	fmt.Println()
 

@@ -2,8 +2,13 @@ package approxiot
 
 import (
 	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
 
 	"github.com/approxiot/approxiot/internal/core"
+	"github.com/approxiot/approxiot/internal/ops"
 )
 
 // Deployment is a running live pipeline: the compiled tree instantiated over
@@ -25,6 +30,14 @@ import (
 // state.
 type Deployment struct {
 	s *core.LiveSession
+
+	// Operational surface (ServeOps): guarded by opsMu; opsDone closes
+	// when the watcher has torn the server down after the session ends.
+	opsMu   sync.Mutex
+	opsSrv  *ops.Server
+	opsHTTP *http.Server
+	opsAddr string
+	opsDone chan struct{}
 }
 
 // Session-layer types, re-exported. The implementations live in
@@ -96,6 +109,7 @@ func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 		Feedback:        cfg.Adaptive,
 		SourceRate:      cfg.SourceRate,
 		MaxIngestLag:    cfg.MaxIngestLag,
+		DrainTimeout:    cfg.DrainTimeout,
 		OnWindow:        cfg.OnWindow,
 		Streaming:       cfg.streaming(),
 		EventTime:       cfg.EventTime,
@@ -105,7 +119,14 @@ func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{s: s}, nil
+	d := &Deployment{s: s}
+	if cfg.OpsAddr != "" {
+		if _, err := d.ServeOps(cfg.OpsAddr); err != nil {
+			_, _ = d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // Ingest publishes items onto sub-stream src: every item's Source is set to
@@ -162,10 +183,87 @@ func (d *Deployment) Done() <-chan struct{} { return d.s.Done() }
 // Close, the context's error after cancellation, nil while still running.
 func (d *Deployment) Err() error { return d.s.Err() }
 
+// ErrOpsServing rejects a second ServeOps on the same Deployment.
+var ErrOpsServing = errors.New("approxiot: ops surface already serving")
+
+// ServeOps starts the Deployment's operational HTTP surface on addr
+// ("127.0.0.1:9377", or ":0" for an ephemeral port) and returns the bound
+// address. The surface serves:
+//
+//	/health         per-component health as JSON (200 while serviceable,
+//	                503 once a component fails)
+//	/metrics        Prometheus text exposition of the Snapshot counters,
+//	                gauges, per-topic bandwidth, per-node telemetry, and
+//	                the end-to-end latency histogram
+//	/metrics/query  sar-style windowed rates over sampled history
+//	                (?window=5m&lookback=2h, lookback clamped to retention)
+//
+// A background sampler polls Snapshot once a second into a fixed-capacity
+// ring (two hours of retention), so the query endpoint works without any
+// external scraper and memory stays bounded. Everything is read-only and
+// off the hot path. The surface shuts down automatically when the
+// Deployment closes. Config.OpsAddr calls this from Open; call it directly
+// to attach the surface to an already-open Deployment. At most one surface
+// per Deployment (ErrOpsServing otherwise); ErrClosed after close.
+func (d *Deployment) ServeOps(addr string) (string, error) {
+	d.opsMu.Lock()
+	defer d.opsMu.Unlock()
+	if d.opsSrv != nil {
+		return "", ErrOpsServing
+	}
+	if d.s.State() == core.StateClosed {
+		return "", ErrClosed
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := ops.NewServer(d.s, ops.Config{})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	d.opsSrv = srv
+	d.opsHTTP = httpSrv
+	d.opsAddr = ln.Addr().String()
+	d.opsDone = make(chan struct{})
+	srv.Start()
+	go func() { _ = httpSrv.Serve(ln) }()
+	go func(done chan struct{}) {
+		<-d.s.Done()
+		srv.Stop()
+		_ = httpSrv.Close()
+		close(done)
+	}(d.opsDone)
+	return d.opsAddr, nil
+}
+
+// OpsAddr returns the operational surface's bound address, or "" when
+// ServeOps has not run.
+func (d *Deployment) OpsAddr() string {
+	d.opsMu.Lock()
+	defer d.opsMu.Unlock()
+	return d.opsAddr
+}
+
+// waitOps blocks until the ops surface (if any) has shut down.
+func (d *Deployment) waitOps() {
+	d.opsMu.Lock()
+	done := d.opsDone
+	d.opsMu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
 // Close drains the Deployment and returns the final merged LiveResult:
 // pushes are rejected from the moment Close is called, in-flight windows
 // reach the root, the final partial window is closed, and every goroutine
 // exits. Close is idempotent — every call returns the same result — and
 // safe to call after context cancellation, in which case it reports the
 // context's error alongside the result assembled at abort time.
-func (d *Deployment) Close() (*LiveResult, error) { return d.s.Close() }
+// If an ops surface is serving (ServeOps / Config.OpsAddr), Close also
+// waits for it to shut down, so the listener is released by the time Close
+// returns.
+func (d *Deployment) Close() (*LiveResult, error) {
+	res, err := d.s.Close()
+	d.waitOps()
+	return res, err
+}

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -368,5 +371,116 @@ func TestOpenEventTimeLateDrop(t *testing.T) {
 	}
 	if total != 16 {
 		t.Fatalf("windows hold %.0f records, want the 16 on-time ones", total)
+	}
+}
+
+// TestOpsSurface opens a deployment with Config.OpsAddr, exercises all
+// three HTTP endpoints against the live pipeline, and verifies the surface
+// dies with the Deployment.
+func TestOpsSurface(t *testing.T) {
+	cfg := deployConfig()
+	cfg.OpsAddr = "127.0.0.1:0"
+	d, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	addr := d.OpsAddr()
+	if addr == "" {
+		t.Fatal("OpsAddr empty after Open with Config.OpsAddr")
+	}
+	if _, err := d.ServeOps("127.0.0.1:0"); !errors.Is(err, ErrOpsServing) {
+		t.Fatalf("second ServeOps = %v, want ErrOpsServing", err)
+	}
+
+	pushSources(t, d, 7, 4000)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/health")
+	if code != http.StatusOK {
+		t.Fatalf("GET /health = %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"lifecycle"`) || !strings.Contains(body, `"ingest"`) {
+		t.Fatalf("health body missing components: %s", body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"approxiot_produced_total 4000",
+		"approxiot_up 1",
+		"approxiot_bandwidth_bytes_total{topic=",
+		"approxiot_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q", want)
+		}
+	}
+
+	code, body = get("/metrics/query?window=1s")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics/query = %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"points"`) {
+		t.Fatalf("query body missing points: %s", body)
+	}
+
+	if _, err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close waits for the ops teardown, so the port is already released.
+	if _, err := http.Get("http://" + addr + "/health"); err == nil {
+		t.Fatal("ops surface still serving after Close")
+	}
+	if _, err := d.ServeOps("127.0.0.1:0"); !errors.Is(err, ErrOpsServing) && !errors.Is(err, ErrClosed) {
+		t.Fatalf("ServeOps after Close = %v, want ErrOpsServing or ErrClosed", err)
+	}
+}
+
+// TestDrainTimeoutKnob verifies the facade plumbs Config.DrainTimeout to
+// the session and surfaces ErrDrainTimeout: a census-sampling run whose
+// root spins longer per item than the pushers take to produce cannot
+// quiesce before a tiny deadline.
+func TestDrainTimeoutKnob(t *testing.T) {
+	d, err := Open(context.Background(), Config{
+		Strategy:     Native,
+		Window:       25 * time.Millisecond,
+		Seed:         7,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// A big backlog against a root that has to process it exactly: with a
+	// 50 ms deadline the drain cannot finish behind ~8 windows of data.
+	items := make([]Item, 20000)
+	for k := range items {
+		items[k] = Item{Value: 1}
+	}
+	if err := d.Ingest("wedge", items...); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	// The drain probe requires 4×Window (100 ms) of root-side silence, and
+	// the root was active moments ago — a 50 ms deadline must expire.
+	res, err := d.Close()
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Close = %v, want ErrDrainTimeout", err)
+	}
+	if !res.DrainTimedOut {
+		t.Fatal("DrainTimedOut unset despite ErrDrainTimeout")
 	}
 }

@@ -1,0 +1,120 @@
+// Operational surface: every live deployment can serve its telemetry over
+// HTTP — the paper's three evaluation metrics (throughput, end-to-end
+// latency, network bandwidth, §V-A) plus lifecycle health, without linking
+// the Go package into your monitoring stack.
+//
+// This program opens the testbed tree with Config.OpsAddr set, pushes a
+// paced workload for a few seconds, and plays the monitoring client against
+// its own deployment: a /health probe (the JSON a load balancer or
+// Kubernetes would gate on), a /metrics scrape (the Prometheus text
+// exposition a collector would ingest), and a /metrics/query call (sar-style
+// windowed rates from the built-in sampler — no external scraper needed).
+//
+//	go run ./examples/ops
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/workload"
+)
+
+func main() {
+	d, err := approxiot.Open(context.Background(), approxiot.Config{
+		Fraction:   0.25,
+		Queries:    []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+		Window:     200 * time.Millisecond,
+		SourceRate: 8000,
+		Seed:       2018,
+		OpsAddr:    "127.0.0.1:0", // ephemeral port; a service would pin one
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	addr := d.OpsAddr()
+	fmt.Printf("deployment open, ops surface on http://%s\n\n", addr)
+
+	// Push the Gaussian micro-benchmark stream through every source valve
+	// for a few seconds, the way a fleet of IoT gateways would.
+	stop := make(chan struct{})
+	tree := approxiot.Testbed()
+	for slot := 0; slot < tree.Sources; slot++ {
+		ing, err := d.Ingester(slot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingester:", err)
+			os.Exit(1)
+		}
+		go func(slot int, ing *approxiot.Ingester) {
+			gen := workload.GaussianMicro(2018+uint64(slot)*211, 1000)
+			now := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := gen.Generate(now, 50*time.Millisecond)
+				now = now.Add(50 * time.Millisecond)
+				if ing.Push(batch...) != nil {
+					return
+				}
+			}
+		}(slot, ing)
+	}
+	time.Sleep(2 * time.Second)
+
+	// 1. The health probe: component checks, overall status in the code.
+	body, status := get(addr, "/health")
+	fmt.Printf("GET /health → %s\n%s\n", status, body)
+
+	// 2. The Prometheus scrape: show the run counters and one histogram
+	// line (the full exposition carries per-topic and per-node families).
+	body, status = get(addr, "/metrics")
+	fmt.Printf("GET /metrics → %s (excerpt)\n", status)
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "approxiot_produced_total") ||
+			strings.HasPrefix(line, "approxiot_root_processed_total") ||
+			strings.HasPrefix(line, "approxiot_throughput") ||
+			strings.HasPrefix(line, "approxiot_latency_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+	fmt.Println()
+
+	// 3. The windowed history: per-second rates at a 500 ms grain over the
+	// retained span (the lookback is clamped to what the ring holds).
+	body, status = get(addr, "/metrics/query?window=500ms&lookback=10m")
+	fmt.Printf("GET /metrics/query?window=500ms&lookback=10m → %s\n%s\n", status, body)
+
+	close(stop)
+	res, err := d.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+	}
+	fmt.Printf("closed: %d items, %.0f items/s — the ops listener shut down with the deployment\n",
+		res.Produced, res.Throughput)
+}
+
+// get fetches one ops endpoint and returns (body, status line).
+func get(addr, path string) (string, string) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "get:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "read:", err)
+		os.Exit(1)
+	}
+	return string(b), resp.Status
+}

@@ -125,6 +125,13 @@ type LiveConfig struct {
 	// unbounded broker memory. 0 selects the default (8192); negative
 	// disables backpressure.
 	MaxIngestLag int
+	// DrainTimeout bounds how long Close waits for the pipeline to quiesce
+	// before assembling the final result anyway. A wedged pipeline then
+	// surfaces ErrDrainTimeout (on Close/Err and LiveResult.DrainTimedOut)
+	// instead of silently returning a result missing in-flight items.
+	// 0 selects the default (2 minutes); negative waits forever (context
+	// cancellation remains the only way out of a wedged drain).
+	DrainTimeout time.Duration
 	// OnWindow, if set, observes every non-empty window result as it
 	// closes, after the feedback step. It runs on the window ticker
 	// goroutine — keep it fast, and never call the session's Close from
@@ -165,6 +172,11 @@ type LiveResult struct {
 	// counted once, at the first node that rejects it. Always 0 in
 	// processing-time mode.
 	LateDropped int64
+	// DrainTimedOut reports that Close's drain deadline expired before the
+	// pipeline quiesced: the result was assembled anyway, but in-flight
+	// items may be missing from it. Close/Err surface the same condition
+	// as ErrDrainTimeout.
+	DrainTimedOut bool
 	// Elapsed spans first publish to last root-side processing.
 	Elapsed time.Duration
 	// Throughput is Produced/Elapsed — the paper's "items processed per

@@ -92,6 +92,16 @@ const windowSubBuffer = 128
 // many records, bounding broker memory no matter how fast callers push.
 const defaultMaxIngestLag = 8192
 
+// defaultDrainTimeout bounds how long Close waits for a wedged pipeline to
+// quiesce before giving up and surfacing ErrDrainTimeout.
+const defaultDrainTimeout = 2 * time.Minute
+
+// ErrDrainTimeout reports that Close's drain deadline (LiveConfig.
+// DrainTimeout) expired before the pipeline quiesced: the final LiveResult
+// was assembled anyway, but in-flight items may be missing from it.
+// Surfaced by Close and Err, and mirrored on LiveResult.DrainTimedOut.
+var ErrDrainTimeout = errors.New("core: drain deadline exceeded; final result may be missing in-flight items")
+
 // LiveSession is a running live deployment: the compiled tree instantiated
 // as shard groups over the in-memory broker, accepting pushed items and
 // emitting window results until closed. Construct with OpenLive; all
@@ -109,6 +119,11 @@ type LiveSession struct {
 	rootCosts []*dynamicCost
 
 	res *LiveResult
+	// final publishes res atomically once finalize has fully assembled it
+	// (nil until then). Snapshot reads closed-run fields exclusively through
+	// this pointer, so its safety is structural — independent of the order
+	// shutdown happens to store the lifecycle state in.
+	final atomic.Pointer[LiveResult]
 
 	// quiesce silences the event-time keepalive punctuations from the
 	// moment shutdown starts (see samplingProcessor.keepalive).
@@ -220,6 +235,9 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	}
 	if cfg.MaxIngestLag == 0 {
 		cfg.MaxIngestLag = defaultMaxIngestLag
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = defaultDrainTimeout
 	}
 	if cfg.EventTime {
 		if cfg.Streaming {
@@ -771,6 +789,34 @@ type LiveSnapshot struct {
 	// SubscriberDrops counts window results dropped on full Windows()
 	// subscriber buffers.
 	SubscriberDrops int64
+
+	// The fields below describe the deployment's configuration and health
+	// probes — the inputs an operational surface (health checks, stall
+	// detection) needs alongside the counters.
+
+	// Window is the configured processing-time window (event-time mode:
+	// the wall-clock sweep cadence).
+	Window time.Duration
+	// MaxIngestLag is the configured backpressure high-water mark per leaf
+	// topic (negative: backpressure disabled).
+	MaxIngestLag int
+	// IngestLag is the total unconsumed backlog across the leaf topics at
+	// capture time — how far the pushers are ahead of the pipeline.
+	IngestLag int64
+	// Start is the run's start instant (the first ingest; the open instant
+	// until anything is pushed).
+	Start time.Time
+	// LastActivity is the instant of the most recent root-side processing.
+	LastActivity time.Time
+	// EventTime reports whether the deployment runs event-time windows.
+	EventTime bool
+	// Watermark is the merged root watermark (event-time mode only; zero
+	// in processing-time mode, while blocked on an expected-but-unheard
+	// producer, before any traffic, and once closed).
+	Watermark time.Time
+	// Adaptive reports whether a feedback controller is installed —
+	// Fraction/Target are meaningful gauges only when true.
+	Adaptive bool
 }
 
 // Snapshot captures the deployment's telemetry mid-run: counters, latency,
@@ -788,15 +834,31 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 		Latency:         metrics.NewHistogram(),
 		Bandwidth:       s.res.Bandwidth.Snapshot(),
 		SubscriberDrops: s.subDrops.Load(),
+		Window:          s.cfg.Window,
+		MaxIngestLag:    s.cfg.MaxIngestLag,
+		EventTime:       s.cfg.EventTime,
+		Adaptive:        s.cfg.Feedback != nil,
+		Start:           time.Unix(0, s.startNanos.Load()),
+		LastActivity:    time.Unix(0, s.lastActivity.Load()),
 	}
 	snap.WindowsClosed = int(s.windowsClosed.Load())
 	if s.cfg.Feedback != nil {
 		snap.Fraction = s.cfg.Feedback.Fraction()
 		snap.Target = s.cfg.Feedback.Target()
 	}
-	elapsed := now.Sub(time.Unix(0, s.startNanos.Load()))
-	if snap.State == StateClosed {
-		elapsed = s.res.Elapsed
+	// Closed-run fields come exclusively from the atomically-published
+	// final result: s.res is off limits until shutdown stores it, so a
+	// Snapshot racing Close can never read a half-assembled result.
+	fin := s.final.Load()
+	elapsed := now.Sub(snap.Start)
+	if fin != nil {
+		elapsed = fin.Elapsed
+	}
+	if fin == nil {
+		snap.IngestLag = s.ingestLag()
+		if s.cfg.EventTime {
+			snap.Watermark = s.rootWatermark(now)
+		}
 	}
 	if elapsed < 0 {
 		elapsed = 0
@@ -833,6 +895,34 @@ func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTeleme
 	return nodes
 }
 
+// ingestLag totals the unconsumed backlog across every leaf topic — the
+// records pushers have published that the layer-0 consumer groups have not
+// yet committed past. The same probe the Ingester valves use for
+// backpressure, summed for telemetry. Topics shared by several source slots
+// count once. Returns what it has on a closed broker (no backlog left to
+// report).
+func (s *LiveSession) ingestLag() int64 {
+	var total int64
+	seen := make(map[string]struct{}, len(s.plan.Sources))
+	for _, src := range s.plan.Sources {
+		if _, dup := seen[src.Topic]; dup {
+			continue
+		}
+		seen[src.Topic] = struct{}{}
+		t, err := s.broker.Topic(src.Topic)
+		if err != nil {
+			break // broker closed
+		}
+		leaf := s.plan.Layers[0][src.ParentIndex]
+		lag, err := t.GroupLag(leaf.ID + "-in")
+		if err != nil {
+			continue
+		}
+		total += lag
+	}
+	return total
+}
+
 // drain waits until every group is caught up and the root has been idle for
 // several windows (final punctuation flushes included). Every in-flight
 // item is visible to this probe as exactly one of: unfetched topic lag, a
@@ -843,12 +933,18 @@ func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTeleme
 // lags, so a batch that flushes mid-probe is caught either in Ψ at the
 // pending read or as parent-topic lag in the later group sweep (flushes
 // forward before zeroing pending). A cancelled context ends the drain
-// immediately.
-func (s *LiveSession) drain() {
-	deadline := time.Now().Add(2 * time.Minute)
-	for time.Now().Before(deadline) {
+// immediately (nil — the context's error is surfaced by the caller).
+// A pipeline still wedged at cfg.DrainTimeout returns ErrDrainTimeout so
+// the caller can mark the final result incomplete instead of pretending
+// the drain succeeded.
+func (s *LiveSession) drain() error {
+	var deadline time.Time
+	if s.cfg.DrainTimeout > 0 {
+		deadline = time.Now().Add(s.cfg.DrainTimeout)
+	}
+	for deadline.IsZero() || time.Now().Before(deadline) {
 		if s.ctx.Err() != nil {
-			return
+			return nil
 		}
 		var lag, pending int64
 		busy := false
@@ -861,14 +957,15 @@ func (s *LiveSession) drain() {
 		}
 		idle := time.Since(time.Unix(0, s.lastActivity.Load()))
 		if lag == 0 && !busy && pending == 0 && idle > 4*s.cfg.Window {
-			return
+			return nil
 		}
 		select {
 		case <-s.ctx.Done():
-			return
+			return nil
 		case <-time.After(s.cfg.Window / 4):
 		}
 	}
+	return ErrDrainTimeout
 }
 
 // Close drains the deployment and returns the final merged LiveResult:
@@ -911,7 +1008,15 @@ func (s *LiveSession) shutdown(drain bool, cause error) {
 				// probe below sees the buffered event windows flush.
 				s.sendEOS()
 			}
-			s.drain()
+			if derr := s.drain(); derr != nil {
+				// The pipeline never quiesced: assemble the result anyway,
+				// but say so — a silent partial drain is indistinguishable
+				// from a clean one to the caller.
+				s.res.DrainTimedOut = true
+				if cause == nil {
+					cause = derr
+				}
+			}
 		}
 		if err := s.ctx.Err(); err != nil && cause == nil {
 			cause = err // cancelled mid-Close: report it like an abort
@@ -930,6 +1035,12 @@ func (s *LiveSession) shutdown(drain bool, cause error) {
 		s.stopAll()
 		s.broker.Close()
 		s.finalize(end)
+		// Publish the fully-assembled result atomically BEFORE the state
+		// flips to closed: concurrent Snapshots read closed-run fields only
+		// through this pointer, never through s.res directly, so no
+		// interleaving can observe a half-assembled result — regardless of
+		// how the stores below are ordered or reordered in the future.
+		s.final.Store(s.res)
 		s.errMu.Lock()
 		s.closeErr = cause
 		s.errMu.Unlock()

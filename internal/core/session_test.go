@@ -593,3 +593,144 @@ func BenchmarkSessionIngest(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// TestSessionSnapshotDuringClose races snapshot readers against the whole
+// shutdown sequence: the closed-run fields (Elapsed, and the Throughput
+// derived from it) must come from the atomically-published final result,
+// never from a half-assembled one. Run under -race this is the regression
+// guard for the Snapshot/Close lifecycle race; the semantic assertion —
+// any snapshot that observes StateClosed must report exactly the final
+// Elapsed — holds at any interleaving.
+func TestSessionSnapshotDuringClose(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		s, err := OpenLive(context.Background(), sessionConfig(0.3))
+		if err != nil {
+			t.Fatalf("OpenLive: %v", err)
+		}
+		pushGenerated(t, s, 11, 4000)
+		var closedSnaps []LiveSnapshot
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				snap := s.Snapshot()
+				if snap.State == StateClosed {
+					closedSnaps = append(closedSnaps, snap)
+					if len(closedSnaps) > 3 {
+						return
+					}
+				}
+				select {
+				case <-s.Done():
+					return
+				default:
+				}
+			}
+		}()
+		res, err := s.Close()
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		<-done
+		for _, snap := range closedSnaps {
+			if snap.Elapsed != res.Elapsed {
+				t.Fatalf("closed-state snapshot Elapsed = %v, final result has %v", snap.Elapsed, res.Elapsed)
+			}
+		}
+		// And after Close returns, a fresh snapshot agrees with the result.
+		snap := s.Snapshot()
+		if snap.State != StateClosed || snap.Elapsed != res.Elapsed {
+			t.Fatalf("post-close snapshot = {%v %v}, want {closed %v}", snap.State, snap.Elapsed, res.Elapsed)
+		}
+	}
+}
+
+// TestSessionDrainTimeoutWedgedPipeline wedges the pipeline with a
+// saturated root — RootWork per-item spin far exceeding the drain budget —
+// and asserts the timeout is surfaced instead of expiring silently:
+// Close and Err return ErrDrainTimeout and the result is marked
+// DrainTimedOut, so a caller can no longer mistake a partial drain for a
+// clean one.
+func TestSessionDrainTimeoutWedgedPipeline(t *testing.T) {
+	cfg := sessionConfig(1.0) // census: every pushed item reaches the root
+	cfg.Window = 25 * time.Millisecond
+	cfg.RootWork = 15 * time.Millisecond // ~2s of root work for 150 items
+	cfg.DrainTimeout = 200 * time.Millisecond
+	s, err := OpenLive(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("OpenLive: %v", err)
+	}
+	items := make([]stream.Item, 150)
+	now := time.Now()
+	for i := range items {
+		items[i] = stream.Item{Ts: now, Value: 1}
+	}
+	if err := s.Ingest("wedge", items...); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	// Let the edge layers forward into the root topic so the backlog sits
+	// where the drain probe watches it.
+	time.Sleep(100 * time.Millisecond)
+	res, err := s.Close()
+	if !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Close error = %v, want ErrDrainTimeout", err)
+	}
+	if !errors.Is(s.Err(), ErrDrainTimeout) {
+		t.Fatalf("Err() = %v, want ErrDrainTimeout", s.Err())
+	}
+	if !res.DrainTimedOut {
+		t.Fatal("LiveResult.DrainTimedOut = false after a timed-out drain")
+	}
+}
+
+// TestSessionDrainTimeoutCleanRun is the negative control: a healthy
+// pipeline drains within the budget and reports nothing.
+func TestSessionDrainTimeoutCleanRun(t *testing.T) {
+	cfg := sessionConfig(0.5)
+	cfg.DrainTimeout = 30 * time.Second
+	s, err := OpenLive(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("OpenLive: %v", err)
+	}
+	pushGenerated(t, s, 5, 2000)
+	res, err := s.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res.DrainTimedOut {
+		t.Fatal("clean run marked DrainTimedOut")
+	}
+}
+
+// TestSnapshotHealthFields covers the health-probe fields the ops surface
+// reads: configuration echoes, ingest lag, and activity instants.
+func TestSnapshotHealthFields(t *testing.T) {
+	cfg := sessionConfig(0.5)
+	s, err := OpenLive(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("OpenLive: %v", err)
+	}
+	snap := s.Snapshot()
+	if snap.Window != cfg.Window {
+		t.Errorf("Window = %v, want %v", snap.Window, cfg.Window)
+	}
+	if snap.MaxIngestLag != defaultMaxIngestLag {
+		t.Errorf("MaxIngestLag = %d, want default %d", snap.MaxIngestLag, defaultMaxIngestLag)
+	}
+	if snap.EventTime || snap.Adaptive {
+		t.Errorf("EventTime/Adaptive = %v/%v on a plain processing-time run", snap.EventTime, snap.Adaptive)
+	}
+	if snap.Start.IsZero() || snap.LastActivity.IsZero() {
+		t.Error("Start/LastActivity zero on an open session")
+	}
+	pushGenerated(t, s, 9, 3000)
+	if got := s.Snapshot().IngestLag; got < 0 {
+		t.Errorf("IngestLag = %d, want ≥ 0", got)
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := s.Snapshot().IngestLag; got != 0 {
+		t.Errorf("IngestLag = %d after close, want 0", got)
+	}
+}

@@ -1,5 +1,6 @@
 // Package docscheck keeps the repository's markdown honest: every relative
-// link in every *.md file must point at a file or directory that exists.
+// link in every *.md file must point at a file or directory that exists,
+// and every repo-relative path quoted in a code span must too.
 // It runs as a plain test, so doc rot fails tier-1 and the CI docs job
 // alike — no external link-checker dependency needed.
 package docscheck
@@ -86,6 +87,77 @@ func TestMarkdownLinks(t *testing.T) {
 			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q (resolved %s)", rel, m[1], resolved)
+			}
+		}
+	}
+}
+
+// codeSpan matches single-backtick inline code with no spaces — the shape a
+// quoted file path takes in prose.
+var codeSpan = regexp.MustCompile("`([^`\\s]+)`")
+
+// pathRoots are the repo directories a code-span path claim may start
+// with. A span like `internal/ops` is a claim that the path exists; spans
+// starting anywhere else (`approxiot.Open`, `/metrics`, `go test`) are not
+// path claims and are ignored.
+var pathRoots = []string{"internal/", "examples/", "cmd/", "docs/", "scripts/", ".github/"}
+
+// TestMarkdownPathClaims verifies that repo-relative paths quoted in
+// markdown code spans exist — the rot class where prose cites
+// `internal/foo` or an exemplar directory long after it was renamed or
+// never existed in this checkout. Only paths under the known repo roots
+// are checked, always against the repository root (unlike links, which
+// resolve against the referencing file). `:line` and `/...` suffixes are
+// stripped first.
+func TestMarkdownPathClaims(t *testing.T) {
+	root := repoRoot(t)
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("read %s: %v", md, err)
+		}
+		rel, _ := filepath.Rel(root, md)
+		for _, m := range codeSpan.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			claimed := false
+			for _, prefix := range pathRoots {
+				if strings.HasPrefix(target, prefix) {
+					claimed = true
+					break
+				}
+			}
+			if !claimed {
+				continue
+			}
+			// `pkg/file.go:123` cites a line, `pkg/...` a subtree — the
+			// path half must still exist.
+			if i := strings.IndexByte(target, ':'); i >= 0 {
+				target = target[:i]
+			}
+			target = strings.TrimSuffix(target, "/...")
+			target = strings.TrimSuffix(target, "/")
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(target))); err != nil {
+				t.Errorf("%s: code span cites %q but %s does not exist in the repo", rel, m[1], target)
 			}
 		}
 	}

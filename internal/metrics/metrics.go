@@ -195,6 +195,51 @@ func (h *Histogram) Snapshot() *Histogram {
 	return out
 }
 
+// Sum returns the total of every observed sample.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistogramBucket is one cumulative bucket of an exported histogram: Count
+// samples were observed at or below UpperBound. The shape Prometheus
+// histogram exposition wants (`le` labels), before unit conversion.
+type HistogramBucket struct {
+	// UpperBound is the bucket's inclusive upper bound.
+	UpperBound time.Duration
+	// Count is cumulative: every sample ≤ UpperBound, not just this
+	// bucket's own.
+	Count int64
+}
+
+// Buckets exports the distribution in cumulative form: ascending upper
+// bounds, monotonically non-decreasing counts, with the last entry's Count
+// equal to the total the export saw. Buckets that hold no samples are
+// coalesced away, so the slice stays small no matter how wide the
+// instrument's internal bucket array is; an empty histogram exports nil.
+// Safe to call while observers keep writing — a sample landing mid-export
+// may be missed by this call, but the returned slice is always internally
+// consistent (counts are accumulated in one ascending sweep, never
+// re-read), and exact once writers quiesce. Exporters deriving a +Inf
+// bucket or a sample count should use the last entry's Count rather than
+// Count(), which may have advanced since the sweep.
+func (h *Histogram) Buckets() []HistogramBucket {
+	var out []HistogramBucket
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, HistogramBucket{UpperBound: bucketUpper(i), Count: cum})
+	}
+	return out
+}
+
+// bucketUpper returns bucket i's inclusive upper bound (the geometric grid
+// edge above its representative value).
+func bucketUpper(i int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(bucketLogBase, float64(i+1)/perDecade))
+}
+
 // Quantile returns the q-th quantile (0 < q <= 1) from the bucket bounds.
 // Exact min/max are returned at the extremes.
 func (h *Histogram) Quantile(q float64) time.Duration {

@@ -397,3 +397,103 @@ func TestBandwidthCountersConcurrent(t *testing.T) {
 		t.Fatalf("Link(hot) = %d, want %d", got, workers*perWorker)
 	}
 }
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram()
+	samples := []time.Duration{
+		5 * time.Microsecond,
+		5 * time.Microsecond,
+		800 * time.Microsecond,
+		30 * time.Millisecond,
+		30 * time.Millisecond,
+		30 * time.Millisecond,
+		2 * time.Second,
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	bks := h.Buckets()
+	if len(bks) != 4 {
+		t.Fatalf("Buckets() = %d entries, want 4 (one per distinct populated bucket): %+v", len(bks), bks)
+	}
+	// Cumulative counts along the distinct sample magnitudes.
+	wantCum := []int64{2, 3, 6, 7}
+	for i, bk := range bks {
+		if bk.Count != wantCum[i] {
+			t.Errorf("bucket %d: cumulative count = %d, want %d", i, bk.Count, wantCum[i])
+		}
+		if i > 0 && bk.UpperBound <= bks[i-1].UpperBound {
+			t.Errorf("bucket %d: upper bound %v not ascending past %v", i, bk.UpperBound, bks[i-1].UpperBound)
+		}
+	}
+	if last := bks[len(bks)-1].Count; last != h.Count() {
+		t.Errorf("last cumulative count = %d, want total %d", last, h.Count())
+	}
+	// Every sample must sit at or below the bound of the bucket that counted
+	// it: the bound for the first two samples must cover 5µs, etc.
+	if bks[0].UpperBound < 5*time.Microsecond {
+		t.Errorf("first bound %v below the 5µs samples it counts", bks[0].UpperBound)
+	}
+	if h.Sum() != 2090810*time.Microsecond {
+		t.Errorf("Sum() = %v, want %v", h.Sum(), 2090810*time.Microsecond)
+	}
+}
+
+func TestHistogramBucketsEmpty(t *testing.T) {
+	if bks := NewHistogram().Buckets(); bks != nil {
+		t.Fatalf("empty histogram Buckets() = %+v, want nil", bks)
+	}
+}
+
+// TestHistogramBucketsWhileObserving races the cumulative exporter against
+// hot-path observers: every export must be internally consistent — counts
+// non-decreasing at ascending bounds — and the final quiesced export exact.
+// Run with -race, this is also the Observe-during-export data-race check.
+func TestHistogramBucketsWhileObserving(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 4, 20000
+	var writers sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(1+(i%1000)*(w+1)) * time.Microsecond)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bks := h.Buckets()
+			for i := 1; i < len(bks); i++ {
+				if bks[i].Count < bks[i-1].Count {
+					t.Errorf("cumulative count regressed inside one export: %d then %d", bks[i-1].Count, bks[i].Count)
+					return
+				}
+				if bks[i].UpperBound <= bks[i-1].UpperBound {
+					t.Errorf("upper bounds not ascending: %v then %v", bks[i-1].UpperBound, bks[i].UpperBound)
+					return
+				}
+			}
+		}
+	}()
+	close(start)
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	bks := h.Buckets()
+	if len(bks) == 0 || bks[len(bks)-1].Count != workers*perWorker {
+		t.Fatalf("quiesced export total = %+v, want %d", bks, workers*perWorker)
+	}
+}

@@ -1,0 +1,295 @@
+// Package ops is the operational HTTP surface of a live deployment. The
+// paper evaluates ApproxIoT on exactly three metrics — throughput,
+// end-to-end latency, and network bandwidth (§V-A) — and the session layer
+// already measures all of them (core.LiveSnapshot); this package makes them
+// observable without linking the Go package and calling Snapshot yourself:
+//
+//	/health         JSON component checks: lifecycle state, ingest lag vs
+//	                the backpressure high-water mark, consumer-group stall
+//	                detection, and watermark progress in event-time mode.
+//	                HTTP 200 while serviceable, 503 once any check fails.
+//	/metrics        Prometheus text exposition: run counters, adaptive
+//	                gauges, per-topic bandwidth, per-member node telemetry,
+//	                and the latency histogram as cumulative buckets.
+//	/metrics/query  sar-style windowed counter rates over the sampler's
+//	                retained history (?window=5m&lookback=2h), lookback
+//	                clamped to what the ring still holds.
+//
+// The surface is read-only and stays off the hot path: every handler reads
+// one LiveSnapshot — which copies the already lock-free instruments — and
+// the background sampler polls the same snapshot on a fixed cadence into a
+// fixed-capacity ring, so retention (and memory) stays bounded no matter
+// how long a soak run serves.
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/core"
+)
+
+// Source is anything that can produce a live telemetry snapshot — a
+// *core.LiveSession, or the facade Deployment wrapping one.
+type Source interface {
+	Snapshot() core.LiveSnapshot
+}
+
+// Config tunes the ops surface. The zero value is ready to use.
+type Config struct {
+	// Cadence is the sampler's poll period (default 1s). Retention spans
+	// Cadence × Capacity — raise Cadence for longer lookbacks at the same
+	// memory.
+	Cadence time.Duration
+	// Capacity is the sample ring's size in samples (default 7200 — two
+	// hours at the default cadence, a few hundred kilobytes). The ring
+	// overwrites its oldest sample at capacity; it never grows.
+	Capacity int
+	// Namespace prefixes every exported metric family (default
+	// "approxiot").
+	Namespace string
+
+	// now substitutes the sampler's clock in tests.
+	now func() time.Time
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultCadence   = time.Second
+	DefaultCapacity  = 7200
+	defaultNamespace = "approxiot"
+)
+
+func (c Config) withDefaults() Config {
+	if c.Cadence <= 0 {
+		c.Cadence = DefaultCadence
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.Namespace == "" {
+		c.Namespace = defaultNamespace
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server serves one deployment's operational surface. Construct with
+// NewServer, mount Handler on any HTTP server, Start the sampler, and Stop
+// it when the deployment closes. All methods are safe for concurrent use.
+type Server struct {
+	src  Source
+	cfg  Config
+	ring *ring
+	mux  *http.ServeMux
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+}
+
+// NewServer builds the ops surface over src. The sampler does not run until
+// Start; the handlers work either way (the query endpoint just has no
+// history yet).
+func NewServer(src Source, cfg Config) *Server {
+	s := &Server{
+		src:    src,
+		cfg:    cfg.withDefaults(),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	s.ring = newRing(s.cfg.Capacity)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/health", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/query", s.handleQuery)
+	return s
+}
+
+// Handler returns the HTTP handler serving /health, /metrics, and
+// /metrics/query.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the background sampler: one Snapshot per cadence tick into
+// the retention ring. Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.doneCh)
+			ticker := time.NewTicker(s.cfg.Cadence)
+			defer ticker.Stop()
+			s.observe(s.cfg.now())
+			for {
+				select {
+				case <-s.stopCh:
+					return
+				case <-ticker.C:
+					s.observe(s.cfg.now())
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampler and waits for it to exit. Handlers keep working on
+// the frozen history. Idempotent, and safe before Start.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.startOnce.Do(func() { close(s.doneCh) }) // never started: nothing to wait out
+	<-s.doneCh
+}
+
+// observe takes one sample of the deployment into the ring.
+func (s *Server) observe(now time.Time) {
+	s.ring.add(newSample(now, s.src.Snapshot()))
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "approxiot ops surface\n\n/health\n/metrics\n/metrics/query?window=5m&lookback=2h\n")
+}
+
+// Health statuses, ordered by severity.
+const (
+	StatusOK       = "ok"
+	StatusDegraded = "degraded"
+	StatusFail     = "fail"
+)
+
+// ComponentHealth is one named check's verdict.
+type ComponentHealth struct {
+	Status string `json:"status"`
+	Detail string `json:"detail"`
+}
+
+// HealthReport is the /health response body.
+type HealthReport struct {
+	// Status is the worst component status: ok, degraded, or fail.
+	Status string `json:"status"`
+	// State echoes the deployment lifecycle phase.
+	State string `json:"state"`
+	// Time is the probe instant.
+	Time time.Time `json:"time"`
+	// Components holds the individual checks: lifecycle, ingest,
+	// progress, and (event-time deployments only) watermark.
+	Components map[string]ComponentHealth `json:"components"`
+}
+
+func severity(status string) int {
+	switch status {
+	case StatusFail:
+		return 2
+	case StatusDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// buildHealth derives the component checks from one snapshot. Pure, so the
+// checks are unit-testable without HTTP.
+func buildHealth(snap core.LiveSnapshot, now time.Time) HealthReport {
+	rep := HealthReport{
+		Status:     StatusOK,
+		State:      snap.State.String(),
+		Time:       now,
+		Components: make(map[string]ComponentHealth),
+	}
+	set := func(name, status, detail string) {
+		rep.Components[name] = ComponentHealth{Status: status, Detail: detail}
+		if severity(status) > severity(rep.Status) {
+			rep.Status = status
+		}
+	}
+
+	// Lifecycle: the deployment is serviceable while ingesting, winding
+	// down while draining, and gone once closed.
+	switch snap.State {
+	case core.StateIngesting:
+		set("lifecycle", StatusOK, "ingesting")
+	case core.StateDraining:
+		set("lifecycle", StatusDegraded, "draining: pushes rejected, in-flight windows finishing")
+	default:
+		set("lifecycle", StatusFail, "closed: deployment has shut down")
+	}
+
+	// Ingest: how far the pushers are ahead of the pipeline, against the
+	// backpressure high-water mark the valves block at.
+	switch {
+	case snap.MaxIngestLag < 0:
+		set("ingest", StatusOK, fmt.Sprintf("backlog %d (backpressure disabled)", snap.IngestLag))
+	case snap.IngestLag >= int64(snap.MaxIngestLag):
+		set("ingest", StatusDegraded, fmt.Sprintf("backlog %d at high-water %d: pushers are blocked on backpressure", snap.IngestLag, snap.MaxIngestLag))
+	default:
+		set("ingest", StatusOK, fmt.Sprintf("backlog %d of high-water %d", snap.IngestLag, snap.MaxIngestLag))
+	}
+
+	// Progress: consumer-group stall detection. Backlog with no root-side
+	// processing for many windows means the groups stopped consuming —
+	// distinct from an idle deployment, which has no backlog to work on.
+	stallAfter := 10 * snap.Window
+	if stallAfter < time.Second {
+		stallAfter = time.Second
+	}
+	idle := now.Sub(snap.LastActivity)
+	switch {
+	case snap.Produced == 0:
+		set("progress", StatusOK, "no traffic yet")
+	case snap.IngestLag > 0 && idle > stallAfter:
+		set("progress", StatusFail, fmt.Sprintf("stalled: backlog %d with no root-side processing for %v", snap.IngestLag, idle.Round(time.Millisecond)))
+	case snap.RootProcessed == 0 && idle > stallAfter:
+		set("progress", StatusFail, fmt.Sprintf("stalled: %d items pushed, none reached the root in %v", snap.Produced, idle.Round(time.Millisecond)))
+	default:
+		set("progress", StatusOK, fmt.Sprintf("last root-side processing %v ago", idle.Round(time.Millisecond)))
+	}
+
+	// Watermark: event-time deployments must keep event time moving — a
+	// zero merged watermark under traffic means an expected producer has
+	// not been heard and every window is blocked behind it.
+	if snap.EventTime && snap.State == core.StateIngesting {
+		switch {
+		case snap.Produced == 0:
+			set("watermark", StatusOK, "no traffic yet")
+		case snap.Watermark.IsZero():
+			set("watermark", StatusDegraded, "blocked: an expected producer has not been heard from")
+		default:
+			set("watermark", StatusOK, fmt.Sprintf("event time %s, %v behind wall clock", snap.Watermark.Format(time.RFC3339), now.Sub(snap.Watermark).Round(time.Millisecond)))
+		}
+	}
+	return rep
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rep := buildHealth(s.src.Snapshot(), s.cfg.now())
+	w.Header().Set("Content-Type", "application/json")
+	if rep.Status == StatusFail {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.cfg.Namespace, s.src.Snapshot(), s.cfg.now())
+}

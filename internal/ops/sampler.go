@@ -1,0 +1,228 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/core"
+)
+
+// sample is one sampler observation: the monotone counters (differenced
+// into rates at query time) plus the instantaneous gauges.
+type sample struct {
+	t time.Time
+
+	produced      int64
+	rootProcessed int64
+	decodeErrors  int64
+	lateDropped   int64
+	windowsClosed int64
+	bandwidth     int64 // bytes across all links
+
+	ingestLag int64
+	fraction  float64
+}
+
+func newSample(now time.Time, snap core.LiveSnapshot) sample {
+	var bw int64
+	for _, b := range snap.Bandwidth {
+		bw += b
+	}
+	return sample{
+		t:             now,
+		produced:      snap.Produced,
+		rootProcessed: snap.RootProcessed,
+		decodeErrors:  snap.DecodeErrors,
+		lateDropped:   snap.LateDropped,
+		windowsClosed: int64(snap.WindowsClosed),
+		bandwidth:     bw,
+		ingestLag:     snap.IngestLag,
+		fraction:      snap.Fraction,
+	}
+}
+
+// ring is the sampler's fixed-capacity history: at capacity each add
+// overwrites the oldest sample, so retention is bounded by construction —
+// capacity × cadence of wall clock, a fixed memory footprint regardless of
+// how long the deployment serves.
+type ring struct {
+	mu   sync.Mutex
+	buf  []sample
+	next int // slot the next add writes
+	n    int // live samples, ≤ len(buf)
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]sample, capacity)}
+}
+
+func (r *ring) add(s sample) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the live samples in chronological order.
+func (r *ring) snapshot() []sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sample, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// QueryPoint is one windowed rate observation in a /metrics/query response.
+// Rates are per-second deltas of the counters across the window; gauges are
+// the values at the window's closing sample.
+type QueryPoint struct {
+	Time                   time.Time `json:"time"`
+	ProducedPerSecond      float64   `json:"produced_per_second"`
+	RootProcessedPerSecond float64   `json:"root_processed_per_second"`
+	DecodeErrorsPerSecond  float64   `json:"decode_errors_per_second"`
+	LateDroppedPerSecond   float64   `json:"late_dropped_per_second"`
+	WindowsPerSecond       float64   `json:"windows_per_second"`
+	BandwidthBytesPerSec   float64   `json:"bandwidth_bytes_per_second"`
+	IngestLag              int64     `json:"ingest_lag"`
+	Fraction               float64   `json:"fraction"`
+}
+
+// QueryResponse is the /metrics/query response body.
+type QueryResponse struct {
+	// Window and Lookback echo the (defaulted, clamped) query parameters.
+	Window   string `json:"window"`
+	Lookback string `json:"lookback"`
+	// Clamped reports that the requested lookback exceeded the retained
+	// span and was cut down to it.
+	Clamped bool `json:"clamped"`
+	// Retained is the span of history the ring currently holds.
+	Retained string `json:"retained"`
+	// Points are the windowed rates, oldest first.
+	Points []QueryPoint `json:"points"`
+}
+
+// Query defaults: a sar-style one-minute grain over the last hour.
+const (
+	defaultQueryWindow   = time.Minute
+	defaultQueryLookback = time.Hour
+)
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	window, err := durationParam(r, "window", defaultQueryWindow)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lookback, err := durationParam(r, "lookback", defaultQueryLookback)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if lookback < window {
+		lookback = window
+	}
+	resp := buildQuery(s.ring.snapshot(), window, lookback)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func durationParam(r *http.Request, name string, def time.Duration) (time.Duration, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad %s: must be positive", name)
+	}
+	return d, nil
+}
+
+// buildQuery differences the retained samples into windowed rates. The
+// lookback is clamped to the retained span; each window's rates are the
+// counter deltas between the last sample at or before the window's start
+// and the last sample inside the window, divided by the actual span between
+// those samples — so a cadence that does not divide the window evenly still
+// yields correct per-second rates, and each sample is the baseline of the
+// next window (chained deltas: nothing counted twice, nothing skipped).
+func buildQuery(samples []sample, window, lookback time.Duration) QueryResponse {
+	resp := QueryResponse{
+		Window:   window.String(),
+		Lookback: lookback.String(),
+		Retained: "0s",
+		Points:   []QueryPoint{},
+	}
+	if len(samples) == 0 {
+		return resp
+	}
+	oldest, newest := samples[0].t, samples[len(samples)-1].t
+	retained := newest.Sub(oldest)
+	resp.Retained = retained.String()
+	if lookback > retained {
+		lookback = retained
+		resp.Clamped = true
+		resp.Lookback = lookback.String()
+	}
+	if len(samples) < 2 {
+		return resp
+	}
+
+	start := newest.Add(-lookback)
+	// base: the last sample at or before the current window boundary —
+	// the baseline the next window's deltas are taken against.
+	base := 0
+	for base+1 < len(samples) && !samples[base+1].t.After(start) {
+		base++
+	}
+	i := base
+	for b0 := start; b0.Before(newest); b0 = b0.Add(window) {
+		b1 := b0.Add(window)
+		// end: the last sample inside (b0, b1].
+		end := i
+		for end+1 < len(samples) && !samples[end+1].t.After(b1) {
+			end++
+		}
+		if end == i && !samples[end].t.After(b0) {
+			continue // no sample landed in this window
+		}
+		a, b := samples[i], samples[end]
+		span := b.t.Sub(a.t).Seconds()
+		if span > 0 {
+			rate := func(d int64) float64 { return float64(d) / span }
+			resp.Points = append(resp.Points, QueryPoint{
+				Time:                   b.t,
+				ProducedPerSecond:      rate(b.produced - a.produced),
+				RootProcessedPerSecond: rate(b.rootProcessed - a.rootProcessed),
+				DecodeErrorsPerSecond:  rate(b.decodeErrors - a.decodeErrors),
+				LateDroppedPerSecond:   rate(b.lateDropped - a.lateDropped),
+				WindowsPerSecond:       rate(b.windowsClosed - a.windowsClosed),
+				BandwidthBytesPerSec:   rate(b.bandwidth - a.bandwidth),
+				IngestLag:              b.ingestLag,
+				Fraction:               b.fraction,
+			})
+		}
+		i = end
+	}
+	return resp
+}
