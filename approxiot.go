@@ -268,6 +268,15 @@ type Config struct {
 	// the default (2 minutes); negative waits forever. Simulated runs
 	// ignore it (virtual time cannot wedge).
 	DrainTimeout time.Duration
+	// Checkpoint, when set, gives every live member a place to persist its
+	// recovery state (reservoir contents, watermarks, committed offsets) at
+	// each window boundary, enabling Deployment.RestartMember to resurrect
+	// a crashed member without double-counting or losing committed input.
+	// Two backends ship with the package — NewMemoryCheckpointStore and
+	// NewFileCheckpointStore. Saves are best-effort and off the hot path;
+	// failures surface on Snapshot.CheckpointErrors. Requires a windowed
+	// strategy (WHS / ParallelWHS). Run and Simulate ignore it.
+	Checkpoint CheckpointStore
 	// OpsAddr, when non-empty, makes Open serve the deployment's
 	// operational HTTP surface on this address ("127.0.0.1:9377", or ":0"
 	// for an ephemeral port): /health, /metrics (Prometheus text

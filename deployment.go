@@ -115,6 +115,7 @@ func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 		EventTime:       cfg.EventTime,
 		AllowedLateness: cfg.AllowedLateness,
 		IdleTimeout:     cfg.IdleTimeout,
+		Checkpoint:      cfg.Checkpoint,
 	})
 	if err != nil {
 		return nil, err

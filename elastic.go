@@ -1,0 +1,130 @@
+package approxiot
+
+import (
+	"github.com/approxiot/approxiot/internal/checkpoint"
+	"github.com/approxiot/approxiot/internal/core"
+)
+
+// Elastic-topology types, re-exported. A live Deployment is elastic: edge
+// consumer groups grow and shrink member by member (AddMember /
+// RemoveMember), whole leaf subtrees detach and re-attach (RemoveEdgeNode /
+// AddEdgeNode), and with Config.Checkpoint set, a crashed member restarts
+// from its last checkpoint without double-counting or losing committed
+// input (KillMember / RestartMember — the former standing in for a real
+// crash in tests and drills).
+type (
+	// CheckpointStore persists opaque per-member recovery blobs. Two
+	// backends ship with the package: NewMemoryCheckpointStore (same
+	// process restarts) and NewFileCheckpointStore (durable across
+	// processes, CRC-verified). Custom implementations must be safe for
+	// concurrent use.
+	CheckpointStore = checkpoint.Store
+	// MemberState describes one consumer-group member for introspection:
+	// its ID, shard index, and lifecycle state ("live", "killed",
+	// "removed").
+	MemberState = core.MemberState
+)
+
+// NewMemoryCheckpointStore returns an in-process checkpoint backend: the
+// right choice when a member restart means a new goroutine in the same
+// process, as in tests and single-binary deployments.
+func NewMemoryCheckpointStore() CheckpointStore { return checkpoint.NewMemoryStore() }
+
+// NewFileCheckpointStore returns a file-backed checkpoint backend rooted at
+// dir (created if absent): one CRC-framed file per member, written
+// atomically, surviving process restarts.
+func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
+	return checkpoint.NewFileStore(dir)
+}
+
+// Checkpoint-store errors, re-exported for errors.Is tests.
+var (
+	// ErrCheckpointNotFound reports that no checkpoint exists for the
+	// member (a member killed before its first window restarts from its
+	// replay origin instead).
+	ErrCheckpointNotFound = checkpoint.ErrNotFound
+	// ErrCheckpointCorrupt reports that a stored checkpoint failed
+	// integrity verification and was not restored — the member stays
+	// restartable so the operator can repair or delete the blob.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+)
+
+// Elastic-operation errors, re-exported for errors.Is tests.
+var (
+	// ErrUnknownNode rejects an operation on a node ID the tree doesn't
+	// contain.
+	ErrUnknownNode = core.ErrUnknownNode
+	// ErrUnknownMember rejects an operation on a member ID no group owns.
+	ErrUnknownMember = core.ErrUnknownMember
+	// ErrNotEdgeNode rejects member operations on the root group.
+	ErrNotEdgeNode = core.ErrNotEdgeNode
+	// ErrNotLeafNode rejects detach/attach on interior edge nodes.
+	ErrNotLeafNode = core.ErrNotLeafNode
+	// ErrLastMember rejects removing a group's last live member.
+	ErrLastMember = core.ErrLastMember
+	// ErrNodeDetached rejects pushes to (and re-detaching of) a detached
+	// edge node.
+	ErrNodeDetached = core.ErrNodeDetached
+	// ErrNodeAttached rejects attaching a node that is not detached.
+	ErrNodeAttached = core.ErrNodeAttached
+	// ErrMemberDead rejects killing or removing a member that is not live.
+	ErrMemberDead = core.ErrMemberDead
+	// ErrMemberAlive rejects restarting a member that was never killed.
+	ErrMemberAlive = core.ErrMemberAlive
+	// ErrNoCheckpointStore rejects RestartMember on a Deployment opened
+	// without Config.Checkpoint.
+	ErrNoCheckpointStore = core.ErrNoCheckpointStore
+	// ErrShardsExceedPartitions rejects growing a group beyond
+	// Config.Partitions (the extra member would own no partitions).
+	ErrShardsExceedPartitions = core.ErrShardsExceedPartitions
+)
+
+// EdgeNodeIDs lists the IDs of every edge node, bottom-up in (layer, node)
+// order — the handles the elastic operations accept (e.g. "edge1-0").
+func (d *Deployment) EdgeNodeIDs() []string { return d.s.EdgeNodeIDs() }
+
+// GroupMembers reports the members of node nodeID's consumer group in join
+// order, including killed and retired ones.
+func (d *Deployment) GroupMembers(nodeID string) ([]MemberState, error) {
+	return d.s.GroupMembers(nodeID)
+}
+
+// AddMember grows edge node nodeID's consumer group by one member and
+// returns the new member's ID. The broker rebalances the group's partitions
+// across the widened membership, the group's sampling budget re-splits at
+// the next window boundary, and the new member samples under its own seed
+// lineage. Fails with ErrShardsExceedPartitions once the group is as wide
+// as Config.Partitions.
+func (d *Deployment) AddMember(nodeID string) (string, error) { return d.s.AddMember(nodeID) }
+
+// RemoveMember shrinks edge node nodeID's consumer group by retiring its
+// newest live member, returning the retired member's ID: the member drains
+// what it owns, its partitions rebalance to the survivors, and the group's
+// budget re-splits. The last live member cannot be removed (ErrLastMember) —
+// detach the whole node instead.
+func (d *Deployment) RemoveMember(nodeID string) (string, error) { return d.s.RemoveMember(nodeID) }
+
+// KillMember simulates a crash of the named member: it is stopped in place
+// — no drain, no goodbye — its partitions rebalance to the group's
+// survivors, and it becomes restartable. The handle for crash drills and
+// recovery tests; RestartMember brings it back.
+func (d *Deployment) KillMember(memberID string) error { return d.s.KillMember(memberID) }
+
+// RestartMember resurrects a killed member: it reloads the member's last
+// checkpoint (reservoir, watermarks, committed offsets), replays the gap
+// between the checkpoint and the kill from the broker's retained log, and
+// rejoins the group — without double-counting a record or regressing the
+// watermark. Requires Config.Checkpoint (ErrNoCheckpointStore); a corrupt
+// checkpoint fails the restart (ErrCheckpointCorrupt) and leaves the member
+// restartable.
+func (d *Deployment) RestartMember(memberID string) error { return d.s.RestartMember(memberID) }
+
+// RemoveEdgeNode detaches a layer-0 edge node and its source slots from the
+// tree: pushes to its slots start failing with ErrNodeDetached, the node
+// drains what it has accepted, and its members retire. The rest of the tree
+// keeps processing; AddEdgeNode re-attaches the node later.
+func (d *Deployment) RemoveEdgeNode(nodeID string) error { return d.s.RemoveEdgeNode(nodeID) }
+
+// AddEdgeNode re-attaches a detached layer-0 edge node with fresh members:
+// its source slots accept pushes again and the group's budget re-splits.
+func (d *Deployment) AddEdgeNode(nodeID string) error { return d.s.AddEdgeNode(nodeID) }

@@ -1,0 +1,181 @@
+package approxiot
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// elasticDeployConfig shapes a small sharded deployment with checkpointing:
+// 4 partitions per topic, two members per edge node, a memory-backed
+// checkpoint store so members can be killed and resurrected.
+func elasticDeployConfig() Config {
+	return Config{
+		Fraction:    0.3,
+		Queries:     []QueryKind{Sum, Count},
+		Seed:        19,
+		Window:      25 * time.Millisecond,
+		Partitions:  4,
+		LayerShards: 2,
+		Checkpoint:  NewMemoryCheckpointStore(),
+	}
+}
+
+// pushElasticRound pushes perSlot items into every source slot, tolerating
+// detached leaves (their slots reject with ErrNodeDetached by design).
+func pushElasticRound(t *testing.T, d *Deployment, round, perSlot int) int64 {
+	t.Helper()
+	slots := elasticDeployConfig().normalize().Tree.Sources
+	var pushed int64
+	for slot := 0; slot < slots; slot++ {
+		ing, err := d.Ingester(slot)
+		if err != nil {
+			t.Fatalf("Ingester(%d): %v", slot, err)
+		}
+		items := make([]Item, perSlot)
+		for i := range items {
+			items[i] = Item{Value: float64(round*perSlot + i)}
+		}
+		err = ing.Push(items...)
+		switch {
+		case err == nil:
+			pushed += int64(perSlot)
+		case errors.Is(err, ErrNodeDetached):
+			// expected while the slot's leaf is detached
+		default:
+			t.Fatalf("Push(slot %d): %v", slot, err)
+		}
+	}
+	return pushed
+}
+
+// TestDeploymentElasticLifecycle drives every elastic operation through the
+// facade: grow a group, kill and resurrect a member, detach and re-attach a
+// leaf node — then checks the exact-count identity
+// Σ EstimatedInput + LateDroppedInput == Produced survived all of it.
+func TestDeploymentElasticLifecycle(t *testing.T) {
+	d, err := Open(context.Background(), elasticDeployConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+
+	nodes := d.EdgeNodeIDs()
+	if len(nodes) != 6 { // testbed edge layers: 4 + 2 (the root is not elastic)
+		t.Fatalf("EdgeNodeIDs = %v, want 6 nodes", nodes)
+	}
+
+	var produced int64
+	for round := 0; round < 10; round++ {
+		produced += pushElasticRound(t, d, round, 25)
+		switch round {
+		case 1:
+			if _, err := d.AddMember("edge1-0"); err != nil {
+				t.Fatalf("AddMember: %v", err)
+			}
+		case 3:
+			if err := d.KillMember("edge1-1-shard1"); err != nil {
+				t.Fatalf("KillMember: %v", err)
+			}
+		case 5:
+			if err := d.RestartMember("edge1-1-shard1"); err != nil {
+				t.Fatalf("RestartMember: %v", err)
+			}
+		case 6:
+			if err := d.RemoveEdgeNode("edge1-3"); err != nil {
+				t.Fatalf("RemoveEdgeNode: %v", err)
+			}
+		case 8:
+			if err := d.AddEdgeNode("edge1-3"); err != nil {
+				t.Fatalf("AddEdgeNode: %v", err)
+			}
+		}
+		time.Sleep(elasticDeployConfig().Window / 2)
+	}
+
+	members, err := d.GroupMembers("edge1-0")
+	if err != nil {
+		t.Fatalf("GroupMembers: %v", err)
+	}
+	live := 0
+	for _, m := range members {
+		if m.State == "live" {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("edge1-0 live members = %d (of %v), want 3", live, members)
+	}
+
+	res, err := d.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res.Produced != produced {
+		t.Fatalf("Produced = %d, want %d", res.Produced, produced)
+	}
+	var estimated float64
+	for _, w := range res.Windows {
+		estimated += w.EstimatedInput
+	}
+	got := estimated + res.LateDroppedInput
+	if math.Abs(got-float64(produced)) > 1e-9*math.Max(math.Abs(got), float64(produced)) {
+		t.Fatalf("count invariant broken: estimated+late = %v, produced = %d", got, produced)
+	}
+	if snap := d.Snapshot(); snap.CheckpointErrors != 0 {
+		t.Fatalf("CheckpointErrors = %d, want 0", snap.CheckpointErrors)
+	}
+}
+
+// TestDeploymentElasticErrors exercises the re-exported error identities
+// through the facade surface.
+func TestDeploymentElasticErrors(t *testing.T) {
+	cfg := elasticDeployConfig()
+	cfg.Checkpoint = nil
+	d, err := Open(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer d.Close()
+
+	if _, err := d.GroupMembers("nonesuch"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("GroupMembers(nonesuch) = %v, want ErrUnknownNode", err)
+	}
+	if _, err := d.AddMember("root-0"); !errors.Is(err, ErrNotEdgeNode) {
+		t.Errorf("AddMember(root-0) = %v, want ErrNotEdgeNode", err)
+	}
+	if err := d.RemoveEdgeNode("edge2-0"); !errors.Is(err, ErrNotLeafNode) {
+		t.Errorf("RemoveEdgeNode(edge2-0) = %v, want ErrNotLeafNode", err)
+	}
+	if err := d.KillMember("edge1-0"); err != nil {
+		t.Fatalf("KillMember: %v", err)
+	}
+	if err := d.RestartMember("edge1-0"); !errors.Is(err, ErrNoCheckpointStore) {
+		t.Errorf("RestartMember without store = %v, want ErrNoCheckpointStore", err)
+	}
+	if _, err := d.RemoveMember("edge1-0"); !errors.Is(err, ErrLastMember) {
+		t.Errorf("RemoveMember(last live) = %v, want ErrLastMember", err)
+	}
+}
+
+// TestCheckpointStoreReexports pins the backend constructors and error
+// identities the facade re-exports.
+func TestCheckpointStoreReexports(t *testing.T) {
+	mem := NewMemoryCheckpointStore()
+	if _, err := mem.Load("ghost"); !errors.Is(err, ErrCheckpointNotFound) {
+		t.Errorf("memory Load(ghost) = %v, want ErrCheckpointNotFound", err)
+	}
+	fs, err := NewFileCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileCheckpointStore: %v", err)
+	}
+	if err := fs.Save("m", []byte("state")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	blob, err := fs.Load("m")
+	if err != nil || string(blob) != "state" {
+		t.Fatalf("Load = %q, %v", blob, err)
+	}
+}

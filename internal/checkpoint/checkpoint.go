@@ -1,0 +1,174 @@
+// Package checkpoint provides the pluggable stores that shard-group members
+// save their recovery state into: reservoir (Ψ) contents, watermark chains,
+// and consumer offsets, serialized by the session layer into an opaque blob
+// keyed by member ID. A restarted member loads its blob, restores state,
+// replays the gap from the broker's retained log, and rejoins its group.
+//
+// Two backends ship: MemoryStore (tests, single-process deployments) and
+// FileStore (one file per member, atomic replace, CRC-checked so a torn or
+// tampered file is rejected instead of silently restoring garbage).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store persists opaque per-member checkpoint blobs. Implementations must be
+// safe for concurrent use: distinct members checkpoint from their own
+// goroutines.
+type Store interface {
+	// Save durably replaces the blob for member id. The caller may reuse
+	// state after Save returns.
+	Save(id string, state []byte) error
+	// Load returns the most recently saved blob for member id:
+	// ErrNotFound when no checkpoint exists, ErrCorrupt when one exists
+	// but fails integrity verification.
+	Load(id string) ([]byte, error)
+	// Delete removes member id's checkpoint; deleting a missing
+	// checkpoint is not an error.
+	Delete(id string) error
+}
+
+var (
+	// ErrNotFound reports that no checkpoint exists for the member.
+	ErrNotFound = errors.New("checkpoint: not found")
+	// ErrCorrupt reports that a stored checkpoint failed integrity
+	// verification (bad magic, truncation, or CRC mismatch) and must not
+	// be restored.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+)
+
+// MemoryStore keeps checkpoints in process memory: the right backend for
+// tests and for deployments where a member restart means a new goroutine in
+// the same process, not a new process.
+type MemoryStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemoryStore returns an empty in-memory store.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{blobs: make(map[string][]byte)}
+}
+
+func (s *MemoryStore) Save(id string, state []byte) error {
+	cp := append([]byte(nil), state...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[id] = cp
+	return nil
+}
+
+func (s *MemoryStore) Load(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, ok := s.blobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+func (s *MemoryStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, id)
+	return nil
+}
+
+// FileStore persists one file per member under a directory. Writes go to a
+// temp file first and are renamed into place, so a crash mid-save leaves the
+// previous checkpoint intact; every file carries a magic header and a CRC32
+// of the payload, so torn or tampered files surface as ErrCorrupt.
+type FileStore struct {
+	dir string
+}
+
+// fileMagic identifies a checkpoint file and its on-disk format version.
+var fileMagic = []byte("APXCKPT1")
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// path maps a member id to its checkpoint file, flattening any separator
+// characters so an id can never escape the store directory.
+func (s *FileStore) path(id string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', 0:
+			return '_'
+		}
+		return r
+	}, id)
+	return filepath.Join(s.dir, safe+".ckpt")
+}
+
+func (s *FileStore) Save(id string, state []byte) error {
+	buf := make([]byte, 0, len(fileMagic)+8+len(state))
+	buf = append(buf, fileMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(state)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(state))
+	buf = append(buf, state...)
+
+	dst := s.path(id)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+func (s *FileStore) Load(id string) ([]byte, error) {
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	header := len(fileMagic) + 8
+	if len(raw) < header || string(raw[:len(fileMagic)]) != string(fileMagic) {
+		return nil, ErrCorrupt
+	}
+	size := binary.LittleEndian.Uint32(raw[len(fileMagic):])
+	sum := binary.LittleEndian.Uint32(raw[len(fileMagic)+4:])
+	payload := raw[header:]
+	if uint32(len(payload)) != size || crc32.ChecksumIEEE(payload) != sum {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+func (s *FileStore) Delete(id string) error {
+	err := os.Remove(s.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: delete: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stores builds one of each backend for table-driven coverage.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	return map[string]Store{"memory": NewMemoryStore(), "file": fs}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Load("m0"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load before Save: err = %v, want ErrNotFound", err)
+			}
+			blob := []byte("state-v1")
+			if err := s.Save("m0", blob); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			blob[0] = 'X' // caller reuse must not corrupt the store
+			got, err := s.Load("m0")
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if !bytes.Equal(got, []byte("state-v1")) {
+				t.Fatalf("Load = %q, want %q", got, "state-v1")
+			}
+			// Overwrite replaces, mutating the returned copy is safe.
+			got[0] = 'Y'
+			if err := s.Save("m0", []byte("state-v2")); err != nil {
+				t.Fatalf("Save v2: %v", err)
+			}
+			if got, _ := s.Load("m0"); !bytes.Equal(got, []byte("state-v2")) {
+				t.Fatalf("Load after overwrite = %q, want state-v2", got)
+			}
+			if err := s.Delete("m0"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Load("m0"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Load after Delete: err = %v, want ErrNotFound", err)
+			}
+			if err := s.Delete("m0"); err != nil {
+				t.Fatalf("Delete of missing checkpoint: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreIsolatesMembers(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Save("a", []byte("aaa")); err != nil {
+				t.Fatalf("Save a: %v", err)
+			}
+			if err := s.Save("b", []byte("bbb")); err != nil {
+				t.Fatalf("Save b: %v", err)
+			}
+			if err := s.Delete("a"); err != nil {
+				t.Fatalf("Delete a: %v", err)
+			}
+			got, err := s.Load("b")
+			if err != nil || !bytes.Equal(got, []byte("bbb")) {
+				t.Fatalf("Load b = %q, %v; want bbb", got, err)
+			}
+		})
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := s.Save("edge0-shard1", []byte("persisted")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	reopened, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := reopened.Load("edge0-shard1")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("Load after reopen = %q, %v", got, err)
+	}
+}
+
+// TestFileStoreRejectsCorruption is the corrupted-checkpoint-file rejection
+// test: flipped payload bytes, truncation, and a wrong magic must all
+// surface as ErrCorrupt, never as a successful Load of damaged state.
+func TestFileStoreRejectsCorruption(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"payload-flip": func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)-3] },
+		"bad-magic": func(b []byte) []byte {
+			b[0] = '?'
+			return b
+		},
+		"empty": func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewFileStore(dir)
+			if err != nil {
+				t.Fatalf("NewFileStore: %v", err)
+			}
+			if err := s.Save("m", []byte("precious reservoir state")); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			path := filepath.Join(dir, "m.ckpt")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read back: %v", err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatalf("write damage: %v", err)
+			}
+			if _, err := s.Load("m"); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load corrupted: err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestFileStoreSanitizesIDs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("NewFileStore: %v", err)
+	}
+	if err := s.Save("../escape/attempt", []byte("x")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".._escape_attempt.ckpt")); err != nil {
+		t.Fatalf("sanitized file missing: %v", err)
+	}
+	got, err := s.Load("../escape/attempt")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,39 @@ func windowFloor(tsNanos int64, w time.Duration) int64 {
 	return tsNanos - r
 }
 
+// atomicFloat64 is a float64 with atomic add/load, for counters read by
+// snapshot goroutines while the owner accumulates.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// lateCounter accounts records dropped past the lateness horizon in both
+// currencies the Σ-window-counts + late == produced identity needs: raw
+// items (what physically hit the floor) and the estimated original input
+// those items represent. A leaf drops weight-1 records, so the two
+// coincide there; an interior node drops already-sampled batches whose
+// items each stand for Batch.Weight originals, and only the weighted form
+// keeps the identity exact through such a drop.
+type lateCounter struct {
+	items atomic.Int64
+	input atomicFloat64
+}
+
+func (c *lateCounter) add(n int, weight float64) {
+	c.items.Add(int64(n))
+	c.input.add(weight * float64(n))
+}
+
 // closedWindow is one event-time window a node has closed: its start
 // instant and the weighted sample batches that survived the node's sampler.
 type closedWindow struct {
@@ -87,7 +121,7 @@ type eventWindows struct {
 	open     map[int64]*Node
 	bound    int64 // window starts below this are closed territory
 	boundSet bool
-	late     *atomic.Int64
+	late     *lateCounter
 
 	// Lifetime counters (per-window nodes are ephemeral, so the window
 	// store aggregates them): observed items buffered, emitted items
@@ -97,7 +131,7 @@ type eventWindows struct {
 	obs, emit, wins atomic.Int64
 }
 
-func newEventWindows(window, lateness time.Duration, late *atomic.Int64, newNode func() *Node) *eventWindows {
+func newEventWindows(window, lateness time.Duration, late *lateCounter, newNode func() *Node) *eventWindows {
 	return &eventWindows{
 		window:   window,
 		lateness: lateness,
@@ -120,7 +154,7 @@ func (ew *eventWindows) ingest(b stream.Batch) {
 		}
 		run := items[lo:hi]
 		if ew.boundSet && w < ew.bound {
-			ew.late.Add(int64(len(run)))
+			ew.late.add(len(run), b.Weight)
 		} else {
 			n := ew.open[w]
 			if n == nil {
@@ -338,6 +372,26 @@ func (t *watermarkTracker) keepalive(from string, now time.Time) {
 func (t *watermarkTracker) watermark(now time.Time) time.Time {
 	wm, _ := t.watermarkState(now)
 	return wm
+}
+
+// allStale reports that no chain can ever advance this watermark again
+// without new input: every tracked chain has been silent past the idle
+// timeout and none promises end-of-stream. Steady-state that just means
+// "wait"; at quiesce, when no further input can arrive, a member in this
+// state buffers windows nothing will ever close — the signal to force an
+// end-of-stream drain. Never true with aging disabled (idle <= 0, where
+// silence is indistinguishable from patience) or before anything was
+// tracked.
+func (t *watermarkTracker) allStale(now time.Time) bool {
+	if t.idle <= 0 || len(t.chains) == 0 {
+		return false
+	}
+	for _, m := range t.chains {
+		if now.Sub(m.seen) <= t.idle || !m.wm.Before(eosHorizon) {
+			return false
+		}
+	}
+	return true
 }
 
 // watermarkState is watermark plus the reason a zero came back: blocked

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,7 +37,7 @@ func TestWindowFloor(t *testing.T) {
 }
 
 func TestEventWindowsAssignAdvanceLate(t *testing.T) {
-	var late atomic.Int64
+	var late lateCounter
 	ew := newEventWindows(time.Second, 500*time.Millisecond, &late, func() *Node {
 		return NewNode("n", WHSFactory()(0, 0, 1), FractionBudget{Fraction: 1})
 	})
@@ -73,11 +72,11 @@ func TestEventWindowsAssignAdvanceLate(t *testing.T) {
 
 	// A record for the closed window is late; one inside the horizon lands.
 	ew.ingest(mk("a", 300*time.Millisecond))
-	if late.Load() != 1 {
-		t.Fatalf("late = %d, want 1", late.Load())
+	if late.items.Load() != 1 {
+		t.Fatalf("late = %d, want 1", late.items.Load())
 	}
 	ew.ingest(mk("a", 1200*time.Millisecond))
-	if late.Load() != 1 {
+	if late.items.Load() != 1 {
 		t.Fatalf("in-horizon record counted late")
 	}
 

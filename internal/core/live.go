@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/approxiot/approxiot/internal/checkpoint"
 	"github.com/approxiot/approxiot/internal/metrics"
 	"github.com/approxiot/approxiot/internal/mq"
 	"github.com/approxiot/approxiot/internal/query"
@@ -138,6 +139,18 @@ type LiveConfig struct {
 	// it (Close waits for the ticker, so that deadlocks). Snapshot is
 	// safe to call from the hook.
 	OnWindow func(WindowResult)
+	// Checkpoint, when set, makes every edge shard-group member durable:
+	// at each punctuation flush (a window boundary, where committed
+	// consumer offsets and ingested items coincide exactly) the member
+	// serializes its reservoir (Ψ), carried weights, watermark chains, and
+	// consumer offsets into the store under its member ID. A member
+	// restarted after a crash (LiveSession.RestartMember) loads its blob,
+	// restores state, replays the offset gap from the broker's retained
+	// log, and rejoins its group without double-counting or losing items.
+	// Incompatible with Streaming (no window boundary exists to anchor a
+	// consistent cut). Save errors are counted (LiveSnapshot.
+	// CheckpointErrors), never fatal — a deployment outlives a full disk.
+	Checkpoint checkpoint.Store
 
 	// corruptRoot injects this many undecodable records into the root
 	// topic before the sources start — a test hook for DecodeErrors
@@ -172,6 +185,13 @@ type LiveResult struct {
 	// counted once, at the first node that rejects it. Always 0 in
 	// processing-time mode.
 	LateDropped int64
+	// LateDroppedInput is the estimated original input the late-dropped
+	// records represent: a leaf drops raw weight-1 items (equal to
+	// LateDropped there), while an interior node drops already-sampled
+	// batches whose items each stand for Batch.Weight originals. The
+	// accounting identity Σ Windows.EstimatedInput + LateDroppedInput ==
+	// Produced holds in this currency at every layer.
+	LateDroppedInput float64
 	// DrainTimedOut reports that Close's drain deadline expired before the
 	// pipeline quiesced: the result was assembled anyway, but in-flight
 	// items may be missing from it. Close/Err surface the same condition
@@ -223,6 +243,10 @@ var (
 	// streaming mode forwards per batch with no windows to assign records
 	// to, so event-time windowing has nothing to act on.
 	ErrEventTimeStreaming = errors.New("core: EventTime requires windowed mode (Streaming must be false)")
+	// ErrCheckpointStreaming rejects Checkpoint combined with Streaming:
+	// streaming mode forwards per batch with no window boundary to anchor a
+	// consistent cut, so there is no safe instant to checkpoint at.
+	ErrCheckpointStreaming = errors.New("core: Checkpoint requires windowed mode (Streaming must be false)")
 	// ErrEventTimeIdleSharded rejects a disabled idle exclusion
 	// (IdleTimeout < 0) combined with multi-member consumer groups: a
 	// group member only hears the producers whose record keys hash to its
@@ -277,6 +301,20 @@ type samplingProcessor struct {
 	// boundary into cost — so a whole interval samples under one fraction.
 	control *mq.Consumer
 	cost    *dynamicCost
+
+	// Durability (LiveConfig.Checkpoint): ckpt is the session's store,
+	// ckptBuf the reusable encode scratch, ckptErrs the session's
+	// save-failure counter, and recover the one-shot restore hook Init
+	// runs before the pump starts (set by RestartMember's rebuild).
+	ckpt     checkpoint.Store
+	ckptBuf  []byte
+	ckptErrs *atomic.Int64
+	// ckptDirty marks output forwarded since the last checkpoint by an
+	// inline event-time advance (mid-cycle, where offsets overcommit and a
+	// checkpoint would be inconsistent); AfterCycle saves at the next safe
+	// cut, so no forwarded window ever outlives the checkpoint covering it.
+	ckptDirty bool
+	recover   func(p *samplingProcessor, ctx streams.ProcessorContext) error
 }
 
 // encSpan locates one encoded record inside a batchEncoder's buffer: the
@@ -367,6 +405,19 @@ var (
 
 func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 	p.ctx = ctx
+	if p.recover != nil {
+		// Crash recovery runs here: Init is called synchronously by the
+		// runtime's Start, after the consumer has joined its group but
+		// before the pump goroutine launches — the one point where the
+		// restored state and the offset-gap replay cannot race arriving
+		// records. One-shot: a recovery failure must not re-run on a
+		// subsequent restart attempt with the state half-restored.
+		rec := p.recover
+		p.recover = nil
+		if err := rec(p, ctx); err != nil {
+			return err
+		}
+	}
 	if !p.streaming {
 		p.cancel = ctx.Schedule(p.window, func(time.Time) { p.flush() })
 	}
@@ -489,13 +540,24 @@ func (p *samplingProcessor) flush() {
 		// keepalive its parent could age it out of the minimum and close
 		// windows its buffered data belongs to.
 		now := time.Now()
-		if !p.advanceEventTime(now) {
+		switch {
+		case p.advanceEventTime(now):
 			// An advance already re-asserted liveness (its heartbeats
 			// carry the outbound watermark for every active source);
 			// duplicate keepalives would only double the traffic.
+		case p.quiesce.Load() && p.ew.buffered() > 0 && p.wt.allStale(now):
+			// Shutdown backstop: every chain is stranded — a rebalance
+			// moved this member's sub-streams to partitions it no longer
+			// owns, so no record, heartbeat, or EOS will ever arrive to
+			// close what it buffers. No further input is possible past
+			// quiesce, so force the end-of-stream drain; any straggler
+			// is late-dropped with honest LateDroppedInput accounting.
+			p.drainAll(now)
+		default:
 			p.keepalive(now)
 		}
 		p.pending.Store(int64(p.ew.buffered()))
+		p.saveCheckpoint()
 		return
 	}
 	p.applyControl()
@@ -506,6 +568,70 @@ func (p *samplingProcessor) flush() {
 	// Zero pending only after forwarding: the drain probe must always see
 	// in-flight data as either buffered Ψ here or lag on the parent topic.
 	p.pending.Store(int64(p.node.Observed()))
+	p.saveCheckpoint()
+}
+
+// saveCheckpoint serializes the member's recovery state into the session's
+// checkpoint store. It runs only from flush — punctuation time, between poll
+// cycles — where the committed consumer offsets account for exactly the
+// records the member has ingested; checkpointing mid-batch would commit a
+// cut with fetched-but-not-ingested records and recovery would skip them.
+// Streaming mode has no such boundary, so it never checkpoints (OpenLive
+// rejects the combination). Save failures are counted, not fatal.
+func (p *samplingProcessor) saveCheckpoint() {
+	if p.ckpt == nil || p.streaming {
+		return
+	}
+	or, ok := p.ctx.(streams.OffsetReader)
+	if !ok {
+		return
+	}
+	p.ckptDirty = false
+	p.ckptBuf = encodeMemberCheckpoint(p.ckptBuf[:0], p, or.SourceCommitted())
+	if err := p.ckpt.Save(p.id, p.ckptBuf); err != nil && p.ckptErrs != nil {
+		p.ckptErrs.Add(1)
+	}
+}
+
+// drainAll is the graceful-removal flush: everything the member still
+// buffers is forwarded NOW, regardless of window boundaries, so a removed
+// member leaves nothing behind. Processing-time mode closes the interval
+// early — a rescale IS a window boundary, the same rule the barrier flush
+// applies. Event-time mode advances to the end-of-stream watermark (closing
+// every open window with the honest per-window ladder stamps) and signs off
+// with end-of-stream heartbeats for every active sub-stream, so the parent's
+// chains for this member resolve immediately instead of waiting out the
+// idle timeout. Runs on the frozen member's state, after its pump stopped.
+func (p *samplingProcessor) drainAll(now time.Time) {
+	p.applyControl()
+	if p.ew == nil {
+		for _, b := range p.node.CloseInterval() {
+			p.enc.add(b.Source, b, mq.Watermark{})
+		}
+		p.flushEmits()
+		p.pending.Store(0)
+		return
+	}
+	srcs := p.wt.activeSources(now)
+	closed := p.ew.advance(eosWatermark)
+	for _, cw := range closed {
+		stamp := mq.Watermark{From: p.id, At: p.ew.dataWatermark(cw.start)}
+		for _, b := range cw.theta {
+			p.enc.add(b.Source, b, stamp)
+		}
+	}
+	out := mq.Watermark{From: p.id, At: eosWatermark}
+	if len(srcs) == 0 {
+		// The member never heard a sub-stream (or everything idled out):
+		// still sign off under its own identity, so the parent's
+		// expectation placeholder for this member resolves in-band.
+		srcs = []stream.SourceID{stream.SourceID(p.id)}
+	}
+	for _, src := range srcs {
+		p.enc.add(src, heartbeat(src), out)
+	}
+	p.flushEmits()
+	p.pending.Store(0)
 }
 
 // advanceEventTime closes every event window the member's current watermark
@@ -535,7 +661,21 @@ func (p *samplingProcessor) advanceEventTime(now time.Time) bool {
 		p.enc.add(src, heartbeat(src), out)
 	}
 	p.flushEmits()
+	p.ckptDirty = true
 	return true
+}
+
+// AfterCycle implements streams.CycleObserver: if an inline event-time
+// advance forwarded windows this cycle, checkpoint now — the end-of-cycle
+// cut is the first point where committed offsets and ingested records
+// coincide again. This keeps the recovery contract airtight: the close
+// bound in the newest checkpoint always equals the bound at any later
+// crash, so replay classifies every gap record exactly as the dead member
+// did.
+func (p *samplingProcessor) AfterCycle() {
+	if p.ckptDirty {
+		p.saveCheckpoint()
+	}
 }
 
 // keepalive re-asserts the member's liveness upstream for every active
@@ -755,24 +895,86 @@ func (p *rootProcessor) stats() NodeStats {
 	return p.node.Stats()
 }
 
+// groupMember is one consumer-group member of a shardGroup: its runtime, its
+// shard identity (which fixes the member ID and seed lineage), and its
+// lifecycle flags. A member is live until killed (KillMember — restartable)
+// or removed (RemoveMember / RemoveEdgeNode — retired for good); retired and
+// dead members stay in the group's member list so lifetime telemetry
+// survives them.
+type groupMember struct {
+	shard int
+	id    string
+	rt    *streams.Runtime
+	proc  *samplingProcessor // nil for root members
+	// dead marks a killed member awaiting RestartMember; removed marks one
+	// gone for good.
+	dead, removed bool
+	// killedOffsets are the broker-committed source offsets at the kill
+	// instant — the end of the replay range a restarted member re-ingests.
+	killedOffsets []streams.PartitionOffset
+	// killedChangeOffs is the group's membership-barrier offset snapshot as
+	// it stood at the kill instant — the replay origin for any partition the
+	// member's last checkpoint does not cover (no checkpoint yet, or a save
+	// failure). It must be captured at the kill: later barriers advance the
+	// group snapshot past offsets the victim still has to replay.
+	killedChangeOffs []int64
+}
+
+// live reports whether the member is pumping (not killed, not retired).
+func (m *groupMember) live() bool { return !m.dead && !m.removed }
+
 // shardGroup is the live instantiation of one compiled node as a consumer
-// group: desc.Shards streams.Runtime members share the node's ID as their
+// group: its streams.Runtime members share the node's ID as their
 // application ID, so the broker deals the input topic's partitions out
 // across them — exactly how a Kafka Streams application scales
 // horizontally. Every member owns a private sampling node; Eq. 8 weight
 // compounding keeps the forwarded estimates exact without any cross-member
-// coordination. The root node is a shardGroup too (its members merely don't
-// sink — the window ticker merges their Θ instead).
+// coordination, which is also what makes the group elastic: members can
+// join, leave, die, and rejoin mid-run (see elastic.go) without a merge
+// barrier to renegotiate. The root node is a shardGroup too (its members
+// merely don't sink — the window ticker merges their Θ instead — and the
+// root group is not elastic).
 type shardGroup struct {
-	members []*streams.Runtime
+	desc NodeDesc
+
+	// mu guards the member list and the elastic flags: membership changes
+	// (serialized by the session's elMu) mutate under it while the drain
+	// probe, telemetry, and ingest valves read concurrently.
+	mu      sync.Mutex
+	members []*groupMember
+	// nextShard is the next shard index to assign. Monotone — member IDs,
+	// checkpoint keys, and salted seed lineages are never reused across the
+	// group's lifetime, so a restarted or re-added member can never collide
+	// with a retired one's identity.
+	nextShard int
+	// changeOffsets snapshots the group's committed input offsets at the
+	// last membership barrier (postChange) — the fallback replay origin for
+	// partitions a dead member's checkpoint does not cover. Zeros at birth.
+	changeOffsets []int64
+	// detached marks a layer-0 group drained and stopped by RemoveEdgeNode:
+	// pushes to its source slots are rejected and the session's drain and
+	// lag probes skip it. detachedCount remembers how many members to
+	// rebuild at AddEdgeNode.
+	detached      bool
+	detachedCount int
+
+	// build constructs (without starting) the member for one shard index —
+	// captured at group creation so RestartMember / AddMember rebuild
+	// members with exactly the wiring OpenLive used.
+	build func(shard int) (*groupMember, error)
+	// budget is the group's dynamic FixedBudget splitter (nil for every
+	// other cost policy); kill/remove must leave it, rebuilds rejoin it.
+	budget *groupBudget
 }
 
-// newShardGroup builds (without starting) the group's members. newProc is
-// invoked once per member with the shard index and must return the member's
-// private processor. recordAtATime forces the pre-batching dispatch path in
+// newShardGroup builds (without starting) the group's initial members.
+// newProc is invoked once per member with the shard index and must return
+// the member's processor twice: as the streams.Processor to wire into the
+// topology, and as the *samplingProcessor the elastic layer drives (nil for
+// root members). recordAtATime forces the pre-batching dispatch path in
 // every member runtime (the equivalence suite's semantic reference).
-func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc func(shard int) streams.Processor) (*shardGroup, error) {
-	g := &shardGroup{}
+func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc func(shard int) (streams.Processor, *samplingProcessor)) (*shardGroup, error) {
+	g := &shardGroup{desc: desc, nextShard: desc.Shards}
 	opts := []streams.RuntimeOption{
 		streams.WithPollWait(time.Millisecond),
 		streams.WithPollBatch(512),
@@ -780,8 +982,8 @@ func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc
 	if recordAtATime {
 		opts = append(opts, streams.WithRecordAtATime())
 	}
-	for shard := 0; shard < desc.Shards; shard++ {
-		proc := newProc(shard)
+	g.build = func(shard int) (*groupMember, error) {
+		proc, sp := newProc(shard)
 		b := streams.NewTopology().
 			Source("in", desc.Topic).
 			Processor("sampler", func() streams.Processor { return proc }, "in")
@@ -790,23 +992,29 @@ func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc
 		}
 		topo, err := b.Build()
 		if err != nil {
-			g.stop()
 			return nil, err
 		}
 		rt, err := streams.NewRuntime(broker, topo, desc.ID, opts...)
 		if err != nil {
+			return nil, err
+		}
+		return &groupMember{shard: shard, id: memberID(desc, shard), rt: rt, proc: sp}, nil
+	}
+	for shard := 0; shard < desc.Shards; shard++ {
+		m, err := g.build(shard)
+		if err != nil {
 			g.stop()
 			return nil, err
 		}
-		g.members = append(g.members, rt)
+		g.members = append(g.members, m)
 	}
 	return g, nil
 }
 
-// start launches every member; on failure the group is stopped.
+// start launches every live member; on failure the group is stopped.
 func (g *shardGroup) start() error {
-	for _, rt := range g.members {
-		if err := rt.Start(); err != nil {
+	for _, m := range g.live() {
+		if err := m.rt.Start(); err != nil {
 			g.stop()
 			return err
 		}
@@ -814,32 +1022,91 @@ func (g *shardGroup) start() error {
 	return nil
 }
 
-// stop shuts members down in reverse order. Idempotent, never-started
-// members included.
+// stop shuts members down in reverse order. Idempotent; never-started, dead,
+// and retired members included (their Stop is a no-op).
 func (g *shardGroup) stop() {
-	for i := len(g.members) - 1; i >= 0; i-- {
-		_ = g.members[i].Stop()
+	g.mu.Lock()
+	members := append([]*groupMember(nil), g.members...)
+	g.mu.Unlock()
+	for i := len(members) - 1; i >= 0; i-- {
+		_ = members[i].rt.Stop()
 	}
 }
 
-// lag totals the unfetched records across the group's members.
+// live snapshots the group's live members in shard-join order.
+func (g *shardGroup) live() []*groupMember {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*groupMember, 0, len(g.members))
+	for _, m := range g.members {
+		if m.live() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// liveCount counts the members currently pumping.
+func (g *shardGroup) liveCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, m := range g.members {
+		if m.live() {
+			n++
+		}
+	}
+	return n
+}
+
+// lag totals the unfetched records across the group's live members. A dead
+// member's partitions rebalance to the survivors at its Stop, so their lag
+// covers the whole topic.
 func (g *shardGroup) lag() int64 {
 	var lag int64
-	for _, rt := range g.members {
-		lag += rt.Lag()
+	for _, m := range g.live() {
+		lag += m.rt.Lag()
 	}
 	return lag
 }
 
-// busy reports whether any member's pump is mid-cycle (fetched records may
-// be in flight even at zero lag).
+// busy reports whether any live member's pump is mid-cycle (fetched records
+// may be in flight even at zero lag).
 func (g *shardGroup) busy() bool {
-	for _, rt := range g.members {
-		if rt.Busy() {
+	for _, m := range g.live() {
+		if m.rt.Busy() {
 			return true
 		}
 	}
 	return false
+}
+
+// pending totals the items buffered in live members' Ψ stores awaiting
+// their window flush — the drain probe's third leg.
+func (g *shardGroup) pending() int64 {
+	var pending int64
+	for _, m := range g.live() {
+		if m.proc != nil {
+			pending += m.proc.pending.Load()
+		}
+	}
+	return pending
+}
+
+// isDetached reports whether the group has been drained and stopped by
+// RemoveEdgeNode.
+func (g *shardGroup) isDetached() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.detached
+}
+
+// changeOffsetsSnapshot copies the offsets recorded at the last membership
+// barrier.
+func (g *shardGroup) changeOffsetsSnapshot() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]int64(nil), g.changeOffsets...)
 }
 
 // RunLive executes one live experiment against the compiled deployment

@@ -112,11 +112,19 @@ type LiveSession struct {
 	broker *mq.Broker
 	engine *query.Engine
 
-	groups    []*shardGroup // every consumer group, root last
+	groups    []*shardGroup            // every consumer group, root last
+	groupByID map[string]*shardGroup   // node ID → its group (root included)
 	rootGrp   *shardGroup
-	edgeProcs []*samplingProcessor
 	rootProcs []*rootProcessor
 	rootCosts []*dynamicCost
+
+	// elMu serializes membership changes (Add/Remove/Kill/Restart member,
+	// edge-node detach/attach); per-group mu still guards the member lists
+	// against the concurrent readers (drain probe, telemetry, valves).
+	elMu sync.Mutex
+	// ckptErrs counts checkpoint-save failures across every member
+	// (LiveSnapshot.CheckpointErrors) — counted, never fatal.
+	ckptErrs atomic.Int64
 
 	res *LiveResult
 	// final publishes res atomically once finalize has fully assembled it
@@ -134,7 +142,7 @@ type LiveSession struct {
 	produced      atomic.Int64
 	rootProcessed atomic.Int64
 	decodeErrs    atomic.Int64
-	lateDropped   atomic.Int64 // event-time mode: items past the lateness horizon
+	late          lateCounter // event-time mode: records past the lateness horizon
 	lastActivity  atomic.Int64 // unix nanos of last root-side processing
 	startNanos    atomic.Int64 // run start: first ingest (open time until then)
 	started       atomic.Bool
@@ -272,6 +280,9 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
 		}
 	}
+	if cfg.Checkpoint != nil && cfg.Streaming {
+		return nil, ErrCheckpointStreaming
+	}
 
 	s := &LiveSession{
 		cfg:    cfg,
@@ -284,6 +295,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		},
 		truth:     make([]paddedFloat, plan.Spec.Sources),
 		ingesters: make([]*Ingester, plan.Spec.Sources),
+		groupByID: make(map[string]*shardGroup),
 		ctx:       ctx,
 		drainCh:   make(chan struct{}),
 		done:      make(chan struct{}),
@@ -313,18 +325,35 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	for _, desc := range plan.EdgeNodes() {
 		desc := desc
 		var memberErr error
-		grp, err := newShardGroup(s.broker, desc, cfg.recordAtATime, func(shard int) streams.Processor {
+		// FixedBudget groups get a dynamic splitter so membership changes
+		// re-split the node's total cap across however many members are
+		// live. Initial members join in shard order, so the initial shares
+		// reproduce the static NewNodeShardCost split exactly — cross-mode
+		// equivalence is untouched. Feedback runs own their budget already
+		// (control-plane fractions are input-relative and compose at any
+		// member count).
+		var gb *groupBudget
+		if fb, ok := cfg.Cost.(FixedBudget); ok && cfg.Feedback == nil {
+			gb = newGroupBudget(fb.Size)
+		}
+		grp, err := newShardGroup(s.broker, desc, cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
 			sp := &samplingProcessor{
 				id:         memberID(desc, shard),
 				quiesce:    &s.quiesce,
 				window:     cfg.Window,
 				streaming:  cfg.Streaming,
 				decodeErrs: &s.decodeErrs,
+				ckpt:       cfg.Checkpoint,
+				ckptErrs:   &s.ckptErrs,
 				// Private lock-free byte counter for the member's parent
 				// link; the account folds it in at read time.
 				bwc: s.res.Bandwidth.Counter(desc.ParentTopic),
 			}
 			mk := func() *Node { return plan.NewNodeShard(desc, shard) }
+			if gb != nil {
+				mb := gb.join(memberID(desc, shard))
+				mk = func() *Node { return plan.NewNodeShardCost(desc, shard, mb) }
+			}
 			if cfg.Feedback != nil {
 				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
 				mk = func() *Node { return plan.NewNodeShardCost(desc, shard, sp.cost) }
@@ -338,7 +367,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 				// Ψ lives in per-event-window nodes; mk seeds each window
 				// identically from the plan's lineage, so a window's
 				// sampling is independent of how many windows preceded it.
-				sp.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.lateDropped, mk)
+				sp.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.late, mk)
 				sp.wt = newWatermarkTracker(cfg.IdleTimeout)
 				// Every producer the plan says can feed this node holds the
 				// watermark until heard from (or idled out) — sibling pumps
@@ -350,8 +379,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			} else {
 				sp.node = mk()
 			}
-			s.edgeProcs = append(s.edgeProcs, sp)
-			return sp
+			return sp, sp
 		})
 		if err == nil {
 			err = memberErr
@@ -359,7 +387,10 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		if err != nil {
 			return fail(err)
 		}
+		grp.budget = gb
+		grp.changeOffsets = make([]int64, plan.Partitions)
 		s.groups = append(s.groups, grp)
+		s.groupByID[desc.ID] = grp
 	}
 
 	// Root consumer group: the same shard-group machinery, with
@@ -371,7 +402,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	// instead of round-tripping through the control topic.
 	s.rootProcs = make([]*rootProcessor, plan.RootShards)
 	s.rootCosts = make([]*dynamicCost, 0, plan.RootShards)
-	rootGrp, err := newShardGroup(s.broker, plan.Root(), cfg.recordAtATime, func(shard int) streams.Processor {
+	rootGrp, err := newShardGroup(s.broker, plan.Root(), cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
 		p := &rootProcessor{
 			id:           memberID(plan.Root(), shard),
 			work:         cfg.RootWork,
@@ -390,7 +421,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			mk = func() *Node { return plan.NewNodeShardCost(plan.Root(), shard, dc) }
 		}
 		if cfg.EventTime {
-			p.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.lateDropped, mk)
+			p.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.late, mk)
 			p.wt = newWatermarkTracker(cfg.IdleTimeout)
 			for _, from := range plan.ExpectedProducers(plan.Root()) {
 				p.wt.expect(from, now)
@@ -399,13 +430,14 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			p.node = mk()
 		}
 		s.rootProcs[shard] = p
-		return p
+		return p, nil
 	})
 	if err != nil {
 		return fail(err)
 	}
 	s.rootGrp = rootGrp
 	s.groups = append(s.groups, rootGrp)
+	s.groupByID[plan.Root().ID] = rootGrp
 
 	if cfg.corruptRoot > 0 {
 		// Test hook: poison the root topic before anything consumes it.
@@ -530,6 +562,7 @@ func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
 		s:         s,
 		slot:      slot,
 		topic:     src.Topic,
+		leafID:    leaf.ID,
 		lagGroup:  leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
 		producer:  mq.NewProducer(s.broker),
 		bwc:       s.res.Bandwidth.Counter(src.Topic),
@@ -766,8 +799,17 @@ type LiveSnapshot struct {
 	RootProcessed int64
 	DecodeErrors  int64
 	LateDropped   int64
+	// LateDroppedInput is the estimated original input the late-dropped
+	// records represent (LateDropped weighted by each batch's compounded
+	// weight). See LiveResult.LateDroppedInput.
+	LateDroppedInput float64
 	// WindowsClosed counts the non-empty windows closed so far.
 	WindowsClosed int
+	// CheckpointErrors counts checkpoint-save failures across every member
+	// since the session opened (0 when no checkpoint store is configured).
+	// Saves are best-effort — a failure costs recovery fidelity, never the
+	// pipeline — so a rising count is the operational signal to watch.
+	CheckpointErrors int64
 	// Elapsed spans the first ingest to now (to the run's end once closed).
 	Elapsed time.Duration
 	// Throughput is Produced/Elapsed so far.
@@ -830,7 +872,8 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 		Produced:        s.produced.Load(),
 		RootProcessed:   s.rootProcessed.Load(),
 		DecodeErrors:    s.decodeErrs.Load(),
-		LateDropped:     s.lateDropped.Load(),
+		LateDropped:     s.late.items.Load(),
+		LateDroppedInput: s.late.input.load(),
 		Latency:         metrics.NewHistogram(),
 		Bandwidth:       s.res.Bandwidth.Snapshot(),
 		SubscriberDrops: s.subDrops.Load(),
@@ -842,6 +885,7 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 		LastActivity:    time.Unix(0, s.lastActivity.Load()),
 	}
 	snap.WindowsClosed = int(s.windowsClosed.Load())
+	snap.CheckpointErrors = s.ckptErrs.Load()
 	if s.cfg.Feedback != nil {
 		snap.Fraction = s.cfg.Feedback.Fraction()
 		snap.Target = s.cfg.Feedback.Target()
@@ -878,7 +922,7 @@ func (s *LiveSession) Snapshot() LiveSnapshot {
 // scaled to the given elapsed span. Shared by mid-run Snapshots and the
 // final result merge, so the two can never diverge in shape.
 func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTelemetry {
-	nodes := make(map[string]NodeTelemetry, len(s.edgeProcs)+len(s.rootProcs))
+	nodes := make(map[string]NodeTelemetry, len(s.groups)+len(s.rootProcs))
 	record := func(id string, st NodeStats) {
 		tel := NodeTelemetry{Observed: st.Observed, Emitted: st.Emitted, Intervals: st.Intervals}
 		if elapsed > 0 {
@@ -886,8 +930,18 @@ func (s *LiveSession) nodeTelemetry(elapsed time.Duration) map[string]NodeTeleme
 		}
 		nodes[id] = tel
 	}
-	for _, sp := range s.edgeProcs {
-		record(sp.id, sp.stats())
+	for _, g := range s.groups {
+		g.mu.Lock()
+		members := append([]*groupMember(nil), g.members...)
+		g.mu.Unlock()
+		// Dead and retired members included: their counters are the
+		// last-known truth, and a restarted member replaces its dead
+		// predecessor in the list under the same ID.
+		for _, m := range members {
+			if m.proc != nil {
+				record(m.id, m.proc.stats())
+			}
+		}
 	}
 	for _, rp := range s.rootProcs {
 		record(rp.id, rp.stats())
@@ -909,11 +963,14 @@ func (s *LiveSession) ingestLag() int64 {
 			continue
 		}
 		seen[src.Topic] = struct{}{}
+		leaf := s.plan.Layers[0][src.ParentIndex]
+		if g := s.groupByID[leaf.ID]; g != nil && g.isDetached() {
+			continue // nothing consumes a detached node's topic
+		}
 		t, err := s.broker.Topic(src.Topic)
 		if err != nil {
 			break // broker closed
 		}
-		leaf := s.plan.Layers[0][src.ParentIndex]
 		lag, err := t.GroupLag(leaf.ID + "-in")
 		if err != nil {
 			continue
@@ -948,10 +1005,11 @@ func (s *LiveSession) drain() error {
 		}
 		var lag, pending int64
 		busy := false
-		for _, sp := range s.edgeProcs {
-			pending += sp.pending.Load()
-		}
 		for _, g := range s.groups {
+			if g.isDetached() {
+				continue // drained and stopped; nothing in flight
+			}
+			pending += g.pending()
 			lag += g.lag()
 			busy = busy || g.busy()
 		}
@@ -1059,7 +1117,8 @@ func (s *LiveSession) finalize(end time.Time) {
 	res.Produced = s.produced.Load()
 	res.RootProcessed = s.rootProcessed.Load()
 	res.DecodeErrors = s.decodeErrs.Load()
-	res.LateDropped = s.lateDropped.Load()
+	res.LateDropped = s.late.items.Load()
+	res.LateDroppedInput = s.late.input.load()
 	for i := range s.truth {
 		s.truth[i].mu.Lock()
 		res.TruthSum += s.truth[i].v
@@ -1090,6 +1149,7 @@ type Ingester struct {
 	s         *LiveSession
 	slot      int
 	topic     string
+	leafID    string // the layer-0 node this valve feeds (detach checks)
 	lagGroup  string
 	producer  *mq.Producer
 	bwc       *metrics.BandwidthCounter // private leaf-link byte counter
@@ -1148,6 +1208,13 @@ func (in *Ingester) Push(items ...stream.Item) error {
 	defer s.pushMu.RUnlock()
 	if err := s.ingestAllowed(); err != nil {
 		return err
+	}
+	if g := s.groupByID[in.leafID]; g != nil && g.isDetached() {
+		// The valve's leaf node is detached (RemoveEdgeNode): nothing
+		// consumes its topic, so an admitted push would strand records and
+		// wedge the final drain. RemoveEdgeNode fences in-flight pushes via
+		// pushMu after setting the flag, so this check is race-free.
+		return fmt.Errorf("%w: %q", ErrNodeDetached, in.leafID)
 	}
 	if len(items) == 0 {
 		return nil
@@ -1323,13 +1390,20 @@ func (in *Ingester) sendEOS() {
 		// instead of waiting on the idle timeout to age the placeholder.
 		srcs = append(srcs, stream.SourceID(fmt.Sprintf("source%d", in.slot)))
 	}
+	// End-of-stream is topic-global, so it is broadcast to EVERY partition
+	// rather than keyed: after a mid-run rebalance a member can hold
+	// buffered windows for sub-streams whose partitions it no longer owns
+	// — a keyed EOS would reach only the new owner, and the buffering
+	// member (hearing nothing, all chains stranded) could never close.
 	for _, src := range srcs {
 		payload := heartbeat(src).Marshal()
-		in.s.res.Bandwidth.Add(in.topic, int64(len(payload)))
-		// The broker outlives the drain; a send can only fail once the
-		// session is past the point of caring about these heartbeats.
-		_, _, _ = in.producer.SendWatermarked(in.topic, []byte(src), payload,
-			mq.Watermark{From: in.from, At: eosWatermark})
+		wm := mq.Watermark{From: in.from, At: eosWatermark}
+		for part := 0; part < in.s.plan.Partitions; part++ {
+			in.s.res.Bandwidth.Add(in.topic, int64(len(payload)))
+			// The broker outlives the drain; a send can only fail once the
+			// session is past the point of caring about these heartbeats.
+			_, _ = in.producer.SendToWatermarked(in.topic, part, []byte(src), payload, wm)
+		}
 	}
 }
 

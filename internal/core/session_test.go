@@ -273,10 +273,8 @@ func TestSessionCancelAfterQuiesceKeepsInvariant(t *testing.T) {
 	for time.Now().Before(deadline) {
 		var lag, pending int64
 		busy := false
-		for _, sp := range s.edgeProcs {
-			pending += sp.pending.Load()
-		}
 		for _, g := range s.groups {
+			pending += g.pending()
 			lag += g.lag()
 			busy = busy || g.busy()
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"github.com/approxiot/approxiot/internal/metrics"
@@ -177,6 +176,12 @@ type SimResult struct {
 	// would have buffered them (counted once, at the first node that
 	// rejects them). Always 0 in processing-time mode.
 	LateDropped int64
+	// LateDroppedInput is the estimated original input the late-dropped
+	// records represent (each drop weighted by its batch's compounded
+	// weight). At leaves this equals LateDropped; when an interior node
+	// drops an already-sampled batch it exceeds it. The exact identity is
+	// Σ Windows.EstimatedInput + LateDroppedInput == Produced.
+	LateDroppedInput float64
 	// Fractions is the adaptive trajectory: the controller's fraction
 	// after observing each entry of Windows, in order. Nil when Feedback
 	// is not configured.
@@ -327,7 +332,7 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
 		}
 	}
-	var late atomic.Int64 // event-time mode: items past the lateness horizon
+	var late lateCounter // event-time mode: records past the lateness horizon
 
 	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
 	sim := vclock.NewSim(epoch)
@@ -728,7 +733,8 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 			}
 		}
 		closeRootEvent(sim.Now(), eosWatermark)
-		res.LateDropped = late.Load()
+		res.LateDropped = late.items.Load()
+		res.LateDroppedInput = late.input.load()
 	}
 	res.Elapsed = sim.Now().Sub(epoch)
 	return res, nil

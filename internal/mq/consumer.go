@@ -16,6 +16,12 @@ type group struct {
 	mu      sync.Mutex
 	nextID  int
 	members []string
+	// epoch is the fencing generation: bumped on every join/leave, it lets
+	// claim detect that an assignment snapshot predates a rebalance. watch
+	// is closed and replaced on every membership change so consumers can
+	// observe rebalances without polling.
+	epoch int64
+	watch chan struct{}
 
 	committed []groupOffset
 }
@@ -29,7 +35,10 @@ type groupOffset struct {
 }
 
 func newGroup(partitions int) *group {
-	return &group{committed: make([]groupOffset, partitions)}
+	return &group{
+		committed: make([]groupOffset, partitions),
+		watch:     make(chan struct{}),
+	}
 }
 
 func (g *group) join() string {
@@ -39,6 +48,7 @@ func (g *group) join() string {
 	g.nextID++
 	g.members = append(g.members, id)
 	sort.Strings(g.members)
+	g.bumpLocked()
 	return id
 }
 
@@ -48,14 +58,56 @@ func (g *group) leave(id string) {
 	for i, m := range g.members {
 		if m == id {
 			g.members = append(g.members[:i], g.members[i+1:]...)
+			g.bumpLocked()
 			return
 		}
 	}
 }
 
+// bumpLocked advances the fencing epoch and wakes rebalance watchers.
+// Callers hold g.mu.
+func (g *group) bumpLocked() {
+	g.epoch++
+	close(g.watch)
+	g.watch = make(chan struct{})
+}
+
+// rebalanceCh returns a channel closed at the next membership change.
+func (g *group) rebalanceCh() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.watch
+}
+
+func (g *group) currentEpoch() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// owns reports whether member id owns partition p under the current
+// membership.
+func (g *group) owns(id string, p int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, m := range g.members {
+		if m == id {
+			return p%len(g.members) == i
+		}
+	}
+	return false
+}
+
 // assignment returns the partitions currently owned by member id:
 // partition p belongs to the member at index p mod len(members).
 func (g *group) assignment(id string, partitions int) []int {
+	owned, _ := g.assignmentEpoch(id, partitions)
+	return owned
+}
+
+// assignmentEpoch is assignment plus the fencing epoch the snapshot was
+// computed at, so a claim can detect that a rebalance has invalidated it.
+func (g *group) assignmentEpoch(id string, partitions int) ([]int, int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	idx := -1
@@ -66,7 +118,7 @@ func (g *group) assignment(id string, partitions int) []int {
 		}
 	}
 	if idx < 0 || len(g.members) == 0 {
-		return nil
+		return nil, g.epoch
 	}
 	var owned []int
 	for p := 0; p < partitions; p++ {
@@ -74,7 +126,7 @@ func (g *group) assignment(id string, partitions int) []int {
 			owned = append(owned, p)
 		}
 	}
-	return owned
+	return owned, g.epoch
 }
 
 func (g *group) committedOffset(p int) int64 {
@@ -96,15 +148,25 @@ func (g *group) commit(p int, offset int64) {
 
 // claim atomically reads partition p's committed offset, fetches records
 // through fetch (which appends onto dst and returns the extended slice), and
-// commits past them — all under the partition's offset lock, so even when a
-// rebalance leaves two members momentarily believing they own p (assignments
-// are snapshotted before fetching), a record is delivered to at most one of
-// them: the second claimant starts from the advanced offset. Members on
-// disjoint partitions proceed concurrently.
-func (g *group) claim(p int, dst []Record, fetch func(dst []Record, from int64) ([]Record, error)) ([]Record, error) {
+// commits past them — all under the partition's offset lock, so members on
+// disjoint partitions proceed concurrently while fetch-and-commit on one
+// partition is serialized.
+//
+// epoch is the fencing generation the claimant's assignment snapshot was
+// computed at. When the group has rebalanced since (epoch moved on), the
+// claimant's ownership of p is re-verified under the partition lock and a
+// stale owner is fenced off with an empty result — without this check a
+// member that snapshotted its assignment just before a membership change
+// could fetch (and commit past) a batch that now belongs to another member.
+// The per-partition offset lock already guaranteed at-most-once delivery;
+// the fence closes the remaining wrong-owner window.
+func (g *group) claim(id string, epoch int64, p int, dst []Record, fetch func(dst []Record, from int64) ([]Record, error)) ([]Record, error) {
 	po := &g.committed[p]
 	po.mu.Lock()
 	defer po.mu.Unlock()
+	if g.currentEpoch() != epoch && !g.owns(id, p) {
+		return dst, nil
+	}
 	n0 := len(dst)
 	dst, err := fetch(dst, po.off)
 	if err != nil || len(dst) == n0 {
@@ -247,7 +309,13 @@ func (c *Consumer) TopicClosed() bool {
 // slice (dst unextended when nothing is ready). The append-into shape keeps
 // the hot poll path allocation-free once dst's capacity has warmed up.
 func (c *Consumer) pollOnce(dst []Record, max int) ([]Record, error) {
-	owned := c.Assignment()
+	var owned []int
+	var epoch int64
+	if c.grp != nil {
+		owned, epoch = c.grp.assignmentEpoch(c.id, c.topic.Partitions())
+	} else {
+		owned = c.Assignment()
+	}
 	if len(owned) == 0 {
 		return dst, nil
 	}
@@ -262,10 +330,12 @@ func (c *Consumer) pollOnce(dst []Record, max int) ([]Record, error) {
 		p := owned[(start+i)%len(owned)]
 		budget := max - (len(out) - base)
 		if c.grp != nil {
-			// Group mode: fetch-and-commit atomically, so concurrent
+			// Group mode: fetch-and-commit atomically, fenced by the
+			// epoch the assignment was snapshotted at, so concurrent
 			// members — including stale owners mid-rebalance — never
-			// deliver the same record twice.
-			got, err := c.grp.claim(p, out, func(dst []Record, from int64) ([]Record, error) {
+			// deliver the same record twice nor fetch a partition that
+			// has moved to another member.
+			got, err := c.grp.claim(c.id, epoch, p, out, func(dst []Record, from int64) ([]Record, error) {
 				got, err := c.topic.FetchInto(dst, p, from, budget)
 				if err == ErrOutOfRange {
 					// The log was compacted past the committed offset;
@@ -316,6 +386,34 @@ func (c *Consumer) setPosition(p int, offset int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.positions[p] = offset
+}
+
+// Generation returns the consumer group's current fencing epoch: it
+// advances on every membership change (join or leave), so two reads
+// bracketing an operation detect whether a rebalance happened in between.
+// Standalone consumers always report 0.
+func (c *Consumer) Generation() int64 {
+	if c.grp == nil {
+		return 0
+	}
+	return c.grp.currentEpoch()
+}
+
+// RebalanceChan returns a channel closed at the group's next membership
+// change (then replaced — re-arm by calling again). It lets a member react
+// to rebalances without polling Assignment. Standalone consumers, which
+// never rebalance, get a channel that never closes.
+func (c *Consumer) RebalanceChan() <-chan struct{} {
+	if c.grp == nil {
+		return make(chan struct{})
+	}
+	return c.grp.rebalanceCh()
+}
+
+// Committed returns this consumer's read position for partition p: the
+// group's committed offset in group mode, the private position standalone.
+func (c *Consumer) Committed(p int) int64 {
+	return c.position(p)
 }
 
 // Seek moves a standalone consumer's position for partition p. It returns

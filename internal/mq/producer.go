@@ -91,6 +91,14 @@ func (p *Producer) SendBatch(topic string, recs []Record) error {
 
 // SendTo appends directly to a specific partition.
 func (p *Producer) SendTo(topic string, partition int, key, value []byte) (int64, error) {
+	return p.SendToWatermarked(topic, partition, key, value, Watermark{})
+}
+
+// SendToWatermarked is SendTo with an event-time low watermark piggybacked
+// on the record. Partition-directed watermarked sends exist for topic-global
+// control events — end-of-stream above all — which must reach every
+// partition's consumer, not just the one the key hashes to.
+func (p *Producer) SendToWatermarked(topic string, partition int, key, value []byte, watermark Watermark) (int64, error) {
 	t, err := p.broker.Topic(topic)
 	if err != nil {
 		return 0, err
@@ -98,7 +106,7 @@ func (p *Producer) SendTo(topic string, partition int, key, value []byte) (int64
 	if partition < 0 || partition >= t.Partitions() {
 		return 0, ErrOutOfRange
 	}
-	return t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn()})
+	return t.append(partition, Record{Key: key, Value: value, Ts: p.nowFn(), Watermark: watermark})
 }
 
 func (p *Producer) pick(t *Topic, key []byte) int {

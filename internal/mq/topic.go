@@ -269,6 +269,23 @@ func (t *Topic) GroupLag(name string) (int64, error) {
 	return lag, nil
 }
 
+// GroupCommitted returns a group's committed offset for every partition
+// (index = partition), or an error for an unknown group. The snapshot is
+// not atomic across partitions; each offset is individually consistent.
+func (t *Topic) GroupCommitted(name string) ([]int64, error) {
+	t.mu.Lock()
+	g, ok := t.groups[name]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mq: unknown group %q on topic %q", name, t.name)
+	}
+	offs := make([]int64, len(t.parts))
+	for p := range offs {
+		offs[p] = g.committedOffset(p)
+	}
+	return offs, nil
+}
+
 // group returns (creating if needed) the named consumer group.
 func (t *Topic) group(name string) *group {
 	t.mu.Lock()

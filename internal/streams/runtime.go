@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ type Runtime struct {
 	producer  *mq.Producer
 	contexts  map[string]*nodeContext
 	instances map[string]Processor
+	observers []CycleObserver // processors implementing CycleObserver, in topology order
 
 	// Pump scratch, reused every poll cycle so the steady-state hot path
 	// allocates nothing: polled records, their Message views, and the
@@ -42,11 +44,39 @@ type Runtime struct {
 	puncts  []*punctuation
 	started bool
 	stopped bool
+	frozen  bool        // Freeze: pump halted, consumers still in their groups
 	busy    atomic.Bool // pump mid-cycle (set before fetching, cleared when idle)
 
+	syncCh chan func() // Sync: closures executed on the pump goroutine
 	cancel context.CancelFunc
 	done   chan struct{}
 	err    error
+}
+
+// PartitionOffset pairs a partition with a consumer offset; SourceCommitted
+// returns one per owned partition.
+type PartitionOffset struct {
+	Partition int
+	Offset    int64
+}
+
+// OffsetReader is implemented by the ProcessorContext a Runtime hands its
+// processors: it exposes the committed offsets of the runtime's source
+// consumers, so a processor can checkpoint "state as of these offsets"
+// without widening the ProcessorContext interface for every implementation.
+type OffsetReader interface {
+	SourceCommitted() []PartitionOffset
+}
+
+// CycleObserver is an optional Processor extension: AfterCycle runs on the
+// pump goroutine at the end of every poll cycle that dispatched records —
+// the same consistent cut Sync closures see, where every fetched record has
+// been dispatched and the committed source offsets account for exactly the
+// records the processor has ingested. Processors that emit output mid-cycle
+// (event-time inline window closes) use it to checkpoint immediately after
+// emitting, so no output ever exists that a checkpoint does not cover.
+type CycleObserver interface {
+	AfterCycle()
 }
 
 type punctuation struct {
@@ -108,6 +138,7 @@ func NewRuntime(broker *mq.Broker, topo *Topology, appID string, opts ...Runtime
 		contexts:  make(map[string]*nodeContext),
 		instances: make(map[string]Processor),
 		producer:  mq.NewProducer(broker),
+		syncCh:    make(chan func()),
 		done:      make(chan struct{}),
 	}
 	for _, opt := range opts {
@@ -124,7 +155,11 @@ func NewRuntime(broker *mq.Broker, topo *Topology, appID string, opts ...Runtime
 			}
 			r.consumers[name] = c
 		case kindProcessor:
-			r.instances[name] = n.supplier()
+			inst := n.supplier()
+			r.instances[name] = inst
+			if o, ok := inst.(CycleObserver); ok {
+				r.observers = append(r.observers, o)
+			}
 		}
 		r.contexts[name] = &nodeContext{rt: r, node: n}
 	}
@@ -137,10 +172,15 @@ type nodeContext struct {
 	node *node
 }
 
-var _ ProcessorContext = (*nodeContext)(nil)
+var (
+	_ ProcessorContext = (*nodeContext)(nil)
+	_ OffsetReader     = (*nodeContext)(nil)
+)
 
 func (c *nodeContext) NodeName() string { return c.node.name }
 func (c *nodeContext) Now() time.Time   { return c.rt.clock.Now() }
+
+func (c *nodeContext) SourceCommitted() []PartitionOffset { return c.rt.SourceCommitted() }
 
 func (c *nodeContext) Forward(msg Message) {
 	for _, child := range c.node.children {
@@ -298,6 +338,14 @@ func (r *Runtime) pump(ctx context.Context) {
 		// time (Lag drops before the records are dispatched), so quiescence
 		// probes must see either lag > 0 or Busy() — never a gap.
 		r.busy.Store(true)
+		// Sync closures run here, between cycles: every previously fetched
+		// record has been dispatched and no fetch is in flight, so a closure
+		// observes state consistent with the committed offsets.
+		select {
+		case fn := <-r.syncCh:
+			fn()
+		default:
+		}
 		r.firePunctuations()
 
 		if single {
@@ -347,7 +395,15 @@ func (r *Runtime) pump(ctx context.Context) {
 		if r.failed() {
 			return
 		}
-		if !progressed {
+		if progressed {
+			// End-of-cycle cut: every record fetched this cycle has been
+			// dispatched, so observers see state consistent with the
+			// committed offsets (even when ctx was cancelled mid-cycle —
+			// the exit check at the loop top runs after this).
+			for _, o := range r.observers {
+				o.AfterCycle()
+			}
+		} else {
 			if single && r.consumers[sources[0]].TopicClosed() {
 				// Drained and the topic is gone: no record can ever
 				// arrive again (and its wake channel fires forever).
@@ -364,6 +420,9 @@ func (r *Runtime) pump(ctx context.Context) {
 			case <-ctx.Done():
 				timer.Stop()
 				return
+			case fn := <-r.syncCh: // Sync while idle: run without waiting out the timer
+				timer.Stop()
+				fn()
 			case <-wake: // nil (multi-source): never fires, timer bounds
 				timer.Stop()
 			case <-timer.C:
@@ -475,6 +534,63 @@ func (r *Runtime) Stop() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.err
+}
+
+// Freeze halts the pump goroutine without releasing anything: processors are
+// not closed and consumers stay in their groups, still owning their
+// partitions. It models a member crashing ("kill -9"): processing stops
+// dead, but the group has not yet noticed. The caller can then inspect
+// still-owned state (SourceCommitted) before completing the death with Stop,
+// which triggers the rebalance. Idempotent; a no-op before Start or after
+// Stop.
+func (r *Runtime) Freeze() {
+	r.mu.Lock()
+	if !r.started || r.stopped || r.frozen {
+		r.mu.Unlock()
+		return
+	}
+	r.frozen = true
+	r.mu.Unlock()
+	r.cancel()
+	<-r.done
+}
+
+// Sync runs fn on the pump goroutine between processing cycles — at a point
+// where every fetched record has been dispatched and no fetch is in flight —
+// and returns once fn has completed. Processor state observed by fn is
+// consistent with the source consumers' committed offsets, which makes Sync
+// the barrier primitive for checkpoint-before-rebalance. It fails if the
+// pump is not running (never started, stopped, frozen, or failed).
+func (r *Runtime) Sync(fn func()) error {
+	r.mu.Lock()
+	running := r.started && !r.stopped && !r.frozen
+	r.mu.Unlock()
+	if !running {
+		return errors.New("streams: runtime not running")
+	}
+	done := make(chan struct{})
+	select {
+	case r.syncCh <- func() { defer close(done); fn() }:
+		<-done
+		return nil
+	case <-r.done:
+		return errors.New("streams: runtime not running")
+	}
+}
+
+// SourceCommitted returns the committed offsets of every partition currently
+// owned by this runtime's source consumers, sorted by partition. With the
+// single-source topologies the session builds, the offsets all refer to that
+// source's topic.
+func (r *Runtime) SourceCommitted() []PartitionOffset {
+	var offs []PartitionOffset
+	for _, c := range r.consumers {
+		for _, p := range c.Assignment() {
+			offs = append(offs, PartitionOffset{Partition: p, Offset: c.Committed(p)})
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i].Partition < offs[j].Partition })
+	return offs
 }
 
 // Busy reports whether the pump is mid-cycle: fetched records may be in

@@ -112,6 +112,31 @@ func ParentIndex(childCount, parentCount, childIdx int) int {
 	return childIdx * parentCount / childCount
 }
 
+// ChildRange is the inverse of ParentIndex: the contiguous half-open range
+// [lo, hi) of child indices that map onto parentIdx. With 8 children and 4
+// parents, parent 1 owns children [2, 4). An empty range (lo == hi) means
+// the parent has no children — possible when parentCount > childCount.
+func ChildRange(childCount, parentCount, parentIdx int) (lo, hi int) {
+	if childCount <= 0 || parentCount <= 0 || parentIdx < 0 || parentIdx >= parentCount {
+		return 0, 0
+	}
+	// ParentIndex is non-decreasing in childIdx, so the preimage of
+	// parentIdx is exactly the ceiling-division bracket below.
+	lo = (parentIdx*childCount + parentCount - 1) / parentCount
+	hi = ((parentIdx+1)*childCount + parentCount - 1) / parentCount
+	return lo, hi
+}
+
+// SourceRange returns the half-open range [lo, hi) of source slots feeding
+// layer-0 node nodeIdx — the slots that go dark when that node is detached
+// from a live deployment.
+func (s TreeSpec) SourceRange(nodeIdx int) (lo, hi int) {
+	if len(s.Layers) == 0 {
+		return 0, 0
+	}
+	return ChildRange(s.Sources, s.Layers[0].Nodes, nodeIdx)
+}
+
 // Testbed returns the paper's evaluation deployment (§V-A): 8 source nodes,
 // a 4-node first edge layer (20 ms RTT from the sources), a 2-node second
 // edge layer (40 ms RTT), and the datacenter root (80 ms RTT), all over

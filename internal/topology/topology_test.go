@@ -198,3 +198,52 @@ func TestEveryParentGetsAChild(t *testing.T) {
 		}
 	}
 }
+
+func TestChildRangeInvertsParentIndex(t *testing.T) {
+	// Exhaustive over small shapes: ChildRange(p) must be exactly the
+	// preimage of p under ParentIndex, and the ranges must tile [0, c).
+	for c := 1; c <= 24; c++ {
+		for p := 1; p <= 24; p++ {
+			next := 0
+			for parent := 0; parent < p; parent++ {
+				lo, hi := ChildRange(c, p, parent)
+				if lo != next {
+					t.Fatalf("c=%d p=%d parent=%d: lo=%d, want %d (ranges must tile)", c, p, parent, lo, next)
+				}
+				if hi < lo {
+					t.Fatalf("c=%d p=%d parent=%d: inverted range [%d,%d)", c, p, parent, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					if got := ParentIndex(c, p, i); got != parent {
+						t.Fatalf("c=%d p=%d: child %d in range of parent %d but ParentIndex=%d", c, p, i, parent, got)
+					}
+				}
+				next = hi
+			}
+			if next != c {
+				t.Fatalf("c=%d p=%d: ranges cover [0,%d), want [0,%d)", c, p, next, c)
+			}
+		}
+	}
+}
+
+func TestChildRangeDegenerateInputs(t *testing.T) {
+	for _, tc := range []struct{ c, p, idx int }{{0, 4, 0}, {8, 0, 0}, {8, 4, -1}, {8, 4, 4}} {
+		if lo, hi := ChildRange(tc.c, tc.p, tc.idx); lo != 0 || hi != 0 {
+			t.Errorf("ChildRange(%d,%d,%d) = [%d,%d), want empty", tc.c, tc.p, tc.idx, lo, hi)
+		}
+	}
+}
+
+func TestSourceRangeTestbed(t *testing.T) {
+	spec := Testbed()
+	for node := 0; node < spec.Layers[0].Nodes; node++ {
+		lo, hi := spec.SourceRange(node)
+		if lo != 2*node || hi != 2*node+2 {
+			t.Errorf("SourceRange(%d) = [%d,%d), want [%d,%d)", node, lo, hi, 2*node, 2*node+2)
+		}
+	}
+	if lo, hi := (TreeSpec{Sources: 4}).SourceRange(0); lo != 0 || hi != 0 {
+		t.Errorf("layerless spec SourceRange = [%d,%d), want empty", lo, hi)
+	}
+}
