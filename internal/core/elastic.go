@@ -480,10 +480,6 @@ func (s *LiveSession) replayGap(p *samplingProcessor, desc NodeDesc, ck *memberC
 	if len(killed) == 0 {
 		return nil
 	}
-	t, err := s.broker.Topic(desc.Topic)
-	if err != nil {
-		return err
-	}
 	ckptOffs := make(map[int]int64, len(killed))
 	if ck != nil {
 		for _, po := range ck.offsets {
@@ -502,6 +498,7 @@ func (s *LiveSession) replayGap(p *samplingProcessor, desc NodeDesc, ck *memberC
 	now := time.Now()
 	var buf []mq.Record
 	var scratch stream.Batch
+	var err error
 	for _, po := range killed {
 		start := int64(0)
 		if po.Partition < len(changeOffs) {
@@ -511,7 +508,7 @@ func (s *LiveSession) replayGap(p *samplingProcessor, desc NodeDesc, ck *memberC
 			start = o
 		}
 		for off := start; off < po.Offset; {
-			buf, err = t.FetchInto(buf[:0], po.Partition, off, 256)
+			buf, err = s.bus.FetchInto(buf[:0], desc.Topic, po.Partition, off, 256)
 			if err != nil {
 				// ErrOutOfRange here means the broker compacted the gap away
 				// — the retained log no longer reaches back to the
@@ -712,13 +709,9 @@ func (s *LiveSession) postChange(g *shardGroup) error {
 		proc := m.proc
 		_ = m.rt.Sync(func() { proc.flush() })
 	}
-	t, err := s.broker.Topic(g.desc.Topic)
+	offs, err := s.bus.GroupCommitted(g.desc.Topic, g.desc.ID+"-in")
 	if err != nil {
-		return nil // broker closed: session shutting down
-	}
-	offs, err := t.GroupCommitted(g.desc.ID + "-in")
-	if err != nil {
-		return nil // group unknown: every member gone mid-shutdown
+		return nil // topic or group gone: session shutting down
 	}
 	g.mu.Lock()
 	g.changeOffsets = offs

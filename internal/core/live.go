@@ -14,6 +14,7 @@ import (
 	"github.com/approxiot/approxiot/internal/stream"
 	"github.com/approxiot/approxiot/internal/streams"
 	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/transport"
 	"github.com/approxiot/approxiot/internal/workload"
 )
 
@@ -31,6 +32,14 @@ import (
 type LiveConfig struct {
 	// Spec gives the tree structure (link parameters are ignored live).
 	Spec topology.TreeSpec
+	// Bus selects the transport backend the deployment runs over. Nil (the
+	// default) gives the session a private in-memory broker, closed with the
+	// session — the single-process shape every test and example uses. A
+	// caller-supplied bus (e.g. a transport/tcp client dialed at a shared
+	// broker daemon) is used as-is and NOT closed by the session: topic
+	// creation is idempotent across clients, so several processes can open
+	// sessions against the same bus and share the tree's topics.
+	Bus transport.Bus
 	// Source builds source node i's generator. Required by RunLive; ignored
 	// by OpenLive, whose sessions are fed by pushes.
 	Source func(i int) workload.Source
@@ -299,7 +308,7 @@ type samplingProcessor struct {
 	// Adaptive runs only: control is the member's private standalone
 	// consumer on the plan's control topic, drained at each window
 	// boundary into cost — so a whole interval samples under one fraction.
-	control *mq.Consumer
+	control transport.Consumer
 	cost    *dynamicCost
 
 	// Durability (LiveConfig.Checkpoint): ckpt is the session's store,
@@ -973,7 +982,7 @@ type shardGroup struct {
 // topology, and as the *samplingProcessor the elastic layer drives (nil for
 // root members). recordAtATime forces the pre-batching dispatch path in
 // every member runtime (the equivalence suite's semantic reference).
-func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc func(shard int) (streams.Processor, *samplingProcessor)) (*shardGroup, error) {
+func newShardGroup(bus transport.Bus, desc NodeDesc, recordAtATime bool, newProc func(shard int) (streams.Processor, *samplingProcessor)) (*shardGroup, error) {
 	g := &shardGroup{desc: desc, nextShard: desc.Shards}
 	opts := []streams.RuntimeOption{
 		streams.WithPollWait(time.Millisecond),
@@ -994,7 +1003,7 @@ func newShardGroup(broker *mq.Broker, desc NodeDesc, recordAtATime bool, newProc
 		if err != nil {
 			return nil, err
 		}
-		rt, err := streams.NewRuntime(broker, topo, desc.ID, opts...)
+		rt, err := streams.NewRuntime(bus, topo, desc.ID, opts...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/query"
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/topology"
+	"github.com/approxiot/approxiot/internal/transport"
+	"github.com/approxiot/approxiot/internal/transport/tcp"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// startNodeBroker runs a broker daemon the way cmd/approxiot-node's broker
+// role does — an mq broker behind the TCP transport server — and returns
+// its dial address.
+func startNodeBroker(t *testing.T) string {
+	t.Helper()
+	b := mq.NewBroker()
+	srv, err := tcp.Listen("127.0.0.1:0", transport.WrapBroker(b))
+	if err != nil {
+		t.Fatalf("tcp.Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		b.Close()
+	})
+	return srv.Addr().String()
+}
+
+func dialNodeBus(t *testing.T, addr string) transport.Bus {
+	t.Helper()
+	c, err := tcp.Dial(addr)
+	if err != nil {
+		t.Fatalf("tcp.Dial(%s): %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// nodeTestConfig is the LiveConfig every "process" of a node-mode test
+// shares — the cross-process contract. IdleTimeout is pinned high so no
+// chain can be idle-aged while records sit in TCP buffers: completeness
+// then rests purely on watermarks, which is the determinism being tested.
+func nodeTestConfig(spec topology.TreeSpec, cost CostFunction, lateness time.Duration) LiveConfig {
+	return LiveConfig{
+		Spec:            spec,
+		NewSampler:      WHSFactory(),
+		Cost:            cost,
+		Window:          10 * time.Millisecond,
+		Queries:         []query.Kind{query.Sum, query.Count},
+		Seed:            21,
+		EventTime:       true,
+		AllowedLateness: lateness,
+		IdleTimeout:     30 * time.Second,
+	}
+}
+
+// TestNodeTiersMatchSingleProcess is the multi-process acceptance test: the
+// testbed tree split into three sessions over a real TCP broker — leaf tier
+// with the source valves, intermediate tier, root tier, each on its own
+// client connection exactly as three OS processes would connect — must
+// close the same windows with the same bounds and bit-equal counts as a
+// single-process OpenLive run of the same shuffled workload. At census
+// budget the estimates match too; at half budget Eq. 8 still forces exact
+// counts because per-window estimated input telescopes independently of
+// which items the samplers kept.
+func TestNodeTiersMatchSingleProcess(t *testing.T) {
+	spec := topology.Testbed() // 8 sources, layers 4/2/1, 1 s windows
+	const slots, perSlot = 8, 120
+	span := 4 * time.Second
+	items := eventItems(slots, perSlot, span)
+
+	// Shuffle each slot within the lateness horizon, as the cross-mode
+	// equivalence test does — determinism must not lean on arrival order.
+	rng := xrand.New(99)
+	shuffled := make([][]stream.Item, slots)
+	for s := range items {
+		perm := append([]stream.Item(nil), items[s]...)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := int(rng.Uint64() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		shuffled[s] = perm
+	}
+
+	for _, tc := range []struct {
+		name  string
+		cost  CostFunction
+		exact bool // estimates must match, not just counts
+	}{
+		{"census", FractionBudget{Fraction: 1}, true},
+		{"half-budget", FractionBudget{Fraction: 0.5}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := nodeTestConfig(spec, tc.cost, span)
+
+			// Reference: the whole tree in one process on the in-memory bus.
+			ref := func() *LiveResult {
+				s, err := OpenLive(nil, cfg)
+				if err != nil {
+					t.Fatalf("OpenLive: %v", err)
+				}
+				for slot, its := range shuffled {
+					ing, err := s.Ingester(slot)
+					if err != nil {
+						t.Fatalf("ref Ingester(%d): %v", slot, err)
+					}
+					buf := append([]stream.Item(nil), its...)
+					if err := ing.Push(buf...); err != nil {
+						t.Fatalf("ref push slot %d: %v", slot, err)
+					}
+				}
+				res, err := s.Close()
+				if err != nil {
+					t.Fatalf("ref close: %v", err)
+				}
+				return res
+			}()
+
+			// The same deployment as three tiers over TCP.
+			addr := startNodeBroker(t)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			rootCfg := cfg
+			rootCfg.Bus = dialNodeBus(t, addr)
+			root, err := OpenNode(ctx, rootCfg, NodeTier{Root: true})
+			if err != nil {
+				t.Fatalf("OpenNode(root): %v", err)
+			}
+			defer root.Close()
+			midCfg := cfg
+			midCfg.Bus = dialNodeBus(t, addr)
+			mid, err := OpenNode(ctx, midCfg, NodeTier{Layers: []int{1}})
+			if err != nil {
+				t.Fatalf("OpenNode(mid): %v", err)
+			}
+			defer mid.Close()
+			leafCfg := cfg
+			leafCfg.Bus = dialNodeBus(t, addr)
+			leaf, err := OpenNode(ctx, leafCfg, NodeTier{Layers: []int{0}, Ingest: true})
+			if err != nil {
+				t.Fatalf("OpenNode(leaf): %v", err)
+			}
+			defer leaf.Close()
+
+			for slot, its := range shuffled {
+				buf := append([]stream.Item(nil), its...)
+				if err := leaf.Push(slot, buf...); err != nil {
+					t.Fatalf("leaf push slot %d: %v", slot, err)
+				}
+			}
+			if err := leaf.FinishIngest(); err != nil {
+				t.Fatalf("FinishIngest: %v", err)
+			}
+			if err := root.WaitDone(ctx); err != nil {
+				t.Fatalf("root WaitDone: %v", err)
+			}
+			// Edge tiers learn of completion from the control topic, the way
+			// separate processes must.
+			if err := mid.WaitDone(ctx); err != nil {
+				t.Fatalf("mid WaitDone: %v", err)
+			}
+			if err := leaf.WaitDone(ctx); err != nil {
+				t.Fatalf("leaf WaitDone: %v", err)
+			}
+			if err := leaf.Drain(ctx); err != nil {
+				t.Fatalf("leaf Drain: %v", err)
+			}
+			if err := mid.Drain(ctx); err != nil {
+				t.Fatalf("mid Drain: %v", err)
+			}
+			leafRes := leaf.Close()
+			midRes := mid.Close()
+			rootRes := root.Close()
+
+			total := int64(slots * perSlot)
+			if leafRes.Produced != total {
+				t.Fatalf("leaf produced %d, want %d", leafRes.Produced, total)
+			}
+			if rootRes.Produced != 0 || len(leafRes.Windows) != 0 {
+				t.Fatalf("tier results bled across tiers: root produced %d, leaf closed %d windows",
+					rootRes.Produced, len(leafRes.Windows))
+			}
+			late := leafRes.LateDropped + midRes.LateDropped + rootRes.LateDropped
+			if late != 0 {
+				t.Fatalf("dropped %d items pushed within the horizon", late)
+			}
+			if errs := leafRes.DecodeErrors + midRes.DecodeErrors + rootRes.DecodeErrors; errs != 0 {
+				t.Fatalf("%d decode errors crossing the wire", errs)
+			}
+
+			if len(rootRes.Windows) != len(ref.Windows) {
+				t.Fatalf("node run closed %d windows, single-process %d", len(rootRes.Windows), len(ref.Windows))
+			}
+			var nodeInput float64
+			for i, rw := range ref.Windows {
+				nw := rootRes.Windows[i]
+				if !nw.Start.Equal(rw.Start) || !nw.End.Equal(rw.End) {
+					t.Fatalf("window %d bounds node [%v,%v) vs single [%v,%v)",
+						i, nw.Start, nw.End, rw.Start, rw.End)
+				}
+				rc, nc := rw.Result(query.Count).Estimate.Value, nw.Result(query.Count).Estimate.Value
+				if rc != nc {
+					t.Fatalf("window %d count node %.2f vs single %.2f", i, nc, rc)
+				}
+				if nw.EstimatedInput != rw.EstimatedInput {
+					t.Fatalf("window %d estimated input node %.2f vs single %.2f",
+						i, nw.EstimatedInput, rw.EstimatedInput)
+				}
+				if tc.exact {
+					rs, ns := rw.Result(query.Sum).Estimate.Value, nw.Result(query.Sum).Estimate.Value
+					if rel := math.Abs(ns-rs) / math.Abs(rs); rel > 1e-9 {
+						t.Fatalf("window %d sum node %.6f vs single %.6f (rel %.2e)", i, ns, rs, rel)
+					}
+				}
+				nodeInput += nw.EstimatedInput
+			}
+			// The accounting identity holds assembled across tiers: window
+			// input plus every tier's late drops equals what the valves sent.
+			nodeInput += leafRes.LateDroppedInput + midRes.LateDroppedInput + rootRes.LateDroppedInput
+			assertCountInvariant(t, "node event-time", nodeInput, float64(leafRes.Produced))
+		})
+	}
+}
+
+// TestNodeBackpressureOverTCP is the satellite-5 regression: MaxIngestLag
+// must hold through a remote backend. The valve's lag probe travels over
+// TCP; an unknown group (the consuming tier not up yet) must BLOCK the
+// push, not admit it, and once the group exists the valve must stall
+// within one record of the high-water mark until a consumer drains. Lag is
+// measured in records, as everywhere else — each Push below publishes one
+// single-item batch record so the arithmetic is exact.
+func TestNodeBackpressureOverTCP(t *testing.T) {
+	spec := topology.TreeSpec{
+		Sources: 1,
+		Layers: []topology.LayerSpec{
+			{Name: "edge", Nodes: 1},
+			{Name: "root", Nodes: 1},
+		},
+		Window: 100 * time.Millisecond,
+	}
+	const maxLag, total = 8, 256
+	cfg := nodeTestConfig(spec, FractionBudget{Fraction: 1}, 0)
+	cfg.MaxIngestLag = maxLag
+
+	addr := startNodeBroker(t)
+	busA := dialNodeBus(t, addr) // the source process
+	busB := dialNodeBus(t, addr) // the (initially absent) leaf process
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sess, err := OpenNode(ctx, withBus(cfg, busA), NodeTier{Ingest: true})
+	if err != nil {
+		t.Fatalf("OpenNode: %v", err)
+	}
+	defer sess.Close()
+	pusher, err := sess.Pusher(0)
+	if err != nil {
+		t.Fatalf("Pusher: %v", err)
+	}
+
+	// The plan is the contract: derive the leaf topic and its group name
+	// from the same compilation the session ran.
+	plan, err := CompilePlan(PlanConfig{
+		Spec:       spec,
+		NewSampler: cfg.NewSampler,
+		Cost:       cfg.Cost,
+		Queries:    cfg.Queries,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		t.Fatalf("CompilePlan: %v", err)
+	}
+	srcTopic := plan.Sources[0].Topic
+	lagGroup := plan.Layers[0][plan.Sources[0].ParentIndex].ID + "-in"
+
+	pushed := make(chan error, 1)
+	go func() {
+		for sent := 0; sent < total; sent++ {
+			if err := pusher.Push(stream.Item{Value: 1}); err != nil {
+				pushed <- err
+				return
+			}
+		}
+		pushed <- nil
+	}()
+
+	// Phase 1: no leaf group anywhere yet — the probe fails, and the valve
+	// must wait, never admit. (Admitting here is exactly the bug this test
+	// pins: a transport error silently disabling backpressure.)
+	time.Sleep(200 * time.Millisecond)
+	if got := pusher.Sent(); got != 0 {
+		t.Fatalf("valve admitted %d items with no consumer group to probe", got)
+	}
+
+	// Phase 2: the leaf group registers (the consuming tier came up) but
+	// does not poll — the valve must advance to the high-water mark and
+	// stall within one chunk of it.
+	consumer, err := busB.NewGroupConsumer(srcTopic, lagGroup)
+	if err != nil {
+		t.Fatalf("NewGroupConsumer: %v", err)
+	}
+	defer consumer.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for pusher.Sent() <= maxLag {
+		if time.Now().After(deadline) {
+			t.Fatalf("valve never advanced past the high-water mark; sent %d", pusher.Sent())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // give an unbounded valve time to run away
+	// Each admit requires lag <= maxLag at probe time and adds one record,
+	// so an honest valve can never be more than one past the mark.
+	if got := pusher.Sent(); got > maxLag+1 {
+		t.Fatalf("valve sent %d with an unpolled group, want <= %d", got, maxLag+1)
+	}
+	if lag, err := busA.GroupLag(srcTopic, lagGroup); err != nil || lag > maxLag+1 {
+		t.Fatalf("broker-side lag %d (err %v), want <= %d", lag, err, maxLag+1)
+	}
+
+	// Phase 3: the consumer drains; the valve must release and finish.
+	drainCtx, stopDrain := context.WithCancel(ctx)
+	defer stopDrain()
+	go func() {
+		for {
+			if _, err := consumer.Poll(drainCtx, 256); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-pushed:
+		if err != nil {
+			t.Fatalf("push failed after drain began: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatalf("push never completed; sent %d of %d", pusher.Sent(), total)
+	}
+	if got := pusher.Sent(); got != total {
+		t.Fatalf("sent %d, want %d", got, total)
+	}
+}
+
+func withBus(cfg LiveConfig, bus transport.Bus) LiveConfig {
+	cfg.Bus = bus
+	return cfg
+}
+
+// TestOpenNodeValidation pins the node-mode contract errors.
+func TestOpenNodeValidation(t *testing.T) {
+	spec := topology.Testbed()
+	base := nodeTestConfig(spec, FractionBudget{Fraction: 1}, 0)
+	bus := transport.NewMem()
+	defer bus.Close()
+
+	if _, err := OpenNode(nil, base, NodeTier{Root: true}); !errors.Is(err, ErrNodeNeedsBus) {
+		t.Fatalf("no bus: err = %v, want ErrNodeNeedsBus", err)
+	}
+	wallClock := withBus(base, bus)
+	wallClock.EventTime = false
+	if _, err := OpenNode(nil, wallClock, NodeTier{Root: true}); !errors.Is(err, ErrNodeNeedsEventTime) {
+		t.Fatalf("processing time: err = %v, want ErrNodeNeedsEventTime", err)
+	}
+	if _, err := OpenNode(nil, withBus(base, bus), NodeTier{}); !errors.Is(err, ErrNodeTierEmpty) {
+		t.Fatalf("empty tier: err = %v, want ErrNodeTierEmpty", err)
+	}
+	// The testbed has edge layers 0 and 1; layer 2 is the root, selectable
+	// only via Root.
+	if _, err := OpenNode(nil, withBus(base, bus), NodeTier{Layers: []int{2}}); !errors.Is(err, ErrNodeBadLayer) {
+		t.Fatalf("root as layer: err = %v, want ErrNodeBadLayer", err)
+	}
+	if _, err := OpenNode(nil, withBus(base, bus), NodeTier{Layers: []int{0, 0}}); !errors.Is(err, ErrNodeBadLayer) {
+		t.Fatalf("duplicate layer: err = %v, want ErrNodeBadLayer", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/approxiot/approxiot/internal/stats"
 	"github.com/approxiot/approxiot/internal/stream"
 	"github.com/approxiot/approxiot/internal/streams"
+	"github.com/approxiot/approxiot/internal/transport"
 	"github.com/approxiot/approxiot/internal/workload"
 )
 
@@ -103,14 +104,19 @@ const defaultDrainTimeout = 2 * time.Minute
 var ErrDrainTimeout = errors.New("core: drain deadline exceeded; final result may be missing in-flight items")
 
 // LiveSession is a running live deployment: the compiled tree instantiated
-// as shard groups over the in-memory broker, accepting pushed items and
+// as shard groups over a transport bus — the in-memory broker by default,
+// or any backend supplied via LiveConfig.Bus — accepting pushed items and
 // emitting window results until closed. Construct with OpenLive; all
 // methods are safe for concurrent use.
 type LiveSession struct {
 	cfg    LiveConfig
 	plan   *Plan
-	broker *mq.Broker
-	engine *query.Engine
+	bus    transport.Bus
+	// ownsBus: the session created its own in-memory bus and shuts it down
+	// at close; a caller-supplied bus (LiveConfig.Bus) is left running — it
+	// may serve other processes.
+	ownsBus bool
+	engine  *query.Engine
 
 	groups    []*shardGroup            // every consumer group, root last
 	groupByID map[string]*shardGroup   // node ID → its group (root included)
@@ -159,7 +165,7 @@ type LiveSession struct {
 	// must not self-deadlock.
 	windowMu      sync.Mutex
 	windowsClosed atomic.Int64
-	ctlProducer   *mq.Producer
+	ctlProducer   transport.Producer
 	ctlSeq        uint64
 
 	// Windows() subscriptions.
@@ -212,83 +218,22 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Feedback != nil {
-		// The adaptive loop owns the budget: members get private
-		// control-plane-driven costs below, and the plan carries the
-		// controller (in effective-fraction form) for validation and as
-		// the canonical cost of record.
-		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
-	}
-	plan, err := CompilePlan(PlanConfig{
-		Spec:        cfg.Spec,
-		NewSampler:  cfg.NewSampler,
-		Cost:        cfg.Cost,
-		Queries:     cfg.Queries,
-		Seed:        cfg.Seed,
-		Partitions:  cfg.Partitions,
-		RootShards:  cfg.RootShards,
-		LayerShards: cfg.LayerShards,
-	})
+	cfg, plan, err := compileLive(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
-		return nil, ErrFeedbackNeedsQuery
-	}
-	if cfg.Window <= 0 {
-		cfg.Window = 50 * time.Millisecond
-	}
-	if cfg.Confidence == 0 {
-		cfg.Confidence = stats.TwoSigma
-	}
-	if cfg.MaxIngestLag == 0 {
-		cfg.MaxIngestLag = defaultMaxIngestLag
-	}
-	if cfg.DrainTimeout == 0 {
-		cfg.DrainTimeout = defaultDrainTimeout
-	}
-	if cfg.EventTime {
-		if cfg.Streaming {
-			return nil, ErrEventTimeStreaming
-		}
-		if cfg.AllowedLateness < 0 {
-			cfg.AllowedLateness = 0
-		}
-		switch {
-		case cfg.IdleTimeout == 0:
-			// Default: several sweep ticks, but never less than the
-			// lateness horizon — a source pausing for less than the
-			// lateness it was promised must not be aged out of the
-			// minimum, or its in-horizon records would be dropped by the
-			// very mechanism lateness exists to protect them from.
-			cfg.IdleTimeout = 4 * cfg.Window
-			if cfg.AllowedLateness > cfg.IdleTimeout {
-				cfg.IdleTimeout = cfg.AllowedLateness
-			}
-		case cfg.IdleTimeout < 0:
-			// No idle exclusion: expectation placeholders for producers a
-			// member never hears from would block its watermark forever.
-			// Single-member groups hear every producer of their node, so
-			// only they can run without the exclusion. (plan.LayerShards
-			// is normalized — one entry per layer, the root entry mirrors
-			// RootShards.)
-			for _, shards := range plan.LayerShards {
-				if shards > 1 {
-					return nil, ErrEventTimeIdleSharded
-				}
-			}
-			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
-		}
-	}
-	if cfg.Checkpoint != nil && cfg.Streaming {
-		return nil, ErrCheckpointStreaming
-	}
 
+	bus := cfg.Bus
+	ownsBus := bus == nil
+	if ownsBus {
+		bus = transport.NewMem()
+	}
 	s := &LiveSession{
-		cfg:    cfg,
-		plan:   plan,
-		broker: mq.NewBroker(),
-		engine: query.NewEngine(query.WithConfidence(cfg.Confidence)),
+		cfg:     cfg,
+		plan:    plan,
+		bus:     bus,
+		ownsBus: ownsBus,
+		engine:  query.NewEngine(query.WithConfidence(cfg.Confidence)),
 		res: &LiveResult{
 			Latency:   metrics.NewHistogram(),
 			Bandwidth: metrics.NewBandwidthAccount(),
@@ -305,10 +250,12 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	s.lastActivity.Store(now.UnixNano())
 
 	// The plan names every topic and fixes its partition count; create them
-	// before any runtime subscribes.
+	// before any runtime subscribes. Creation is idempotent across bus
+	// clients (same partition count), so on a shared bus the session races
+	// other processes' startups safely.
 	for _, td := range plan.Topics() {
-		if _, err := s.broker.CreateTopic(td.Name, td.Partitions, mq.WithRetention(4096)); err != nil {
-			s.broker.Close()
+		if err := s.bus.CreateTopic(td.Name, td.Partitions, 4096); err != nil {
+			s.closeBus()
 			return nil, err
 		}
 	}
@@ -319,7 +266,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	// consumer; the root publishes, the members drain at window close.
 	fail := func(err error) (*LiveSession, error) {
 		s.stopAll()
-		s.broker.Close()
+		s.closeBus()
 		return nil, err
 	}
 	for _, desc := range plan.EdgeNodes() {
@@ -336,7 +283,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		if fb, ok := cfg.Cost.(FixedBudget); ok && cfg.Feedback == nil {
 			gb = newGroupBudget(fb.Size)
 		}
-		grp, err := newShardGroup(s.broker, desc, cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
+		grp, err := newShardGroup(s.bus, desc, cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
 			sp := &samplingProcessor{
 				id:         memberID(desc, shard),
 				quiesce:    &s.quiesce,
@@ -357,7 +304,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 			if cfg.Feedback != nil {
 				sp.cost = newDynamicCost(cfg.Feedback.Fraction())
 				mk = func() *Node { return plan.NewNodeShardCost(desc, shard, sp.cost) }
-				c, cerr := mq.NewConsumer(s.broker, plan.ControlTopic)
+				c, cerr := s.bus.NewConsumer(plan.ControlTopic)
 				if cerr != nil && memberErr == nil {
 					memberErr = cerr // keep the first failure; later shards must not clobber it
 				}
@@ -402,7 +349,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	// instead of round-tripping through the control topic.
 	s.rootProcs = make([]*rootProcessor, plan.RootShards)
 	s.rootCosts = make([]*dynamicCost, 0, plan.RootShards)
-	rootGrp, err := newShardGroup(s.broker, plan.Root(), cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
+	rootGrp, err := newShardGroup(s.bus, plan.Root(), cfg.recordAtATime, func(shard int) (streams.Processor, *samplingProcessor) {
 		p := &rootProcessor{
 			id:           memberID(plan.Root(), shard),
 			work:         cfg.RootWork,
@@ -441,7 +388,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 
 	if cfg.corruptRoot > 0 {
 		// Test hook: poison the root topic before anything consumes it.
-		p := mq.NewProducer(s.broker)
+		p := s.bus.NewProducer()
 		for i := 0; i < cfg.corruptRoot; i++ {
 			if _, _, err := p.Send(plan.Root().Topic, nil, []byte{0xFF, 0xBA, 0xD0}); err != nil {
 				return fail(err)
@@ -455,7 +402,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		}
 	}
 
-	s.ctlProducer = mq.NewProducer(s.broker)
+	s.ctlProducer = s.bus.NewProducer()
 
 	// Window ticker: a blocking select — no busy branch — closes windows
 	// while the members pump. Its context is private: the user's ctx abort
@@ -490,6 +437,89 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 	return s, nil
 }
 
+// compileLive is the shared prologue of every live entry point (OpenLive,
+// and OpenNode in node mode): it compiles the deployment plan and
+// normalizes the session-level defaults — window cadence, confidence,
+// backpressure high-water mark, drain deadline, and the event-time idle
+// timeout. Keeping it in one place is what guarantees a multi-process
+// deployment's per-tier sessions agree with a single-process session on
+// what every one of those knobs means; if the two entry points normalized
+// independently they could silently compile incompatible trees.
+func compileLive(cfg LiveConfig) (LiveConfig, *Plan, error) {
+	if cfg.Feedback != nil {
+		// The adaptive loop owns the budget: members get private
+		// control-plane-driven costs below, and the plan carries the
+		// controller (in effective-fraction form) for validation and as
+		// the canonical cost of record.
+		cfg.Cost = feedbackCost{ctl: cfg.Feedback}
+	}
+	plan, err := CompilePlan(PlanConfig{
+		Spec:        cfg.Spec,
+		NewSampler:  cfg.NewSampler,
+		Cost:        cfg.Cost,
+		Queries:     cfg.Queries,
+		Seed:        cfg.Seed,
+		Partitions:  cfg.Partitions,
+		RootShards:  cfg.RootShards,
+		LayerShards: cfg.LayerShards,
+	})
+	if err != nil {
+		return cfg, nil, err
+	}
+	if cfg.Feedback != nil && feedbackKind(plan.Queries) == query.Count {
+		return cfg, nil, ErrFeedbackNeedsQuery
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 50 * time.Millisecond
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = stats.TwoSigma
+	}
+	if cfg.MaxIngestLag == 0 {
+		cfg.MaxIngestLag = defaultMaxIngestLag
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = defaultDrainTimeout
+	}
+	if cfg.EventTime {
+		if cfg.Streaming {
+			return cfg, nil, ErrEventTimeStreaming
+		}
+		if cfg.AllowedLateness < 0 {
+			cfg.AllowedLateness = 0
+		}
+		switch {
+		case cfg.IdleTimeout == 0:
+			// Default: several sweep ticks, but never less than the
+			// lateness horizon — a source pausing for less than the
+			// lateness it was promised must not be aged out of the
+			// minimum, or its in-horizon records would be dropped by the
+			// very mechanism lateness exists to protect them from.
+			cfg.IdleTimeout = 4 * cfg.Window
+			if cfg.AllowedLateness > cfg.IdleTimeout {
+				cfg.IdleTimeout = cfg.AllowedLateness
+			}
+		case cfg.IdleTimeout < 0:
+			// No idle exclusion: expectation placeholders for producers a
+			// member never hears from would block its watermark forever.
+			// Single-member groups hear every producer of their node, so
+			// only they can run without the exclusion. (plan.LayerShards
+			// is normalized — one entry per layer, the root entry mirrors
+			// RootShards.)
+			for _, shards := range plan.LayerShards {
+				if shards > 1 {
+					return cfg, nil, ErrEventTimeIdleSharded
+				}
+			}
+			cfg.IdleTimeout = 0 // tracker semantics: 0 = never exclude
+		}
+	}
+	if cfg.Checkpoint != nil && cfg.Streaming {
+		return cfg, nil, ErrCheckpointStreaming
+	}
+	return cfg, plan, nil
+}
+
 // State returns the session's lifecycle phase.
 func (s *LiveSession) State() SessionState { return SessionState(s.state.Load()) }
 
@@ -511,6 +541,16 @@ func (s *LiveSession) Err() error {
 func (s *LiveSession) stopAll() {
 	for i := len(s.groups) - 1; i >= 0; i-- {
 		s.groups[i].stop()
+	}
+}
+
+// closeBus shuts the bus down if the session owns it (it created an
+// in-memory bus because LiveConfig.Bus was nil). A caller-supplied bus is
+// left running: on a shared backend it serves other sessions and processes,
+// and shutting it down is its owner's call.
+func (s *LiveSession) closeBus() {
+	if s.ownsBus {
+		_ = s.bus.Close()
 	}
 }
 
@@ -564,7 +604,7 @@ func (s *LiveSession) Ingester(slot int) (*Ingester, error) {
 		topic:     src.Topic,
 		leafID:    leaf.ID,
 		lagGroup:  leaf.ID + "-in", // the leaf node's consumer group (streams source node "in")
-		producer:  mq.NewProducer(s.broker),
+		producer:  s.bus.NewProducer(),
 		bwc:       s.res.Bandwidth.Counter(src.Topic),
 		rate:      s.cfg.SourceRate,
 		eventTime: s.cfg.EventTime,
@@ -967,13 +1007,9 @@ func (s *LiveSession) ingestLag() int64 {
 		if g := s.groupByID[leaf.ID]; g != nil && g.isDetached() {
 			continue // nothing consumes a detached node's topic
 		}
-		t, err := s.broker.Topic(src.Topic)
+		lag, err := s.bus.GroupLag(src.Topic, leaf.ID+"-in")
 		if err != nil {
-			break // broker closed
-		}
-		lag, err := t.GroupLag(leaf.ID + "-in")
-		if err != nil {
-			continue
+			continue // topic gone (bus closed) or group not yet registered
 		}
 		total += lag
 	}
@@ -1091,7 +1127,7 @@ func (s *LiveSession) shutdown(drain bool, cause error) {
 			s.closeWindow(time.Now()) // final partial window
 		}
 		s.stopAll()
-		s.broker.Close()
+		s.closeBus()
 		s.finalize(end)
 		// Publish the fully-assembled result atomically BEFORE the state
 		// flips to closed: concurrent Snapshots read closed-run fields only
@@ -1151,7 +1187,7 @@ type Ingester struct {
 	topic     string
 	leafID    string // the layer-0 node this valve feeds (detach checks)
 	lagGroup  string
-	producer  *mq.Producer
+	producer  transport.Producer
 	bwc       *metrics.BandwidthCounter // private leaf-link byte counter
 	rate      float64
 	eventTime bool
@@ -1344,16 +1380,18 @@ func (in *Ingester) backpressure() error {
 		wait = time.Millisecond
 	}
 	for {
-		t, err := s.broker.Topic(in.topic)
-		if err != nil {
+		lag, err := s.bus.GroupLag(in.topic, in.lagGroup)
+		if errors.Is(err, mq.ErrUnknownTopic) {
 			return ErrSessionClosed
 		}
-		lag, err := t.GroupLag(in.lagGroup)
 		if err != nil {
 			// Unknown group means the valve's lag-group name drifted from
 			// the shard-group appID scheme — a wiring bug. Surface it:
 			// silently admitting the push would disable backpressure and
 			// reopen the unbounded-broker-memory hole it exists to close.
+			// (Remote backends also land transport failures here, which is
+			// the same call: never admit a push the probe could not vouch
+			// for.)
 			return fmt.Errorf("core: ingest backpressure probe on %q: %w", in.topic, err)
 		}
 		if lag <= int64(s.cfg.MaxIngestLag) {

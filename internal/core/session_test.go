@@ -496,11 +496,7 @@ func TestSessionBackpressureBounds(t *testing.T) {
 		if err := ing.Push(items...); err != nil {
 			t.Fatalf("Push: %v", err)
 		}
-		tp, err := s.broker.Topic(ing.topic)
-		if err != nil {
-			t.Fatalf("Topic: %v", err)
-		}
-		lag, err := tp.GroupLag(ing.lagGroup)
+		lag, err := s.bus.GroupLag(ing.topic, ing.lagGroup)
 		if err != nil {
 			t.Fatalf("GroupLag: %v", err)
 		}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/approxiot/approxiot/internal/core"
+	"github.com/approxiot/approxiot/internal/transport"
 )
 
 // Source is anything that can produce a live telemetry snapshot — a
@@ -51,6 +52,12 @@ type Config struct {
 	// Namespace prefixes every exported metric family (default
 	// "approxiot").
 	Namespace string
+	// Transport, when set, is polled on every /metrics scrape for the
+	// process's bus-connection counters (bytes on the wire, reconnects,
+	// transport-level errors) and rendered after the session families.
+	// Multi-process deployments set it to their TCP client's Counters
+	// method; in-process deployments leave it nil.
+	Transport func() transport.Counters
 
 	// now substitutes the sampler's clock in tests.
 	now func() time.Time
@@ -292,4 +299,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeMetrics(w, s.cfg.Namespace, s.src.Snapshot(), s.cfg.now())
+	if s.cfg.Transport != nil {
+		writeTransportMetrics(w, s.cfg.Namespace, s.cfg.Transport())
+	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"github.com/approxiot/approxiot/internal/core"
 	"github.com/approxiot/approxiot/internal/metrics"
+	"github.com/approxiot/approxiot/internal/transport"
 )
 
 // fakeSource serves a canned snapshot.
@@ -392,5 +393,50 @@ func TestStopBeforeStart(t *testing.T) {
 	case <-done:
 	case <-time.After(time.Second):
 		t.Fatal("Stop before Start hung")
+	}
+}
+
+// TestMetricsTransportFamilies checks the transport-counter families: absent
+// without a Transport hook, present and live-polled with one — the
+// multi-process node shape, where /metrics must also describe the process's
+// own broker link.
+func TestMetricsTransportFamilies(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	src := &fakeSource{snap: healthySnapshot(now)}
+
+	bare := NewServer(src, Config{now: func() time.Time { return now }})
+	rec := httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "transport_bytes_out_total") {
+		t.Fatal("transport families rendered without a Transport hook")
+	}
+
+	ctr := transport.Counters{BytesOut: 111, BytesIn: 222, Reconnects: 3, SendErrors: 4, PollErrors: 5}
+	srv := NewServer(src, Config{
+		now:       func() time.Time { return now },
+		Transport: func() transport.Counters { return ctr },
+	})
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"approxiot_transport_bytes_out_total 111",
+		"approxiot_transport_bytes_in_total 222",
+		"approxiot_transport_reconnects_total 3",
+		"approxiot_transport_send_errors_total 4",
+		"approxiot_transport_poll_errors_total 5",
+		"# TYPE approxiot_transport_reconnects_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, body)
+		}
+	}
+
+	// The hook is polled per scrape, not captured once.
+	ctr.Reconnects = 9
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "approxiot_transport_reconnects_total 9") {
+		t.Fatal("transport counters are stale: hook not polled per scrape")
 	}
 }

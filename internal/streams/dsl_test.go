@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
 )
 
 func runDSL(t *testing.T, b *mq.Broker, sb *StreamBuilder, appID string) *Runtime {
@@ -19,7 +20,7 @@ func runDSL(t *testing.T, b *mq.Broker, sb *StreamBuilder, appID string) *Runtim
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	rt, err := NewRuntime(b, topo, appID, WithPollWait(time.Millisecond))
+	rt, err := NewRuntime(transport.WrapBroker(b), topo, appID, WithPollWait(time.Millisecond))
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}

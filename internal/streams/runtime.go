@@ -10,15 +10,17 @@ import (
 	"time"
 
 	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
 	"github.com/approxiot/approxiot/internal/vclock"
 )
 
-// Runtime executes a Topology against a broker: one pump goroutine polls the
-// topology's source topics, pushes each record synchronously through the
-// DAG, and fires punctuations when they come due. It models a single Kafka
-// Streams instance on one edge node.
+// Runtime executes a Topology against a transport bus: one pump goroutine
+// polls the topology's source topics, pushes each record synchronously
+// through the DAG, and fires punctuations when they come due. It models a
+// single Kafka Streams instance on one edge node; with a network bus the
+// instance really is remote from its broker.
 type Runtime struct {
-	broker    *mq.Broker
+	bus       transport.Bus
 	topo      *Topology
 	appID     string
 	clock     vclock.Clock
@@ -26,8 +28,8 @@ type Runtime struct {
 	pollWait  time.Duration
 	noBatch   bool // WithRecordAtATime: force the per-record seed path
 
-	consumers map[string]*mq.Consumer // source name → consumer
-	producer  *mq.Producer
+	consumers map[string]transport.Consumer // source name → consumer
+	producer  transport.Producer
 	contexts  map[string]*nodeContext
 	instances map[string]Processor
 	observers []CycleObserver // processors implementing CycleObserver, in topology order
@@ -122,22 +124,23 @@ func WithRecordAtATime() RuntimeOption {
 	return func(r *Runtime) { r.noBatch = true }
 }
 
-// NewRuntime prepares a runtime for topo. appID namespaces the consumer
-// groups, so multiple runtimes with distinct IDs each receive the full
-// stream, while runtimes sharing an ID split partitions like a Kafka
-// Streams application scaled horizontally.
-func NewRuntime(broker *mq.Broker, topo *Topology, appID string, opts ...RuntimeOption) (*Runtime, error) {
+// NewRuntime prepares a runtime for topo over the given bus. appID
+// namespaces the consumer groups, so multiple runtimes with distinct IDs
+// each receive the full stream, while runtimes sharing an ID split
+// partitions like a Kafka Streams application scaled horizontally — whether
+// they share a process (in-memory bus) or not (network bus).
+func NewRuntime(bus transport.Bus, topo *Topology, appID string, opts ...RuntimeOption) (*Runtime, error) {
 	r := &Runtime{
-		broker:    broker,
+		bus:       bus,
 		topo:      topo,
 		appID:     appID,
 		clock:     vclock.WallClock{},
 		pollBatch: 256,
 		pollWait:  10 * time.Millisecond,
-		consumers: make(map[string]*mq.Consumer),
+		consumers: make(map[string]transport.Consumer),
 		contexts:  make(map[string]*nodeContext),
 		instances: make(map[string]Processor),
-		producer:  mq.NewProducer(broker),
+		producer:  bus.NewProducer(),
 		syncCh:    make(chan func()),
 		done:      make(chan struct{}),
 	}
@@ -149,7 +152,7 @@ func NewRuntime(broker *mq.Broker, topo *Topology, appID string, opts ...Runtime
 		n := topo.nodes[name]
 		switch n.kind {
 		case kindSource:
-			c, err := mq.NewGroupConsumer(broker, n.topic, appID+"-"+name)
+			c, err := bus.NewGroupConsumer(n.topic, appID+"-"+name)
 			if err != nil {
 				return nil, fmt.Errorf("streams: source %q: %w", name, err)
 			}

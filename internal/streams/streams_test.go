@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
 )
 
 func buildBroker(t *testing.T, topics ...string) *mq.Broker {
@@ -75,7 +76,7 @@ func TestSourceToSinkPassthrough(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	rt, err := NewRuntime(b, topo, "app")
+	rt, err := NewRuntime(transport.WrapBroker(b),topo, "app")
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestProcessorTransformsAndForwards(t *testing.T) {
 		Processor("double", double, "src").
 		Sink("snk", "out", "double").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -125,7 +126,7 @@ func TestFanOutToMultipleChildren(t *testing.T) {
 		Sink("s1", "out1", "src").
 		Sink("s2", "out2", "src").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -154,7 +155,7 @@ func TestChainedProcessors(t *testing.T) {
 		Processor("p2", appendByte('2'), "p1").
 		Sink("snk", "out", "p2").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -177,7 +178,7 @@ func TestProcessorErrorStopsRuntime(t *testing.T) {
 		Source("src", "in").
 		Processor("bad", failing, "src").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	rt.Start()
 
 	mq.NewProducer(b).Send("in", nil, []byte("x"))
@@ -221,7 +222,7 @@ func TestPunctuationFiresPeriodically(t *testing.T) {
 		Source("src", "in").
 		Processor("tick", func() Processor { return proc }, "src").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -241,7 +242,7 @@ func TestPunctuationCancel(t *testing.T) {
 		Source("src", "in").
 		Processor("tick", func() Processor { return proc }, "src").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -260,7 +261,7 @@ func TestPunctuationCancel(t *testing.T) {
 func TestStopIsIdempotentAndStopsPump(t *testing.T) {
 	b := buildBroker(t, "in")
 	topo, _ := NewTopology().Source("src", "in").Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	if err := rt.Start(); err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -280,7 +281,7 @@ func TestStopIsIdempotentAndStopsPump(t *testing.T) {
 func TestDoubleStartRejected(t *testing.T) {
 	b := buildBroker(t, "in")
 	topo, _ := NewTopology().Source("src", "in").Build()
-	rt, _ := NewRuntime(b, topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
 	rt.Start()
 	defer rt.Stop()
 	if err := rt.Start(); err == nil {
@@ -294,8 +295,8 @@ func TestTwoRuntimesDistinctAppIDsBothSeeStream(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", out, "src").Build()
 		return topo
 	}
-	rtA, _ := NewRuntime(b, mkTopo("outA"), "appA")
-	rtB, _ := NewRuntime(b, mkTopo("outB"), "appB")
+	rtA, _ := NewRuntime(transport.WrapBroker(b),mkTopo("outA"), "appA")
+	rtB, _ := NewRuntime(transport.WrapBroker(b),mkTopo("outB"), "appB")
 	rtA.Start()
 	rtB.Start()
 	defer rtA.Stop()
@@ -319,8 +320,8 @@ func TestSharedAppIDSplitsPartitions(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
 		return topo
 	}
-	rt1, _ := NewRuntime(b, mkTopo(), "shared")
-	rt2, _ := NewRuntime(b, mkTopo(), "shared")
+	rt1, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
+	rt2, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
 	rt1.Start()
 	rt2.Start()
 	defer rt1.Stop()
@@ -347,8 +348,8 @@ func TestSharedAppIDMemberStopRebalances(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
 		return topo
 	}
-	rt1, _ := NewRuntime(b, mkTopo(), "shared", WithPollWait(time.Millisecond))
-	rt2, _ := NewRuntime(b, mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt1, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt2, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared", WithPollWait(time.Millisecond))
 	rt1.Start()
 	rt2.Start()
 	defer rt2.Stop()
@@ -440,7 +441,7 @@ func TestEndOfStreamFlushesFinalWindow(t *testing.T) {
 		Processor("window", func() Processor { return proc }, "src").
 		Sink("snk", "out", "window").
 		Build()
-	rt, _ := NewRuntime(b, topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -489,8 +490,8 @@ func TestStopAfterFailedStartDoesNotPanic(t *testing.T) {
 		Processor("fine", func() Processor { return ok }, "src").
 		Processor("bad", func() Processor { return &initFailProcessor{} }, "fine").
 		Build()
-	rt, _ := NewRuntime(b, topo, "shared")
-	survivor, _ := NewRuntime(b, func() *Topology {
+	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "shared")
+	survivor, _ := NewRuntime(transport.WrapBroker(b),func() *Topology {
 		topo, _ := NewTopology().Source("src", "in").Build()
 		return topo
 	}(), "shared")
@@ -527,8 +528,8 @@ func TestStopBeforeStartReleasesGroupMembership(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Build()
 		return topo
 	}
-	never, _ := NewRuntime(b, mkTopo(), "shared")
-	survivor, _ := NewRuntime(b, mkTopo(), "shared")
+	never, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
+	survivor, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
 	if err := never.Stop(); err != nil {
 		t.Fatalf("Stop before Start: %v", err)
 	}
@@ -556,7 +557,7 @@ func BenchmarkPassthroughPipeline(b *testing.B) {
 	br.CreateTopic("in", 1, mq.WithRetention(4096))
 	br.CreateTopic("out", 1, mq.WithRetention(4096))
 	topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
-	rt, _ := NewRuntime(br, topo, "bench")
+	rt, _ := NewRuntime(transport.WrapBroker(br), topo, "bench")
 	rt.Start()
 	defer rt.Stop()
 	sinkDrain, _ := mq.NewGroupConsumer(br, "out", "bench-drain")

@@ -1,0 +1,970 @@
+package tcp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
+)
+
+const (
+	dialTimeout = 5 * time.Second
+	// ioGrace pads every read deadline past the request's server-side wait
+	// budget: a response later than wait+grace means the conn is dead, not
+	// slow.
+	ioGrace = 15 * time.Second
+	// longPollMs is the client's blocking-poll round: PollInto re-issues
+	// fetches of this length, checking its context between rounds.
+	longPollMs = 250
+	// watchPollMs is the long-poll round of the background WaitChan and
+	// RebalanceChan watchers — longer than fetch rounds because an idle
+	// watcher's only cost is holding a parked request open.
+	watchPollMs = 2000
+)
+
+// Client mounts a remote Server as a transport.Bus. Producers and consumers
+// each own a dedicated connection (their request streams are independent and
+// a blocking fetch must not head-of-line-block an unrelated send); Bus-level
+// ops share one admin connection. Every connection transparently redials
+// once per failed call: producers retry the send (at-least-once, like a
+// non-idempotent Kafka producer), consumers re-open their server-side
+// handle — rejoining their group or re-seeking their standalone positions to
+// the exact next offsets — before the call is retried, so a broker bounce
+// surfaces as at most one failed call, not a wedged pipeline.
+type Client struct {
+	addr string
+	ctr  counters
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*rconn]struct{}
+
+	admin *rconn
+}
+
+var _ transport.Bus = (*Client)(nil)
+var _ transport.CounterSource = (*Client)(nil)
+
+// Dial connects to a Server at addr. It fails fast if the daemon is not
+// reachable; connections lost later are redialed per call.
+func Dial(addr string) (*Client, error) {
+	cl := &Client{addr: addr, conns: make(map[*rconn]struct{})}
+	cl.admin = cl.newRconn(nil)
+	if err := cl.admin.connect(); err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
+	}
+	return cl, nil
+}
+
+// Counters returns this client's wire-traffic counters, summed over all of
+// its connections (admin, producers, consumers, watchers).
+func (cl *Client) Counters() transport.Counters { return cl.ctr.snapshot() }
+
+// Close drops every connection this client opened. The remote daemon — and
+// the topics, groups, and records it holds — keeps running; only this
+// process's producers, consumers, and watchers go away (the server reaps
+// their handles as the conns drop, so group members leave and rebalance).
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	conns := make([]*rconn, 0, len(cl.conns))
+	for rc := range cl.conns {
+		conns = append(conns, rc)
+	}
+	cl.mu.Unlock()
+	for _, rc := range conns {
+		rc.close()
+	}
+	return nil
+}
+
+// CreateTopic creates (or idempotently re-creates) a topic on the daemon.
+func (cl *Client) CreateTopic(name string, partitions, retain int) error {
+	return cl.admin.call(0, func(req []byte) []byte {
+		req = append(req, opCreateTopic)
+		req = appendStr(req, name)
+		req = appendUvarint(req, uint64(partitions))
+		return appendUvarint(req, uint64(retain))
+	}, nil)
+}
+
+// TopicPartitions returns the partition count of an existing topic.
+func (cl *Client) TopicPartitions(name string) (int, error) {
+	var n int
+	err := cl.admin.call(0, func(req []byte) []byte {
+		req = append(req, opTopicParts)
+		return appendStr(req, name)
+	}, func(r *wireReader) error {
+		n = int(r.uvarint())
+		return r.err
+	})
+	return n, err
+}
+
+// GroupLag returns a group's total lag on a topic — the remote form of the
+// ingest-backpressure probe, answered from the daemon's own committed
+// offsets and high watermarks so it is exactly as truthful as in-process.
+func (cl *Client) GroupLag(topic, group string) (int64, error) {
+	var lag int64
+	err := cl.admin.call(0, func(req []byte) []byte {
+		req = append(req, opGroupLag)
+		req = appendStr(req, topic)
+		return appendStr(req, group)
+	}, func(r *wireReader) error {
+		lag = int64(r.uvarint())
+		return r.err
+	})
+	return lag, err
+}
+
+// GroupCommitted returns a group's committed offset per partition.
+func (cl *Client) GroupCommitted(topic, group string) ([]int64, error) {
+	var offs []int64
+	err := cl.admin.call(0, func(req []byte) []byte {
+		req = append(req, opGroupCommitted)
+		req = appendStr(req, topic)
+		return appendStr(req, group)
+	}, func(r *wireReader) error {
+		n := int(r.uvarint())
+		if r.err != nil {
+			return r.err
+		}
+		offs = make([]int64, n)
+		for i := range offs {
+			offs[i] = int64(r.uvarint())
+		}
+		return r.err
+	})
+	return offs, err
+}
+
+// FetchInto reads up to max records from a partition starting at offset
+// from, appending onto dst. Payload bytes are materialized into one fresh
+// block per batch, so the records outlive the connection's frame buffer.
+func (cl *Client) FetchInto(dst []transport.Record, topic string, partition int, from int64, max int) ([]transport.Record, error) {
+	out := dst
+	err := cl.admin.call(0, func(req []byte) []byte {
+		req = append(req, opFetchAt)
+		req = appendStr(req, topic)
+		req = appendUvarint(req, uint64(partition))
+		req = appendUvarint(req, uint64(from))
+		return appendUvarint(req, uint64(max))
+	}, func(r *wireReader) error {
+		n := int(r.uvarint())
+		if r.err != nil {
+			return r.err
+		}
+		var derr error
+		out, derr = decodeRecords(r, out, n)
+		return derr
+	})
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// NewProducer returns a producer with its own connection, dialed lazily on
+// first send.
+func (cl *Client) NewProducer() transport.Producer {
+	return &clientProducer{cl: cl, rc: cl.newRconn(nil)}
+}
+
+// NewConsumer returns a standalone consumer over every partition of topic.
+func (cl *Client) NewConsumer(topic string) (transport.Consumer, error) {
+	return cl.newConsumer(topic, "")
+}
+
+// NewGroupConsumer returns a consumer that joins the named group on topic.
+func (cl *Client) NewGroupConsumer(topic, group string) (transport.Consumer, error) {
+	if group == "" {
+		return nil, errors.New("tcp: empty group name")
+	}
+	return cl.newConsumer(topic, group)
+}
+
+func (cl *Client) newConsumer(topic, group string) (*clientConsumer, error) {
+	cc := &clientConsumer{
+		cl:        cl,
+		topic:     topic,
+		group:     group,
+		positions: make(map[int]int64),
+	}
+	// The open runs inside the reconnect hook so a redial re-establishes the
+	// server-side handle (rejoin the group / re-seek standalone positions)
+	// before the failed call is retried.
+	cc.rc = cl.newRconn(cc.reopen)
+	if err := cc.rc.connect(); err != nil {
+		cc.rc.close()
+		return nil, err
+	}
+	return cc, nil
+}
+
+func (cl *Client) newRconn(hook func(raw rawCall) error) *rconn {
+	rc := &rconn{cl: cl, hook: hook}
+	cl.mu.Lock()
+	if cl.closed {
+		rc.closed = true
+	} else {
+		cl.conns[rc] = struct{}{}
+	}
+	cl.mu.Unlock()
+	return rc
+}
+
+func (cl *Client) dropConn(rc *rconn) {
+	cl.mu.Lock()
+	delete(cl.conns, rc)
+	cl.mu.Unlock()
+}
+
+// ---- reconnecting connection ----
+
+// rawCall performs one request/response on an rconn's live connection with
+// no locking or retry — the primitive reconnect hooks are handed to rebuild
+// session state. The returned reader is valid until the next call.
+type rawCall func(req []byte, waitMs uint64) (*wireReader, error)
+
+// rconn is one client connection: calls are serialized by mu, and a call
+// that hits an I/O error closes the conn, redials once, replays the
+// reconnect hook, rebuilds the request, and retries. The conn pointer and
+// closed flag live under their own cmu (never held across I/O) so close()
+// can interrupt a parked long-poll from another goroutine.
+type rconn struct {
+	cl   *Client
+	hook func(raw rawCall) error
+
+	mu     sync.Mutex // serializes calls
+	reqBuf []byte
+	rbuf   []byte
+	sbuf   []byte
+
+	cmu        sync.Mutex
+	conn       net.Conn
+	everDialed bool
+	closed     bool
+}
+
+func (rc *rconn) connect() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.ensureLocked()
+}
+
+func (rc *rconn) isClosed() bool {
+	rc.cmu.Lock()
+	defer rc.cmu.Unlock()
+	return rc.closed
+}
+
+func (rc *rconn) close() {
+	rc.cmu.Lock()
+	if rc.closed {
+		rc.cmu.Unlock()
+		return
+	}
+	rc.closed = true
+	if rc.conn != nil {
+		rc.conn.Close() // interrupts any parked read immediately
+		rc.conn = nil
+	}
+	rc.cmu.Unlock()
+	rc.cl.dropConn(rc)
+}
+
+// liveConn returns the current conn, or nil if absent/closed.
+func (rc *rconn) liveConn() (net.Conn, error) {
+	rc.cmu.Lock()
+	defer rc.cmu.Unlock()
+	if rc.closed {
+		return nil, fmt.Errorf("%w: transport client closed", mq.ErrClosed)
+	}
+	return rc.conn, nil
+}
+
+func (rc *rconn) dropLive(conn net.Conn) {
+	conn.Close()
+	rc.cmu.Lock()
+	if rc.conn == conn {
+		rc.conn = nil
+	}
+	rc.cmu.Unlock()
+}
+
+// ensureLocked dials (or redials) and replays the reconnect hook. Callers
+// hold rc.mu.
+func (rc *rconn) ensureLocked() error {
+	conn, err := rc.liveConn()
+	if err != nil {
+		return err
+	}
+	if conn != nil {
+		return nil
+	}
+	conn, err = net.DialTimeout("tcp", rc.cl.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	rc.cmu.Lock()
+	if rc.closed {
+		rc.cmu.Unlock()
+		conn.Close()
+		return fmt.Errorf("%w: transport client closed", mq.ErrClosed)
+	}
+	if rc.everDialed {
+		rc.cl.ctr.reconnects.Add(1)
+	}
+	rc.everDialed = true
+	rc.conn = conn
+	rc.cmu.Unlock()
+	if rc.hook != nil {
+		raw := func(req []byte, waitMs uint64) (*wireReader, error) {
+			frame, err := rc.exchange(conn, req, waitMs)
+			if err != nil {
+				return nil, err
+			}
+			return parseResp(frame)
+		}
+		if err := rc.hook(raw); err != nil {
+			rc.dropLive(conn)
+			return err
+		}
+	}
+	return nil
+}
+
+// exchange writes one request frame and reads the response frame. Callers
+// hold rc.mu; the returned frame aliases rc.rbuf and is valid until the
+// next exchange.
+func (rc *rconn) exchange(conn net.Conn, req []byte, waitMs uint64) ([]byte, error) {
+	conn.SetDeadline(time.Now().Add(ioGrace + time.Duration(waitMs)*time.Millisecond))
+	n, sbuf, err := writeFrame(conn, rc.sbuf, req)
+	rc.sbuf = sbuf
+	rc.cl.ctr.bytesOut.Add(int64(n))
+	if err != nil {
+		return nil, err
+	}
+	frame, rn, err := readFrame(conn, rc.rbuf)
+	rc.rbuf = frame
+	rc.cl.ctr.bytesIn.Add(int64(rn))
+	if err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// call runs one request with redial-and-retry. build is re-invoked per
+// attempt (the reconnect hook may have changed state the request embeds,
+// e.g. a re-opened consumer handle); decode runs on the stOK payload while
+// the frame buffer is still valid. Server-reported errors are returned
+// as-is and never retried — only conn-level I/O failures trigger the
+// redial.
+func (rc *rconn) call(waitMs uint64, build func(req []byte) []byte, decode func(*wireReader) error) error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := rc.ensureLocked(); err != nil {
+			if lastErr != nil && !rc.isClosed() {
+				return fmt.Errorf("tcp: reconnect failed: %w (after %v)", err, lastErr)
+			}
+			return err
+		}
+		conn, err := rc.liveConn()
+		if err != nil {
+			return err
+		}
+		rc.reqBuf = build(rc.reqBuf[:0])
+		frame, err := rc.exchange(conn, rc.reqBuf, waitMs)
+		if err != nil {
+			rc.dropLive(conn)
+			lastErr = err
+			continue
+		}
+		r, err := parseResp(frame)
+		if err != nil {
+			return err
+		}
+		if decode != nil {
+			return decode(r)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// parseResp splits a response frame into its status and payload reader.
+func parseResp(frame []byte) (*wireReader, error) {
+	r := &wireReader{buf: frame}
+	st := r.byteVal()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if st != stOK {
+		return nil, errOf(st, r.str())
+	}
+	return r, nil
+}
+
+// decodeRecords appends n records from r onto dst. Key/Value views into the
+// frame buffer are materialized into one fresh block per batch, so returned
+// records stay valid after the next poll — the boundary's ownership rule.
+func decodeRecords(r *wireReader, dst []mq.Record, n int) ([]mq.Record, error) {
+	base := len(dst)
+	total := 0
+	for i := 0; i < n; i++ {
+		rec := r.record()
+		if r.err != nil {
+			return dst[:base], r.err
+		}
+		total += len(rec.Key) + len(rec.Value)
+		dst = append(dst, rec)
+	}
+	block := make([]byte, 0, total)
+	for i := base; i < len(dst); i++ {
+		block, dst[i].Key = blockCopy(block, dst[i].Key)
+		block, dst[i].Value = blockCopy(block, dst[i].Value)
+	}
+	return dst, nil
+}
+
+// ---- producer ----
+
+type clientProducer struct {
+	cl *Client
+	rc *rconn
+}
+
+var _ transport.Producer = (*clientProducer)(nil)
+
+func (p *clientProducer) Send(topic string, key, value []byte) (int, int64, error) {
+	return p.SendWatermarked(topic, key, value, mq.Watermark{})
+}
+
+func (p *clientProducer) SendWatermarked(topic string, key, value []byte, wm mq.Watermark) (int, int64, error) {
+	var part int
+	var off int64
+	err := p.rc.call(0, func(req []byte) []byte {
+		req = append(req, opSend)
+		req = appendStr(req, topic)
+		req = appendBytes(req, key)
+		req = appendBytes(req, value)
+		return appendWatermark(req, wm)
+	}, func(r *wireReader) error {
+		part = int(r.uvarint())
+		off = int64(r.uvarint())
+		return r.err
+	})
+	if err != nil {
+		p.cl.ctr.sendErrs.Add(1)
+	}
+	return part, off, err
+}
+
+func (p *clientProducer) SendTo(topic string, partition int, key, value []byte) (int64, error) {
+	return p.SendToWatermarked(topic, partition, key, value, mq.Watermark{})
+}
+
+func (p *clientProducer) SendToWatermarked(topic string, partition int, key, value []byte, wm mq.Watermark) (int64, error) {
+	var off int64
+	err := p.rc.call(0, func(req []byte) []byte {
+		req = append(req, opSendTo)
+		req = appendStr(req, topic)
+		req = appendUvarint(req, uint64(partition))
+		req = appendBytes(req, key)
+		req = appendBytes(req, value)
+		return appendWatermark(req, wm)
+	}, func(r *wireReader) error {
+		off = int64(r.uvarint())
+		return r.err
+	})
+	if err != nil {
+		p.cl.ctr.sendErrs.Add(1)
+	}
+	return off, err
+}
+
+func (p *clientProducer) SendBatch(topic string, recs []mq.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	err := p.rc.call(0, func(req []byte) []byte {
+		req = append(req, opSendBatch)
+		req = appendStr(req, topic)
+		req = appendUvarint(req, uint64(len(recs)))
+		for i := range recs {
+			req = appendBytes(req, recs[i].Key)
+			req = appendBytes(req, recs[i].Value)
+			req = appendWatermark(req, recs[i].Watermark)
+		}
+		return req
+	}, nil)
+	if err != nil {
+		p.cl.ctr.sendErrs.Add(1)
+	}
+	return err
+}
+
+// ---- consumer ----
+
+// closedChan is returned by WaitChan once the topic (or consumer) is done:
+// a woken caller re-polls, finds nothing, and checks TopicClosed — the
+// shut-down topic's "wakes immediately and forever" contract.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+type clientConsumer struct {
+	cl    *Client
+	topic string
+	group string // "" = standalone
+	rc    *rconn
+
+	handle      atomic.Uint64
+	closed      atomic.Bool
+	topicClosed atomic.Bool
+
+	// positions tracks a standalone consumer's next offset per partition so
+	// a reconnect can re-seek the fresh server-side consumer to exactly
+	// where this one left off (group offsets live server-side and need no
+	// client copy).
+	pmu       sync.Mutex
+	positions map[int]int64
+
+	// WaitChan machinery: a lazily-started watcher long-polls the topic's
+	// append epoch over its own conn and closes waitCh on movement.
+	wmu         sync.Mutex
+	waitCh      chan struct{}
+	waitStarted bool
+	waitRC      *rconn
+
+	// RebalanceChan machinery, same shape over the handle's generation.
+	rmu        sync.Mutex
+	rebCh      chan struct{}
+	rebStarted bool
+	rebRC      *rconn
+}
+
+var _ transport.Consumer = (*clientConsumer)(nil)
+
+// reopen is the reconnect hook: it re-establishes the server-side consumer
+// on a fresh conn. Group consumers rejoin (a new member under a bumped
+// generation; committed offsets are group-owned and survive); standalone
+// consumers re-seek every tracked position so no record is re-delivered.
+func (cc *clientConsumer) reopen(raw rawCall) error {
+	req := []byte{opOpenConsumer}
+	req = appendStr(req, cc.topic)
+	req = appendStr(req, cc.group)
+	r, err := raw(req, 0)
+	if err != nil {
+		return err
+	}
+	h := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	cc.handle.Store(h)
+	if cc.group != "" {
+		return nil
+	}
+	cc.pmu.Lock()
+	seeks := make(map[int]int64, len(cc.positions))
+	for p, off := range cc.positions {
+		seeks[p] = off
+	}
+	cc.pmu.Unlock()
+	for p, off := range seeks {
+		req := []byte{opSeek}
+		req = appendUvarint(req, h)
+		req = appendUvarint(req, uint64(p))
+		req = appendUvarint(req, uint64(off))
+		if _, err := raw(req, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetch runs one poll round: non-blocking at waitMs 0, else a server-side
+// long poll. Topic-closed state piggybacks on every response.
+func (cc *clientConsumer) fetch(dst []mq.Record, max int, waitMs uint64) ([]mq.Record, error) {
+	if cc.closed.Load() {
+		return dst, mq.ErrClosed
+	}
+	if max <= 0 {
+		max = 1
+	}
+	out := dst
+	err := cc.rc.call(waitMs, func(req []byte) []byte {
+		req = append(req, opFetch)
+		req = appendUvarint(req, cc.handle.Load())
+		req = appendUvarint(req, uint64(max))
+		return appendUvarint(req, waitMs)
+	}, func(r *wireReader) error {
+		flags := r.byteVal()
+		n := int(r.uvarint())
+		if r.err != nil {
+			return r.err
+		}
+		if flags&1 != 0 {
+			cc.topicClosed.Store(true)
+		}
+		var derr error
+		out, derr = decodeRecords(r, out, n)
+		return derr
+	})
+	if err != nil {
+		if errors.Is(err, mq.ErrClosed) {
+			cc.topicClosed.Store(true)
+		} else {
+			cc.cl.ctr.pollErrs.Add(1)
+		}
+		return dst, err
+	}
+	if cc.group == "" && len(out) > len(dst) {
+		cc.pmu.Lock()
+		for i := len(dst); i < len(out); i++ {
+			cc.positions[out[i].Partition] = out[i].Offset + 1
+		}
+		cc.pmu.Unlock()
+	}
+	return out, nil
+}
+
+func (cc *clientConsumer) Poll(ctx context.Context, max int) ([]mq.Record, error) {
+	return cc.PollInto(ctx, nil, max)
+}
+
+func (cc *clientConsumer) PollInto(ctx context.Context, dst []mq.Record, max int) ([]mq.Record, error) {
+	for {
+		out, err := cc.fetch(dst, max, longPollMs)
+		if err != nil {
+			return dst, err
+		}
+		if len(out) > len(dst) {
+			return out, nil
+		}
+		if cc.topicClosed.Load() {
+			return dst, mq.ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return dst, ctx.Err()
+		default:
+		}
+	}
+}
+
+func (cc *clientConsumer) TryPoll(max int) ([]mq.Record, error) {
+	return cc.TryPollInto(nil, max)
+}
+
+func (cc *clientConsumer) TryPollInto(dst []mq.Record, max int) ([]mq.Record, error) {
+	return cc.fetch(dst, max, 0)
+}
+
+// meta fetches the handle's lag/generation/assignment snapshot.
+func (cc *clientConsumer) meta() (lag, gen int64, assign []int, err error) {
+	err = cc.rc.call(0, func(req []byte) []byte {
+		req = append(req, opMeta)
+		return appendUvarint(req, cc.handle.Load())
+	}, func(r *wireReader) error {
+		flags := r.byteVal()
+		lag = int64(r.uvarint())
+		gen = int64(r.uvarint())
+		n := int(r.uvarint())
+		if r.err != nil {
+			return r.err
+		}
+		if flags&1 != 0 {
+			cc.topicClosed.Store(true)
+		}
+		assign = make([]int, n)
+		for i := range assign {
+			assign[i] = int(r.uvarint())
+		}
+		return r.err
+	})
+	return lag, gen, assign, err
+}
+
+func (cc *clientConsumer) Assignment() []int {
+	_, _, assign, err := cc.meta()
+	if err != nil {
+		return nil
+	}
+	return assign
+}
+
+func (cc *clientConsumer) Lag() int64 {
+	lag, _, _, err := cc.meta()
+	if err != nil {
+		return 0
+	}
+	return lag
+}
+
+func (cc *clientConsumer) Generation() int64 {
+	if cc.group == "" {
+		return 0
+	}
+	_, gen, _, err := cc.meta()
+	if err != nil {
+		return 0
+	}
+	return gen
+}
+
+func (cc *clientConsumer) Committed(p int) int64 {
+	var off int64
+	err := cc.rc.call(0, func(req []byte) []byte {
+		req = append(req, opCommitted)
+		req = appendUvarint(req, cc.handle.Load())
+		return appendUvarint(req, uint64(p))
+	}, func(r *wireReader) error {
+		off = int64(r.uvarint())
+		return r.err
+	})
+	if err != nil {
+		return 0
+	}
+	return off
+}
+
+func (cc *clientConsumer) Seek(p int, offset int64) error {
+	if cc.group != "" {
+		// Group offsets are group-owned; fail locally exactly as the
+		// in-memory consumer does, without a round trip.
+		return mq.ErrNotSubscribed
+	}
+	err := cc.rc.call(0, func(req []byte) []byte {
+		req = append(req, opSeek)
+		req = appendUvarint(req, cc.handle.Load())
+		req = appendUvarint(req, uint64(p))
+		return appendUvarint(req, uint64(offset))
+	}, nil)
+	if err != nil {
+		return err
+	}
+	cc.pmu.Lock()
+	cc.positions[p] = offset
+	cc.pmu.Unlock()
+	return nil
+}
+
+// TopicClosed reports the last observed topic state: every fetch, meta, and
+// watcher response refreshes it, so a polling caller observes closure on
+// its next round — the pump's arm/try/check sequence needs nothing fresher.
+func (cc *clientConsumer) TopicClosed() bool {
+	return cc.topicClosed.Load()
+}
+
+// WaitChan returns a channel closed when new records may be available. The
+// first call starts a background watcher that long-polls the topic's append
+// epoch on a dedicated conn; a wakeup therefore lags an append by up to a
+// round trip, and spurious wakeups are possible after transport errors —
+// both within the interface's stated contract (callers bound their waits).
+func (cc *clientConsumer) WaitChan() <-chan struct{} {
+	if cc.closed.Load() || cc.topicClosed.Load() {
+		return closedChan
+	}
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if cc.waitCh == nil {
+		cc.waitCh = make(chan struct{})
+	}
+	if !cc.waitStarted {
+		cc.waitStarted = true
+		cc.waitRC = cc.cl.newRconn(nil)
+		go cc.waitWatcher(cc.waitRC)
+	}
+	return cc.waitCh
+}
+
+func (cc *clientConsumer) fireWait() {
+	cc.wmu.Lock()
+	if cc.waitCh != nil {
+		close(cc.waitCh)
+		cc.waitCh = nil
+	}
+	cc.wmu.Unlock()
+}
+
+func (cc *clientConsumer) waitWatcher(rc *rconn) {
+	defer rc.close()
+	defer cc.fireWait()
+	var epoch uint64
+	primed := false
+	for !cc.closed.Load() {
+		var cur uint64
+		var topicDone bool
+		wait := uint64(watchPollMs)
+		if !primed {
+			wait = 0 // first round just learns the current epoch
+		}
+		err := rc.call(wait, func(req []byte) []byte {
+			req = append(req, opWait)
+			req = appendStr(req, cc.topic)
+			req = appendUvarint(req, epoch)
+			return appendUvarint(req, wait)
+		}, func(r *wireReader) error {
+			flags := r.byteVal()
+			cur = r.uvarint()
+			topicDone = flags&1 != 0
+			return r.err
+		})
+		if err != nil {
+			if rc.isClosed() || errors.Is(err, mq.ErrClosed) {
+				cc.topicClosed.Store(errors.Is(err, mq.ErrClosed))
+				return
+			}
+			// Transient: wake waiters (spurious wakeups are allowed) and
+			// retry after a beat rather than spinning on a dead daemon.
+			cc.fireWait()
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if topicDone {
+			cc.topicClosed.Store(true)
+			return
+		}
+		if primed && cur != epoch {
+			cc.fireWait()
+		}
+		epoch = cur
+		primed = true
+	}
+}
+
+// RebalanceChan returns a channel closed at the group's next membership
+// change, driven by a background watcher long-polling the generation.
+// Standalone consumers get a channel that never closes.
+func (cc *clientConsumer) RebalanceChan() <-chan struct{} {
+	if cc.group == "" {
+		return make(chan struct{})
+	}
+	cc.rmu.Lock()
+	defer cc.rmu.Unlock()
+	if cc.rebCh == nil {
+		cc.rebCh = make(chan struct{})
+	}
+	if !cc.rebStarted {
+		cc.rebStarted = true
+		cc.rebRC = cc.cl.newRconn(nil)
+		// Prime the baseline generation BEFORE the call returns. The
+		// contract is "closed at the group's NEXT membership change": if the
+		// watcher learned its baseline on its own first round, a join
+		// landing between this call and that round would be absorbed into
+		// the baseline and the wakeup lost. (WaitChan tolerates the
+		// equivalent lag because its contract allows it; this one does not.)
+		gen, primed := cc.rebBaseline(cc.rebRC)
+		go cc.rebWatcher(cc.rebRC, gen, primed)
+	}
+	return cc.rebCh
+}
+
+// rebBaseline reads the handle's current group generation over rc with a
+// zero wait. primed is false when the read failed; the watcher then primes
+// on its own first round — best effort, since without a baseline there is
+// nothing to diff against anyway.
+func (cc *clientConsumer) rebBaseline(rc *rconn) (gen uint64, primed bool) {
+	err := rc.call(0, func(req []byte) []byte {
+		req = append(req, opRebalanceWait)
+		req = appendUvarint(req, cc.handle.Load())
+		req = appendUvarint(req, ^uint64(0))
+		return appendUvarint(req, 0)
+	}, func(r *wireReader) error {
+		gen = r.uvarint()
+		return r.err
+	})
+	if err != nil {
+		return ^uint64(0), false
+	}
+	return gen, true
+}
+
+func (cc *clientConsumer) fireReb() {
+	cc.rmu.Lock()
+	if cc.rebCh != nil {
+		close(cc.rebCh)
+		cc.rebCh = nil
+	}
+	cc.rmu.Unlock()
+}
+
+func (cc *clientConsumer) rebWatcher(rc *rconn, gen uint64, primed bool) {
+	defer rc.close()
+	for !cc.closed.Load() {
+		var cur uint64
+		wait := uint64(watchPollMs)
+		if !primed {
+			wait = 0
+		}
+		err := rc.call(wait, func(req []byte) []byte {
+			req = append(req, opRebalanceWait)
+			req = appendUvarint(req, cc.handle.Load())
+			req = appendUvarint(req, gen)
+			return appendUvarint(req, wait)
+		}, func(r *wireReader) error {
+			cur = r.uvarint()
+			return r.err
+		})
+		if err != nil {
+			if rc.isClosed() || errors.Is(err, mq.ErrClosed) {
+				return
+			}
+			// A stale handle after a main-conn reconnect lands here too:
+			// back off, re-read the (possibly refreshed) handle, retry. The
+			// generation moved during the reconnect, so the next successful
+			// round reports the change — no wakeup is lost.
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if primed && cur != gen {
+			cc.fireReb()
+		}
+		gen = cur
+		primed = true
+	}
+}
+
+// Close releases the consumer: the server-side handle is closed
+// (best-effort — a dropped conn reaps it anyway), the group membership
+// leaves, and local waiters are woken.
+func (cc *clientConsumer) Close() {
+	if cc.closed.Swap(true) {
+		return
+	}
+	_ = cc.rc.call(0, func(req []byte) []byte {
+		req = append(req, opCloseConsumer)
+		return appendUvarint(req, cc.handle.Load())
+	}, nil)
+	cc.rc.close()
+	cc.wmu.Lock()
+	wrc := cc.waitRC
+	cc.wmu.Unlock()
+	if wrc != nil {
+		wrc.close()
+	}
+	cc.rmu.Lock()
+	rrc := cc.rebRC
+	cc.rmu.Unlock()
+	if rrc != nil {
+		rrc.close()
+	}
+	cc.fireWait()
+	cc.fireReb()
+}

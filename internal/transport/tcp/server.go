@@ -1,0 +1,643 @@
+package tcp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
+)
+
+// maxWaitMs caps how long a single blocking request (fetch long-poll, wait,
+// rebalance-wait) may park server-side. Clients re-issue; the cap bounds how
+// long a dispatch loop can sit in one request after the peer vanishes.
+const maxWaitMs = 30_000
+
+// counters is the shared atomic backing for transport.Counters. Both the
+// server and every client handle own one; conns account into it directly.
+type counters struct {
+	bytesOut, bytesIn    atomic.Int64
+	reconnects           atomic.Int64
+	sendErrs, pollErrs   atomic.Int64
+}
+
+func (c *counters) snapshot() transport.Counters {
+	return transport.Counters{
+		BytesOut:   c.bytesOut.Load(),
+		BytesIn:    c.bytesIn.Load(),
+		Reconnects: c.reconnects.Load(),
+		SendErrors: c.sendErrs.Load(),
+		PollErrors: c.pollErrs.Load(),
+	}
+}
+
+// Server is the broker daemon: it serves a transport.Bus (typically the
+// in-memory Mem backend) to remote clients over the wire protocol. The
+// server holds a real server-side consumer per client consumer handle, so
+// group membership, generation fencing, and auto-commit-at-fetch all run
+// against the backing bus with in-process semantics; the wire only moves
+// records and results.
+type Server struct {
+	bus transport.Bus
+	ln  net.Listener
+
+	// baseCtx is cancelled by Close so blocking requests (long-poll fetch,
+	// opWait) return promptly instead of riding out their waitMs.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	handles map[uint64]*serverHandle
+	nextID  uint64
+	closed  bool
+
+	ctr counters
+	wg  sync.WaitGroup
+}
+
+// serverHandle is one client consumer: the server-side consumer doing the
+// real work plus the owning connection (for teardown when the conn drops).
+type serverHandle struct {
+	c     transport.Consumer
+	owner net.Conn
+}
+
+// Serve starts serving bus on ln and returns immediately. The server does
+// not own bus: Close stops serving but leaves the bus (and its topics)
+// intact, so a daemon owner decides the shutdown order.
+func Serve(ln net.Listener, bus transport.Bus) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		bus:     bus,
+		ln:      ln,
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+		handles: make(map[uint64]*serverHandle),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is Serve over a fresh TCP listener on addr (e.g. ":9090" or
+// "127.0.0.1:0" for an ephemeral test port — read it back via Addr).
+func Listen(addr string, bus transport.Bus) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, bus), nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Counters returns the server's wire-traffic counters (all conns summed).
+func (s *Server) Counters() transport.Counters { return s.ctr.snapshot() }
+
+// Close stops accepting, drops every connection, closes the server-side
+// consumers opened on clients' behalf, and waits for the conn handlers to
+// drain. The backing bus is left running.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cancel()
+	err := s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// connState is the per-connection dispatch state. Requests on one conn are
+// strictly serial (request, response, request, ...), so the scratch buffers
+// here are single-owner and recycle across frames.
+type connState struct {
+	srv  *Server
+	conn net.Conn
+
+	producer transport.Producer
+	owned    map[uint64]struct{}         // consumer handles this conn opened
+	waiters  map[string]transport.Consumer // opWait epoch consumers, per topic
+
+	fetchScratch []mq.Record
+	batchScratch []mq.Record
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	cs := &connState{
+		srv:     s,
+		conn:    conn,
+		owned:   make(map[uint64]struct{}),
+		waiters: make(map[string]transport.Consumer),
+	}
+	defer cs.teardown()
+	var reqBuf, respBuf, scratch []byte
+	for {
+		req, n, err := readFrame(conn, reqBuf)
+		reqBuf = req
+		s.ctr.bytesIn.Add(int64(n))
+		if err != nil {
+			return
+		}
+		respBuf = s.dispatch(cs, req, respBuf[:0])
+		n, scratch, err = writeFrame(conn, scratch, respBuf)
+		s.ctr.bytesOut.Add(int64(n))
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (cs *connState) teardown() {
+	cs.conn.Close()
+	s := cs.srv
+	s.mu.Lock()
+	delete(s.conns, cs.conn)
+	var dead []transport.Consumer
+	for id := range cs.owned {
+		if h, ok := s.handles[id]; ok {
+			dead = append(dead, h.c)
+			delete(s.handles, id)
+		}
+	}
+	s.mu.Unlock()
+	// Close outside the lock: group members leaving takes the group lock.
+	for _, c := range dead {
+		c.Close()
+	}
+	for _, c := range cs.waiters {
+		c.Close()
+	}
+}
+
+// register files a new server-side consumer under a fresh handle id.
+func (s *Server) register(cs *connState, c transport.Consumer) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.handles[id] = &serverHandle{c: c, owner: cs.conn}
+	cs.owned[id] = struct{}{}
+	return id
+}
+
+// lookup resolves a handle id to its consumer; nil if unknown (closed, or
+// reaped when its conn dropped).
+func (s *Server) lookup(id uint64) transport.Consumer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.handles[id]; ok {
+		return h.c
+	}
+	return nil
+}
+
+func (s *Server) unregister(cs *connState, id uint64) transport.Consumer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(cs.owned, id)
+	if h, ok := s.handles[id]; ok {
+		delete(s.handles, id)
+		return h.c
+	}
+	return nil
+}
+
+// appendErr encodes a failure response: status byte + message.
+func appendErr(resp []byte, err error) []byte {
+	resp = append(resp, statusOf(err))
+	return appendStr(resp, err.Error())
+}
+
+// dispatch decodes one request frame and appends the response onto resp.
+func (s *Server) dispatch(cs *connState, req, resp []byte) []byte {
+	r := &wireReader{buf: req}
+	op := r.byteVal()
+	switch op {
+	case opCreateTopic:
+		name := r.str()
+		parts := int(r.uvarint())
+		retain := int(r.uvarint())
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		if err := s.bus.CreateTopic(name, parts, retain); err != nil {
+			return appendErr(resp, err)
+		}
+		return append(resp, stOK)
+
+	case opTopicParts:
+		name := r.str()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		n, err := s.bus.TopicPartitions(name)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		return appendUvarint(resp, uint64(n))
+
+	case opSend:
+		topic := r.str()
+		key, value := copyKV(r.bytesVal(), r.bytesVal())
+		wm := r.watermark()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		p, off, err := cs.prod().SendWatermarked(topic, key, value, wm)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		resp = appendUvarint(resp, uint64(p))
+		return appendUvarint(resp, uint64(off))
+
+	case opSendTo:
+		topic := r.str()
+		part := int(r.uvarint())
+		key, value := copyKV(r.bytesVal(), r.bytesVal())
+		wm := r.watermark()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		off, err := cs.prod().SendToWatermarked(topic, part, key, value, wm)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		return appendUvarint(resp, uint64(off))
+
+	case opSendBatch:
+		return s.handleSendBatch(cs, r, resp)
+
+	case opOpenConsumer:
+		topic := r.str()
+		group := r.str()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		var c transport.Consumer
+		var err error
+		if group == "" {
+			c, err = s.bus.NewConsumer(topic)
+		} else {
+			c, err = s.bus.NewGroupConsumer(topic, group)
+		}
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		id := s.register(cs, c)
+		resp = append(resp, stOK)
+		return appendUvarint(resp, id)
+
+	case opFetch:
+		return s.handleFetch(cs, r, resp)
+
+	case opMeta:
+		id := r.uvarint()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		c := s.lookup(id)
+		if c == nil {
+			return appendErr(resp, errUnknownHandle)
+		}
+		var flags byte
+		if c.TopicClosed() {
+			flags |= 1
+		}
+		assign := c.Assignment()
+		resp = append(resp, stOK, flags)
+		resp = appendUvarint(resp, uint64(c.Lag()))
+		resp = appendUvarint(resp, uint64(c.Generation()))
+		resp = appendUvarint(resp, uint64(len(assign)))
+		for _, p := range assign {
+			resp = appendUvarint(resp, uint64(p))
+		}
+		return resp
+
+	case opCommitted:
+		id := r.uvarint()
+		part := int(r.uvarint())
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		c := s.lookup(id)
+		if c == nil {
+			return appendErr(resp, errUnknownHandle)
+		}
+		resp = append(resp, stOK)
+		return appendUvarint(resp, uint64(c.Committed(part)))
+
+	case opSeek:
+		id := r.uvarint()
+		part := int(r.uvarint())
+		off := int64(r.uvarint())
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		c := s.lookup(id)
+		if c == nil {
+			return appendErr(resp, errUnknownHandle)
+		}
+		if err := c.Seek(part, off); err != nil {
+			return appendErr(resp, err)
+		}
+		return append(resp, stOK)
+
+	case opCloseConsumer:
+		id := r.uvarint()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		// Idempotent: closing an unknown (already-reaped) handle succeeds.
+		if c := s.unregister(cs, id); c != nil {
+			c.Close()
+		}
+		return append(resp, stOK)
+
+	case opGroupLag:
+		topic := r.str()
+		group := r.str()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		lag, err := s.bus.GroupLag(topic, group)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		return appendUvarint(resp, uint64(lag))
+
+	case opGroupCommitted:
+		topic := r.str()
+		group := r.str()
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		offs, err := s.bus.GroupCommitted(topic, group)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		resp = appendUvarint(resp, uint64(len(offs)))
+		for _, off := range offs {
+			resp = appendUvarint(resp, uint64(off))
+		}
+		return resp
+
+	case opFetchAt:
+		topic := r.str()
+		part := int(r.uvarint())
+		from := int64(r.uvarint())
+		max := int(r.uvarint())
+		if r.err != nil {
+			return appendErr(resp, r.err)
+		}
+		recs, err := s.bus.FetchInto(cs.fetchScratch[:0], topic, part, from, max)
+		if err != nil {
+			cs.fetchScratch = recs[:0]
+			return appendErr(resp, err)
+		}
+		resp = append(resp, stOK)
+		resp = appendUvarint(resp, uint64(len(recs)))
+		for i := range recs {
+			resp = appendRecord(resp, &recs[i])
+		}
+		cs.fetchScratch = recs[:0]
+		return resp
+
+	case opWait:
+		return s.handleWait(cs, r, resp)
+
+	case opRebalanceWait:
+		return s.handleRebalanceWait(r, resp)
+
+	default:
+		return appendErr(resp, errors.New("tcp: unknown op"))
+	}
+}
+
+func (cs *connState) prod() transport.Producer {
+	if cs.producer == nil {
+		cs.producer = cs.srv.bus.NewProducer()
+	}
+	return cs.producer
+}
+
+// handleSendBatch decodes a batch, copies payloads out of the request frame
+// into one fresh block (the backing bus retains Key/Value bytes, and the
+// frame buffer is recycled on the next request), and appends it.
+func (s *Server) handleSendBatch(cs *connState, r *wireReader, resp []byte) []byte {
+	topic := r.str()
+	n := int(r.uvarint())
+	recs := cs.batchScratch[:0]
+	total := 0
+	for i := 0; i < n && r.err == nil; i++ {
+		var rec mq.Record
+		rec.Key = r.bytesVal()
+		rec.Value = r.bytesVal()
+		rec.Watermark = r.watermark()
+		total += len(rec.Key) + len(rec.Value)
+		recs = append(recs, rec)
+	}
+	cs.batchScratch = recs
+	if r.err != nil {
+		return appendErr(resp, r.err)
+	}
+	block := make([]byte, 0, total)
+	for i := range recs {
+		block, recs[i].Key = blockCopy(block, recs[i].Key)
+		block, recs[i].Value = blockCopy(block, recs[i].Value)
+	}
+	err := cs.prod().SendBatch(topic, recs)
+	// Drop the aliases into the sent block before recycling the scratch.
+	for i := range recs {
+		recs[i] = mq.Record{}
+	}
+	cs.batchScratch = recs[:0]
+	if err != nil {
+		return appendErr(resp, err)
+	}
+	return append(resp, stOK)
+}
+
+// blockCopy appends b onto block (whose capacity is pre-sized, so no
+// reallocation splits the batch) and returns the copied view.
+func blockCopy(block, b []byte) ([]byte, []byte) {
+	start := len(block)
+	block = append(block, b...)
+	return block, block[start:len(block):len(block)]
+}
+
+// copyKV materializes a request frame's key/value views into one fresh
+// block. The backing bus retains produced bytes, and the frame buffer is
+// recycled on the next request — handing it aliases would let later
+// requests rewrite the log in place (the boundary's ownership rule, honored
+// on the server's side of the wire).
+func copyKV(key, value []byte) ([]byte, []byte) {
+	block := make([]byte, 0, len(key)+len(value))
+	block, key = blockCopy(block, key)
+	_, value = blockCopy(block, value)
+	return key, value
+}
+
+// handleFetch runs one poll round against the handle's server-side
+// consumer: non-blocking when waitMs is 0, otherwise parked up to waitMs
+// (capped) in a real blocking PollInto so the client's long-poll inherits
+// the broker's wakeup machinery instead of spinning.
+func (s *Server) handleFetch(cs *connState, r *wireReader, resp []byte) []byte {
+	id := r.uvarint()
+	max := int(r.uvarint())
+	waitMs := r.uvarint()
+	if r.err != nil {
+		return appendErr(resp, r.err)
+	}
+	c := s.lookup(id)
+	if c == nil {
+		return appendErr(resp, errUnknownHandle)
+	}
+	dst := cs.fetchScratch[:0]
+	var recs []mq.Record
+	var err error
+	if waitMs == 0 {
+		recs, err = c.TryPollInto(dst, max)
+	} else {
+		ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(min(waitMs, maxWaitMs))*time.Millisecond)
+		recs, err = c.PollInto(ctx, dst, max)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Long-poll timeout (or server shutdown): an empty round, not an
+			// error — the client decides whether to re-issue.
+			recs, err = dst, nil
+		}
+	}
+	if err != nil {
+		cs.fetchScratch = recs[:0]
+		return appendErr(resp, err)
+	}
+	var flags byte
+	if c.TopicClosed() {
+		flags |= 1
+	}
+	resp = append(resp, stOK, flags)
+	resp = appendUvarint(resp, uint64(len(recs)))
+	for i := range recs {
+		resp = appendRecord(resp, &recs[i])
+	}
+	cs.fetchScratch = recs[:0]
+	return resp
+}
+
+// handleWait is the topic-level long-poll behind client WaitChans. The
+// epoch is the Lag() of a conn-scoped, never-polled standalone consumer on
+// the topic: its positions are frozen at creation, so the value is a
+// monotone count of appends since — a change means "new records may be
+// available", exactly the WaitChan contract. Handle-free, so one watcher
+// conn serves every consumer a client process has on the topic.
+func (s *Server) handleWait(cs *connState, r *wireReader, resp []byte) []byte {
+	topic := r.str()
+	epoch := r.uvarint()
+	waitMs := r.uvarint()
+	if r.err != nil {
+		return appendErr(resp, r.err)
+	}
+	c, ok := cs.waiters[topic]
+	if !ok {
+		var err error
+		c, err = s.bus.NewConsumer(topic)
+		if err != nil {
+			return appendErr(resp, err)
+		}
+		cs.waiters[topic] = c
+	}
+	deadline := time.Now().Add(time.Duration(min(waitMs, maxWaitMs)) * time.Millisecond)
+	for {
+		wait := c.WaitChan() // arm before reading the epoch: no lost wakeups
+		cur := uint64(c.Lag())
+		closed := c.TopicClosed()
+		remaining := time.Until(deadline)
+		if cur != epoch || closed || remaining <= 0 {
+			var flags byte
+			if closed {
+				flags |= 1
+			}
+			resp = append(resp, stOK, flags)
+			return appendUvarint(resp, cur)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wait:
+		case <-timer.C:
+		case <-s.baseCtx.Done():
+		}
+		timer.Stop()
+	}
+}
+
+// handleRebalanceWait long-polls a handle's group generation: it returns
+// as soon as the generation differs from the client's, or at the deadline.
+func (s *Server) handleRebalanceWait(r *wireReader, resp []byte) []byte {
+	id := r.uvarint()
+	gen := r.uvarint()
+	waitMs := r.uvarint()
+	if r.err != nil {
+		return appendErr(resp, r.err)
+	}
+	c := s.lookup(id)
+	if c == nil {
+		return appendErr(resp, errUnknownHandle)
+	}
+	deadline := time.Now().Add(time.Duration(min(waitMs, maxWaitMs)) * time.Millisecond)
+	for {
+		ch := c.RebalanceChan() // arm before reading the generation
+		cur := uint64(c.Generation())
+		remaining := time.Until(deadline)
+		if cur != gen || remaining <= 0 {
+			resp = append(resp, stOK)
+			return appendUvarint(resp, cur)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+		case <-timer.C:
+		case <-s.baseCtx.Done():
+		}
+		timer.Stop()
+	}
+}

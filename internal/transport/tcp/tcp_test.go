@@ -1,0 +1,299 @@
+package tcp_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+	"github.com/approxiot/approxiot/internal/transport"
+	"github.com/approxiot/approxiot/internal/transport/conformance"
+	"github.com/approxiot/approxiot/internal/transport/tcp"
+)
+
+// harness is one daemon + one client over a real TCP loopback socket.
+type harness struct {
+	broker *mq.Broker
+	srv    *tcp.Server
+	client *tcp.Client
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	b := mq.NewBroker()
+	srv, err := tcp.Listen("127.0.0.1:0", transport.WrapBroker(b))
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	cl, err := tcp.Dial(srv.Addr().String())
+	if err != nil {
+		srv.Close()
+		t.Fatalf("Dial: %v", err)
+	}
+	h := &harness{broker: b, srv: srv, client: cl}
+	t.Cleanup(func() {
+		h.client.Close()
+		h.srv.Close()
+		h.broker.Close()
+	})
+	return h
+}
+
+// restartServer bounces the daemon on the same address with the same
+// backing broker — the "broker process restarted, state intact" scenario
+// the reconnect path exists for.
+func (h *harness) restartServer(t *testing.T) {
+	t.Helper()
+	addr := h.srv.Addr().String()
+	if err := h.srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	var err error
+	for i := 0; i < 50; i++ {
+		h.srv, err = tcp.Listen(addr, transport.WrapBroker(h.broker))
+		if err == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("rebind %s: %v", addr, err)
+}
+
+// TestTCPConformance holds the TCP backend to the same contract the
+// in-memory backend defines — the tentpole's core acceptance gate.
+func TestTCPConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T) conformance.Backend {
+		h := newHarness(t)
+		return conformance.Backend{
+			Bus:             h.client,
+			ShutdownBackend: h.broker.Close,
+		}
+	})
+}
+
+// TestReconnectStandaloneSeek: a standalone consumer survives a daemon
+// bounce without re-delivering or losing records — the client re-opens its
+// server-side handle and seeks it to the exact next offsets.
+func TestReconnectStandaloneSeek(t *testing.T) {
+	h := newHarness(t)
+	bus := h.client
+	if err := bus.CreateTopic("t", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := bus.NewProducer()
+	for i := 0; i < 10; i++ {
+		if _, err := p.SendTo("t", i%2, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := bus.NewConsumer("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	seen := map[byte]int{}
+	got := 0
+	for got < 5 {
+		recs, err := c.TryPoll(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			seen[r.Value[0]]++
+			got++
+		}
+	}
+
+	h.restartServer(t)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for got < 10 && time.Now().Before(deadline) {
+		recs, err := c.TryPoll(4)
+		if err != nil {
+			// At most the first post-bounce call may fail while the single
+			// retry lands; anything persistent is a real failure.
+			continue
+		}
+		for _, r := range recs {
+			seen[r.Value[0]]++
+			got++
+		}
+	}
+	if got != 10 {
+		t.Fatalf("consumed %d records across the bounce, want 10", got)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %d delivered %d times across reconnect", v, n)
+		}
+	}
+	if rc := h.client.Counters().Reconnects; rc < 1 {
+		t.Fatalf("Reconnects = %d, want >= 1 after a daemon bounce", rc)
+	}
+}
+
+// TestReconnectGroupResume: a group consumer rejoins after a bounce and
+// resumes from the group's committed offsets (auto-commit-at-fetch means
+// nothing fetched before the bounce is re-delivered).
+func TestReconnectGroupResume(t *testing.T) {
+	h := newHarness(t)
+	bus := h.client
+	if err := bus.CreateTopic("t", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := bus.NewProducer()
+	for i := 0; i < 20; i++ {
+		if _, err := p.SendTo("t", i%2, nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := bus.NewGroupConsumer("t", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	seen := map[byte]int{}
+	drainInto := func(n int) {
+		deadline := time.Now().Add(10 * time.Second)
+		count := 0
+		for count < n && time.Now().Before(deadline) {
+			recs, err := c.TryPoll(4)
+			if err != nil {
+				continue
+			}
+			for _, r := range recs {
+				seen[r.Value[0]]++
+				count++
+			}
+		}
+		if count != n {
+			t.Fatalf("drained %d, want %d", count, n)
+		}
+	}
+	drainInto(8)
+	h.restartServer(t)
+	drainInto(12)
+
+	if len(seen) != 20 {
+		t.Fatalf("saw %d distinct records, want 20", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %d delivered %d times across group reconnect", v, n)
+		}
+	}
+}
+
+// TestProducerReconnect: a producer's send after a daemon bounce succeeds
+// via the transparent redial.
+func TestProducerReconnect(t *testing.T) {
+	h := newHarness(t)
+	bus := h.client
+	if err := bus.CreateTopic("t", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := bus.NewProducer()
+	if _, _, err := p.Send("t", nil, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	h.restartServer(t)
+	if _, _, err := p.Send("t", nil, []byte("after")); err != nil {
+		t.Fatalf("send after bounce: %v", err)
+	}
+	tp, err := h.broker.Topic("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw := tp.HighWatermark(0); hw != 2 {
+		t.Fatalf("high watermark = %d, want 2", hw)
+	}
+}
+
+// TestCounters: wire-byte accounting moves on both ends and send/poll
+// error counters stay zero on a clean run.
+func TestCounters(t *testing.T) {
+	h := newHarness(t)
+	bus := h.client
+	if err := bus.CreateTopic("t", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := bus.NewProducer()
+	payload := make([]byte, 1024)
+	for i := 0; i < 32; i++ {
+		if _, _, err := p.Send("t", nil, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := bus.NewConsumer("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	total := 0
+	for total < 32 {
+		recs, err := c.Poll(ctx, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(recs)
+	}
+
+	ctr := h.client.Counters()
+	if ctr.BytesOut < 32*1024 {
+		t.Fatalf("client BytesOut = %d, below the payload floor", ctr.BytesOut)
+	}
+	if ctr.BytesIn < 32*1024 {
+		t.Fatalf("client BytesIn = %d, below the payload floor", ctr.BytesIn)
+	}
+	if ctr.SendErrors != 0 || ctr.PollErrors != 0 {
+		t.Fatalf("clean run counted errors: %+v", ctr)
+	}
+	sctr := h.srv.Counters()
+	if sctr.BytesIn < 32*1024 || sctr.BytesOut < 32*1024 {
+		t.Fatalf("server byte counters %+v below the payload floor", sctr)
+	}
+}
+
+// TestPollHonorsContext: a blocking poll on an idle topic returns with the
+// caller's context error within a long-poll round.
+func TestPollHonorsContext(t *testing.T) {
+	h := newHarness(t)
+	bus := h.client
+	if err := bus.CreateTopic("t", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := bus.NewConsumer("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Poll(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Poll on idle topic = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Poll overshot its context by %v", elapsed)
+	}
+}
+
+// TestDialFailsFast: dialing a dead address errors instead of wedging.
+func TestDialFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := tcp.Dial(addr); err == nil {
+		t.Fatal("Dial to closed address succeeded")
+	}
+}

@@ -1,0 +1,294 @@
+// Package tcp is the network transport backend: a zero-dependency,
+// length-prefixed binary protocol that runs the transport.Bus surface over
+// TCP, so the tree's tiers can run as separate OS processes on separate
+// machines — the deployment shape the paper's prototype obtained from
+// Kafka.
+//
+// One broker daemon (Serve) hosts any transport.Bus — in practice the
+// in-memory Mem backend — and any number of client processes (Dial) mount
+// it as their own Bus. Every consumer-group semantic the in-memory broker
+// implements (partition dealing, generation-fenced auto-commits, stale-
+// owner fencing, rebalance on join/leave) is inherited, not re-implemented:
+// the daemon holds a real server-side consumer per client handle, so the
+// fencing happens where the offsets live. Watermarks ride each record's
+// frame bit-for-bit, which carries the event-time machinery — per-chain
+// minimums, keepalives, the end-of-stream broadcast — across the wire
+// unchanged.
+//
+// The framing follows the repo codec's append-style marshaling (uvarint
+// lengths, little-endian fixints, appends into reusable scratch): requests
+// and responses are [u32 little-endian frame length][frame], where a
+// request frame is [op byte][operands] and a response frame is [status
+// byte][optional error text][result]. Known mq sentinel errors cross the
+// wire as dedicated status codes so errors.Is keeps working remotely.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/mq"
+)
+
+// Protocol ops (request frame byte 0).
+const (
+	opCreateTopic byte = iota + 1
+	opTopicParts
+	opSend
+	opSendTo
+	opSendBatch
+	opOpenConsumer
+	opFetch
+	opMeta
+	opCommitted
+	opSeek
+	opCloseConsumer
+	opGroupLag
+	opGroupCommitted
+	opFetchAt
+	opWait
+	opRebalanceWait
+)
+
+// Response status codes (response frame byte 0). Non-zero statuses carry an
+// error message string; the sentinel codes additionally map back onto the
+// mq errors so errors.Is works across the wire.
+const (
+	stOK byte = iota
+	stErr
+	stClosed
+	stUnknownTopic
+	stOutOfRange
+	stNotSubscribed
+	stTopicExists
+	stNoPartitions
+	stUnknownHandle
+)
+
+// errUnknownHandle reports an op against a consumer handle the server no
+// longer has — the owning connection dropped (the server reaped it) or the
+// handle was closed. Clients recover by re-opening.
+var errUnknownHandle = errors.New("tcp: unknown consumer handle")
+
+// maxFrame bounds a single frame. Fetch batches are bounded by the poll max
+// (hundreds of records of modest payloads), so anything near this size is a
+// corrupt length prefix, not a legitimate frame.
+const maxFrame = 64 << 20
+
+// statusOf maps an error to its wire status.
+func statusOf(err error) byte {
+	switch {
+	case errors.Is(err, mq.ErrClosed):
+		return stClosed
+	case errors.Is(err, mq.ErrUnknownTopic):
+		return stUnknownTopic
+	case errors.Is(err, mq.ErrOutOfRange):
+		return stOutOfRange
+	case errors.Is(err, mq.ErrNotSubscribed):
+		return stNotSubscribed
+	case errors.Is(err, mq.ErrTopicExists):
+		return stTopicExists
+	case errors.Is(err, mq.ErrNoPartitions):
+		return stNoPartitions
+	case errors.Is(err, errUnknownHandle):
+		return stUnknownHandle
+	default:
+		return stErr
+	}
+}
+
+// errOf reconstructs an error from a wire status + message. The sentinel
+// statuses wrap the matching mq error so errors.Is holds on the client side
+// exactly as it would in-process.
+func errOf(status byte, msg string) error {
+	if msg == "" {
+		msg = "remote error"
+	}
+	switch status {
+	case stClosed:
+		return fmt.Errorf("%w: %s", mq.ErrClosed, msg)
+	case stUnknownTopic:
+		return fmt.Errorf("%w: %s", mq.ErrUnknownTopic, msg)
+	case stOutOfRange:
+		return fmt.Errorf("%w: %s", mq.ErrOutOfRange, msg)
+	case stNotSubscribed:
+		return fmt.Errorf("%w: %s", mq.ErrNotSubscribed, msg)
+	case stTopicExists:
+		return fmt.Errorf("%w: %s", mq.ErrTopicExists, msg)
+	case stNoPartitions:
+		return fmt.Errorf("%w: %s", mq.ErrNoPartitions, msg)
+	case stUnknownHandle:
+		return fmt.Errorf("%w: %s", errUnknownHandle, msg)
+	default:
+		return fmt.Errorf("tcp: %s", msg)
+	}
+}
+
+// ---- append-style encoders (the codec idiom: no intermediate buffers) ----
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendTime encodes an instant as a zero flag + unix nanoseconds. The flag
+// exists because the zero time's UnixNano is not representable round-trip —
+// and zero-ness is semantic (a zero watermark At is a keepalive).
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.LittleEndian.AppendUint64(dst, uint64(t.UnixNano()))
+}
+
+func appendWatermark(dst []byte, wm mq.Watermark) []byte {
+	dst = appendStr(dst, wm.From)
+	return appendTime(dst, wm.At)
+}
+
+// appendRecord encodes one full record (fetch responses).
+func appendRecord(dst []byte, r *mq.Record) []byte {
+	dst = appendBytes(dst, r.Key)
+	dst = appendBytes(dst, r.Value)
+	dst = appendTime(dst, r.Ts)
+	dst = appendWatermark(dst, r.Watermark)
+	dst = binary.AppendUvarint(dst, uint64(r.Partition))
+	dst = binary.AppendUvarint(dst, uint64(r.Offset))
+	return dst
+}
+
+// ---- cursor-style decoder with a latched error ----
+
+// wireReader walks a frame; the first malformed field latches err and every
+// later read returns zero values, so call sites stay linear.
+type wireReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = errors.New("tcp: truncated frame")
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// bytesVal returns a view into the frame — NOT a copy. Callers that retain
+// the bytes past the frame's lifetime must copy (see clientConsumer's
+// fetch, which materializes records into one fresh block per batch).
+func (r *wireReader) bytesVal() []byte {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) str() string { return string(r.bytesVal()) }
+
+func (r *wireReader) timeVal() time.Time {
+	flag := r.byteVal()
+	if r.err != nil || flag == 0 {
+		return time.Time{}
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail()
+		return time.Time{}
+	}
+	n := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return time.Unix(0, int64(n))
+}
+
+func (r *wireReader) watermark() mq.Watermark {
+	return mq.Watermark{From: r.str(), At: r.timeVal()}
+}
+
+// record decodes one record; Key/Value alias the frame buffer.
+func (r *wireReader) record() mq.Record {
+	var rec mq.Record
+	rec.Key = r.bytesVal()
+	rec.Value = r.bytesVal()
+	rec.Ts = r.timeVal()
+	rec.Watermark = r.watermark()
+	rec.Partition = int(r.uvarint())
+	rec.Offset = int64(r.uvarint())
+	return rec
+}
+
+// ---- framing ----
+
+// writeFrame writes [len][frame] with a single Write call (scratch holds
+// the length prefix + frame so short writes can't interleave across
+// concurrent connections). Returns bytes written.
+func writeFrame(w io.Writer, scratch, frame []byte) (int, []byte, error) {
+	scratch = scratch[:0]
+	scratch = binary.LittleEndian.AppendUint32(scratch, uint32(len(frame)))
+	scratch = append(scratch, frame...)
+	n, err := w.Write(scratch)
+	return n, scratch, err
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns it plus
+// the total wire bytes consumed.
+func readFrame(r io.Reader, buf []byte) ([]byte, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return buf, 4, fmt.Errorf("tcp: frame length %d exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, 4, err
+	}
+	return buf, 4 + int(n), nil
+}

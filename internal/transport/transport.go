@@ -1,0 +1,183 @@
+// Package transport is the pluggable message-bus boundary of the live
+// dataflow: the interface the tree's runtimes, sessions, and valves consume
+// instead of the concrete in-memory broker. The paper's ApproxIoT prototype
+// obtains this substrate from Apache Kafka [15]; this repo grew it first as
+// the in-memory internal/mq broker (the reference and simulation backend,
+// wrapped here by Mem) and now as a real network backend
+// (internal/transport/tcp) so a deployment tree can run as separate OS
+// processes on separate machines.
+//
+// The interface is carved from the mq API surface the rest of the system
+// actually uses — topics/partitions, keyed producers with batched sends and
+// piggybacked event-time watermarks, consumer groups with generation-fenced
+// auto-commits and rebalance notification, blocking polls with caller-owned
+// scratch, and group-lag probes for ingest backpressure — nothing more. The
+// concrete *mq.Producer and *mq.Consumer satisfy Producer and Consumer
+// structurally, so the in-memory backend is a zero-adapter wrapper and its
+// semantics remain the executable specification every other backend's
+// conformance run is held to (internal/transport/conformance).
+//
+// Buffer-ownership rule across the boundary: a backend retains the Key and
+// Value bytes handed to a producer send (the in-memory broker aliases them
+// in its partition logs; a network backend serializes them, but callers
+// must not assume which). Callers therefore never mutate sent bytes —
+// materialize into a fresh block per flush, exactly as the core encoder
+// does. Symmetrically, records returned by a poll stay valid after the
+// next poll; only the scratch slice header is recycled by the caller.
+package transport
+
+import (
+	"context"
+
+	"github.com/approxiot/approxiot/internal/mq"
+)
+
+// Record is one message on the bus — the mq record, reused verbatim so the
+// in-memory backend moves records without copying and every backend shares
+// one codec-facing shape. Key/Value are opaque payload bytes; Watermark is
+// the piggybacked event-time low watermark; Partition/Offset locate the
+// record once appended.
+type Record = mq.Record
+
+// Watermark is the piggybacked event-time low watermark (see mq.Watermark
+// for the From/At semantics and the keepalive convention). Backends carry
+// it on every record, bit-for-bit: event-time correctness depends on
+// watermarks never being reordered against their data.
+type Watermark = mq.Watermark
+
+// Producer appends records to the bus's topics. Implementations choose
+// partitions exactly as the in-memory broker does: key-hash for non-empty
+// keys (same key → same partition, preserving per-sub-stream order),
+// round-robin otherwise, sticky per consecutive-equal-key run in SendBatch.
+type Producer interface {
+	// Send appends value under key and returns the record's position.
+	Send(topic string, key, value []byte) (partition int, offset int64, err error)
+	// SendWatermarked is Send with an event-time low watermark piggybacked
+	// on the record.
+	SendWatermarked(topic string, key, value []byte, wm Watermark) (partition int, offset int64, err error)
+	// SendBatch appends a batch in one shot — the amortization the hot path
+	// is built on. Each record's Key, Value, and Watermark are taken as
+	// given; Ts/Partition/Offset are assigned by the backend. recs may be
+	// written in place but is not retained; Values ARE retained (see the
+	// package buffer-ownership rule).
+	SendBatch(topic string, recs []Record) error
+	// SendTo appends directly to a specific partition.
+	SendTo(topic string, partition int, key, value []byte) (int64, error)
+	// SendToWatermarked is SendTo with a piggybacked watermark — the
+	// topic-global broadcast form (end-of-stream above all), which must
+	// reach every partition's consumer, not just the one a key hashes to.
+	SendToWatermarked(topic string, partition int, key, value []byte, wm Watermark) (int64, error)
+}
+
+// Consumer reads records from one topic, either as a member of a consumer
+// group (partitions dealt across members, offsets committed group-wide,
+// commits fenced by the membership generation) or standalone (all
+// partitions, private positions).
+type Consumer interface {
+	// Poll returns up to max records, blocking until at least one is
+	// available, ctx is cancelled, or the topic closes.
+	Poll(ctx context.Context, max int) ([]Record, error)
+	// PollInto is Poll with a caller-owned scratch slice: records are
+	// appended onto dst and the extended slice returned, so a steady-state
+	// poll loop allocates nothing per poll.
+	PollInto(ctx context.Context, dst []Record, max int) ([]Record, error)
+	// TryPoll is a non-blocking Poll; (nil, nil) when nothing is ready.
+	TryPoll(max int) ([]Record, error)
+	// TryPollInto is a non-blocking PollInto; dst unextended when nothing
+	// is ready.
+	TryPollInto(dst []Record, max int) ([]Record, error)
+	// WaitChan returns a channel closed when new records may be available
+	// (or already closed if the topic is shut down). Arm it BEFORE a
+	// TryPoll, block on it only if the poll came back empty. Backends may
+	// deliver spurious wakeups (a woken caller re-polls and finds nothing);
+	// remote backends may also delay a wakeup by a network round trip —
+	// callers bound the wait with their own timer, as the streams pump does.
+	WaitChan() <-chan struct{}
+	// TopicClosed reports whether the topic has been shut down: retained
+	// records can still be fetched, but no new records will arrive.
+	TopicClosed() bool
+	// Assignment returns the partitions this consumer currently owns.
+	Assignment() []int
+	// Committed returns the consumer's read position for partition p.
+	Committed(p int) int64
+	// Seek moves a standalone consumer's position for partition p; group
+	// consumers, whose offsets are group-owned, get mq.ErrNotSubscribed.
+	Seek(p int, offset int64) error
+	// Lag returns the total records between this consumer's positions and
+	// the high watermarks of its owned partitions.
+	Lag() int64
+	// Generation returns the group's fencing epoch (0 standalone): it
+	// advances on every membership change, so two reads bracketing an
+	// operation detect an interleaved rebalance.
+	Generation() int64
+	// RebalanceChan returns a channel closed at the group's next membership
+	// change (standalone: a channel that never closes). Re-arm by calling
+	// again.
+	RebalanceChan() <-chan struct{}
+	// Close releases the consumer; group members leave the group,
+	// triggering a rebalance for the remaining members.
+	Close()
+}
+
+// Bus is one message-bus backend: the only substrate handle the live
+// dataflow layers (streams.Runtime, the core sessions, the ingest valves)
+// hold. All methods are safe for concurrent use.
+type Bus interface {
+	// CreateTopic creates a topic with the given partition count; retain
+	// bounds each partition to at most that many fully-consumed records
+	// (0 = unlimited). Creation is idempotent across clients: creating a
+	// topic that already exists with the SAME partition count succeeds
+	// (multi-process deployments race their nodes' startups and first
+	// wins), while a partition-count mismatch is an error — silently
+	// proceeding would split sub-streams across incompatible hash spaces.
+	CreateTopic(name string, partitions, retain int) error
+	// TopicPartitions returns the partition count of an existing topic.
+	TopicPartitions(name string) (int, error)
+	// NewProducer returns a producer bound to this bus.
+	NewProducer() Producer
+	// NewConsumer returns a standalone consumer over every partition of
+	// topic, starting at the current low watermarks.
+	NewConsumer(topic string) (Consumer, error)
+	// NewGroupConsumer returns a consumer that joins the named group on
+	// topic; partitions are rebalanced across the group's live members.
+	NewGroupConsumer(topic, group string) (Consumer, error)
+	// GroupLag returns the total records between a group's committed
+	// offsets and the topic's high watermarks — the ingest-backpressure
+	// probe, which must stay truthful on every backend (a remote bus that
+	// under-reported lag would quietly disable backpressure).
+	GroupLag(topic, group string) (int64, error)
+	// GroupCommitted returns a group's committed offset per partition
+	// (index = partition). The snapshot is not atomic across partitions.
+	GroupCommitted(topic, group string) ([]int64, error)
+	// FetchInto reads up to max records from a partition starting at
+	// offset from, appending onto dst — the offset-addressed replay read
+	// crash recovery uses (never blocks; mq.ErrOutOfRange below the low
+	// watermark).
+	FetchInto(dst []Record, topic string, partition int, from int64, max int) ([]Record, error)
+	// Close releases the bus handle. The in-memory backend closes its
+	// broker (waking every blocked poll with mq.ErrClosed); a network
+	// client closes its connections but leaves the remote daemon — and the
+	// topics it owns — running.
+	Close() error
+}
+
+// Counters is a snapshot of one bus handle's transport-level counters.
+// Network backends account their wire traffic here; the in-memory backend,
+// which moves records by reference, reports zeros.
+type Counters struct {
+	// BytesOut / BytesIn count wire bytes written and read by this handle,
+	// frame headers included.
+	BytesOut, BytesIn int64
+	// Reconnects counts connections re-established after a loss.
+	Reconnects int64
+	// SendErrors / PollErrors count producer sends and consumer polls that
+	// failed after any reconnect retry.
+	SendErrors, PollErrors int64
+}
+
+// CounterSource is implemented by backends that account transport
+// counters; callers type-assert (the ops exposition does) rather than
+// every backend carrying dead zeros.
+type CounterSource interface {
+	Counters() Counters
+}

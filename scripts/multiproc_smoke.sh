@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Multi-process smoke: run the 3-tier tree as four OS processes (broker,
+# root, mid, leaf) over TCP and assert that
+#   1. the root's per-window results match a single-process run of the
+#      identical workload exactly (start, end, count, and sample size);
+#   2. the cross-process accounting identity holds: the sum of the root's
+#      window counts plus every tier's late drops equals what the leaf's
+#      valves produced;
+#   3. every tier exits 0 on its own once the stream ends, and a broker +
+#      idle tier pair drains cleanly on SIGINT.
+# Run from the repository root: bash scripts/multiproc_smoke.sh
+set -euo pipefail
+
+BIN=${BIN:-/tmp/approxiot-node}
+PORT=${PORT:-9412}
+ITEMS=${ITEMS:-1000}
+
+go build -o "$BIN" ./cmd/approxiot-node
+
+workdir=$(mktemp -d)
+cleanup() {
+  kill "$(jobs -p)" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== single-process reference =="
+"$BIN" -role single -items "$ITEMS" | tee "$workdir/single.out"
+
+echo "== multi-process run (broker + root + mid + leaf) =="
+"$BIN" -role broker -addr "127.0.0.1:$PORT" >"$workdir/broker.out" 2>&1 &
+broker=$!
+"$BIN" -role root -addr "127.0.0.1:$PORT" >"$workdir/root.out" 2>&1 &
+root=$!
+"$BIN" -role mid -addr "127.0.0.1:$PORT" >"$workdir/mid.out" 2>&1 &
+mid=$!
+"$BIN" -role leaf -addr "127.0.0.1:$PORT" -items "$ITEMS" >"$workdir/leaf.out" 2>&1
+wait "$root"
+wait "$mid"
+cat "$workdir/root.out"
+
+# 1. Window equivalence: start, end, count, and zeta must match the
+# reference line for line. (The sum field is excluded only because float
+# summation order across partitions is not pinned; counts are exact by the
+# paper's Eq. 8 telescoping weights and must be identical.)
+awk '/^window/{print $2, $3, $4, $6}' "$workdir/single.out" >"$workdir/single.windows"
+awk '/^window/{print $2, $3, $4, $6}' "$workdir/root.out" >"$workdir/root.windows"
+if ! diff -u "$workdir/single.windows" "$workdir/root.windows"; then
+  echo "FAIL: multi-process windows differ from the single-process run" >&2
+  exit 1
+fi
+test -s "$workdir/root.windows" || { echo "FAIL: no windows closed" >&2; exit 1; }
+echo "OK: $(wc -l <"$workdir/root.windows") windows identical to the single-process run"
+
+# 2. Accounting identity across processes.
+produced=$(grep -o 'produced=[0-9]*' "$workdir/leaf.out" | head -1 | cut -d= -f2)
+counts=$(awk -F'count=' '/^window/{split($2, a, " "); s += a[1]} END{printf "%d", s}' "$workdir/root.out")
+late=0
+for out in leaf mid root; do
+  l=$(grep -o 'lateDropped=[0-9]*' "$workdir/$out.out" | head -1 | cut -d= -f2)
+  late=$((late + l))
+done
+if [ $((counts + late)) -ne "$produced" ]; then
+  echo "FAIL: window counts ($counts) + late drops ($late) != produced ($produced)" >&2
+  exit 1
+fi
+echo "OK: $counts window items + $late late = $produced produced"
+
+# 3a. The broker drains cleanly on SIGINT.
+kill -INT "$broker"
+wait "$broker"
+echo "OK: broker exited 0 on SIGINT"
+
+# 3b. A tier parked on an endless stream drains cleanly on SIGINT too.
+"$BIN" -role broker -addr "127.0.0.1:$((PORT + 1))" >"$workdir/broker2.out" 2>&1 &
+broker2=$!
+sleep 0.3
+timeout --preserve-status -s INT 3s "$BIN" -role root -addr "127.0.0.1:$((PORT + 1))" >"$workdir/root2.out" 2>&1
+grep -q 'final role=root' "$workdir/root2.out" || { echo "FAIL: interrupted root printed no summary" >&2; exit 1; }
+kill -INT "$broker2"
+wait "$broker2"
+echo "OK: idle root drained on SIGINT, broker followed"
+
+echo "PASS"
