@@ -71,12 +71,18 @@ type (
 	// Confidence selects the error-bound level (68/95/99.7%).
 	Confidence = stats.Confidence
 
-	// QueryKind selects an aggregate: Sum, Mean or Count.
+	// QueryKind selects an aggregate: Sum, Mean, Count, or a parameterized
+	// kind from TopKOf / QuantileOf.
 	QueryKind = query.Kind
-	// Result is one approximate answer with its error bound.
+	// Result is one approximate answer with its error bound. Top-k answers
+	// additionally carry Result.Groups (per-group SUM ± bound); quantile
+	// answers carry Result.Quantile (value with rank-interval bounds).
 	Result = query.Result
 	// WindowResult is a root window's set of answers.
 	WindowResult = core.WindowResult
+	// SlidingResult is one sliding-window estimate (Config.Slide) composed
+	// from tumbling panes, attached to the window that completes it.
+	SlidingResult = core.SlidingResult
 
 	// Generator produces workload items interval by interval.
 	Generator = workload.Generator
@@ -124,6 +130,21 @@ const (
 	Mean  = query.Mean
 	Count = query.Count
 )
+
+// TopKOf returns the QueryKind for a per-window group-by top-k query: the k
+// sub-streams (strata) with the largest estimated SUM, each carrying its
+// Eq. 11 error bound. The window Result's headline Estimate is the combined
+// SUM of the top-k groups (strata sample independently, so variances add);
+// the ranked groups are on Result.Groups.
+func TopKOf(k int) QueryKind { return query.TopKOf(k) }
+
+// QuantileOf returns the QueryKind for a per-window approximate quantile at
+// q in (0, 1) (permille resolution): the weighted sample quantile of the
+// window's item values, with a confidence interval from the normal
+// approximation to the rank distribution. The full answer is on
+// Result.Quantile; the headline Estimate mirrors its value with the interval
+// half-width as the TwoSigma bound.
+func QuantileOf(q float64) QueryKind { return query.QuantileOf(q) }
 
 // Confidence levels under the 68-95-99.7 rule.
 const (
@@ -200,8 +221,18 @@ type Config struct {
 	Fraction float64
 	// Workers configures ParallelWHS (default 4). Other strategies ignore it.
 	Workers int
-	// Queries defaults to [Sum].
+	// Queries defaults to [Sum]. Beyond the linear kinds, TopKOf(k) ranks
+	// strata by estimated SUM and QuantileOf(q) answers rank queries, both
+	// with per-window error bounds.
 	Queries []QueryKind
+	// Slide, when ≥ 2, additionally reports sliding-window estimates
+	// composed from the last Slide tumbling panes (pane composition): each
+	// WindowResult carries Sliding entries for the additive query kinds
+	// (SUM/COUNT) whose values and variances add across panes, so the
+	// composed bounds stay rigorous. Applies to both modes; with EventTime
+	// the sliding window spans exactly Slide × Tree.Window of event time
+	// (skipped empty panes contribute zero).
+	Slide int
 	// Confidence is the error-bound level of every window result; defaults
 	// to TwoSigma (95%) in both modes.
 	Confidence Confidence
@@ -405,6 +436,7 @@ func Simulate(cfg Config, source func(i int) Source, duration time.Duration) (*S
 		Cost:            cfg.cost(),
 		Duration:        duration,
 		Queries:         cfg.Queries,
+		Slide:           cfg.Slide,
 		Confidence:      cfg.Confidence,
 		Seed:            cfg.Seed,
 		Feedback:        cfg.Adaptive,
@@ -437,6 +469,7 @@ func Run(cfg Config, source func(i int) Source, items int64) (*LiveResult, error
 		Items:           items,
 		Window:          cfg.Window,
 		Queries:         cfg.Queries,
+		Slide:           cfg.Slide,
 		Confidence:      cfg.Confidence,
 		Partitions:      cfg.Partitions,
 		RootShards:      cfg.RootShards,

@@ -279,6 +279,78 @@ func BenchmarkLiveEventTime(b *testing.B) {
 	b.Run("event-time", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkLiveSliding prices pane composition (Config.Slide) on the live
+// tree: the same event-time deployment once with plain tumbling windows and
+// once additionally composing a 4-pane sliding estimate at every root window
+// close. Sliding work is O(slide) per window at the root only — never on the
+// per-record path — so throughput should stay within noise of tumbling.
+func BenchmarkLiveSliding(b *testing.B) {
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(7+uint64(i)*131, 1500)
+	}
+	run := func(b *testing.B, slide int) {
+		b.ReportAllocs()
+		items := benchItems(48000)
+		var throughput float64
+		for i := 0; i < b.N; i++ {
+			res, err := approxiot.Run(approxiot.Config{
+				Fraction:        0.25,
+				Queries:         []approxiot.QueryKind{approxiot.Sum, approxiot.Count},
+				Slide:           slide,
+				EventTime:       true,
+				AllowedLateness: 500 * time.Millisecond,
+				Seed:            7,
+			}, source, items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			throughput += res.Throughput
+		}
+		b.ReportMetric(throughput/float64(b.N), "items/s")
+	}
+	b.Run("tumbling", func(b *testing.B) { run(b, 0) })
+	b.Run("slide=4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkLiveTopK prices the extended query kinds against the linear
+// ones: the same sharded deployment answering SUM+COUNT only, versus
+// additionally ranking the top-8 strata and estimating the p90 per window.
+// Both extensions execute at root window close over the merged reservoir
+// (top-k sorts strata, the quantile sorts sampled items), so the per-record
+// hot path — sampling, batching, merging — is untouched and the rows should
+// differ only by the per-window post-processing.
+func BenchmarkLiveTopK(b *testing.B) {
+	source := func(i int) approxiot.Source {
+		return workload.GaussianMicro(7+uint64(i)*131, 1500)
+	}
+	run := func(b *testing.B, extended bool) {
+		b.ReportAllocs()
+		items := benchItems(48000)
+		var throughput float64
+		for i := 0; i < b.N; i++ {
+			queries := []approxiot.QueryKind{approxiot.Sum, approxiot.Count}
+			if extended {
+				queries = append(queries, approxiot.TopKOf(8), approxiot.QuantileOf(0.9))
+			}
+			res, err := approxiot.Run(approxiot.Config{
+				Fraction:    0.25,
+				Queries:     queries,
+				Partitions:  8,
+				RootShards:  4,
+				LayerShards: 4,
+				Seed:        7,
+			}, source, items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			throughput += res.Throughput
+		}
+		b.ReportMetric(throughput/float64(b.N), "items/s")
+	}
+	b.Run("linear", func(b *testing.B) { run(b, false) })
+	b.Run("topk+quantile", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLiveOpsSurface prices the operational surface: the same pushed
 // deployment with and without Config.OpsAddr. The ops sampler polls
 // Snapshot once a second off the hot path, so the two rows should differ

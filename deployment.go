@@ -101,6 +101,7 @@ func Open(ctx context.Context, cfg Config) (*Deployment, error) {
 		Cost:            cfg.cost(),
 		Window:          cfg.Window,
 		Queries:         cfg.Queries,
+		Slide:           cfg.Slide,
 		Confidence:      cfg.Confidence,
 		Partitions:      cfg.Partitions,
 		RootShards:      cfg.RootShards,

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/approxiot/approxiot"
+	"github.com/approxiot/approxiot/internal/stats"
 	"github.com/approxiot/approxiot/internal/xrand"
 )
 
@@ -35,6 +36,15 @@ type Config struct {
 	// EventTime switches the deployment to event-time windowing and adds
 	// timestamp disorder to the impairment pool.
 	EventTime bool
+	// Slide composes sliding windows over the last Slide tumbling panes
+	// (< 2 disables). The verdict then recomputes every sliding estimate —
+	// value and variance — from the emitted pane history and requires
+	// agreement to float rounding.
+	Slide int
+	// TopK adds a group-by top-3 and a median-quantile query to the window
+	// job; the verdict requires finite bounds on every ranked group and a
+	// well-ordered quantile interval in every window.
+	TopK bool
 }
 
 // Report is what a chaos run measured, alongside the verdict Run returns
@@ -111,6 +121,12 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.EventTime {
 		dcfg.EventTime = true
 		dcfg.AllowedLateness = lateness
+	}
+	if cfg.Slide > 1 {
+		dcfg.Slide = cfg.Slide
+	}
+	if cfg.TopK {
+		dcfg.Queries = append(dcfg.Queries, approxiot.TopKOf(3), approxiot.QuantileOf(0.5))
 	}
 	spec := dcfg.Tree
 	if spec.Sources == 0 {
@@ -353,12 +369,86 @@ func (h *harness) verdict(res *approxiot.LiveResult) error {
 				return fmt.Errorf("chaos: window %d %v: non-finite estimate %v ± %v (seed %d)",
 					i, r.Kind, r.Estimate.Value, r.Bound(), h.cfg.Seed)
 			}
+			for _, g := range r.Groups {
+				if !finite(g.Sum.Value) || !finite(g.Sum.Bound(r.Confidence)) || !finite(g.Count) {
+					return fmt.Errorf("chaos: window %d %v group %q: non-finite estimate %v ± %v, count %v (seed %d)",
+						i, r.Kind, g.Source, g.Sum.Value, g.Sum.Bound(r.Confidence), g.Count, h.cfg.Seed)
+				}
+			}
+			if q := r.Quantile; q != nil {
+				if !finite(q.Value) || !finite(q.Lo) || !finite(q.Hi) || q.Lo > q.Hi {
+					return fmt.Errorf("chaos: window %d %v: bad quantile interval %v [%v, %v] (seed %d)",
+						i, r.Kind, q.Value, q.Lo, q.Hi, h.cfg.Seed)
+				}
+			}
 		}
+	}
+	if err := h.checkSliding(res.Windows); err != nil {
+		return err
 	}
 	if len(h.dead) != 0 {
 		return fmt.Errorf("chaos: members never recovered: %v", h.dead)
 	}
 	return nil
+}
+
+// checkSliding replays the pane-composition rule over the emitted windows:
+// every sliding estimate must equal — in value AND variance — the sum of the
+// last Panes tumbling pane estimates, gap-filled zeros included, no matter
+// what crashes and rescales the schedule threw at the run.
+func (h *harness) checkSliding(windows []approxiot.WindowResult) error {
+	slide := h.cfg.Slide
+	if slide < 2 {
+		return nil
+	}
+	hist := make(map[approxiot.QueryKind][]stats.Estimate)
+	var lastStart int64
+	seen := false
+	for i, w := range windows {
+		if len(w.Sliding) == 0 {
+			return fmt.Errorf("chaos: window %d carries no sliding results with slide %d (seed %d)",
+				i, slide, h.cfg.Seed)
+		}
+		gap := 0
+		if winDur := w.End.Sub(w.Start); !w.Start.IsZero() && winDur > 0 {
+			if seen {
+				gap = int((w.Start.UnixNano()-lastStart)/int64(winDur)) - 1
+				if gap > slide {
+					gap = slide
+				}
+			}
+			lastStart, seen = w.Start.UnixNano(), true
+		}
+		for _, s := range w.Sliding {
+			if !finite(s.Estimate.Value) || !finite(s.Bound()) {
+				return fmt.Errorf("chaos: window %d sliding %v: non-finite %v ± %v (seed %d)",
+					i, s.Kind, s.Estimate.Value, s.Bound(), h.cfg.Seed)
+			}
+			for g := 0; g < gap; g++ {
+				hist[s.Kind] = append(hist[s.Kind], stats.Estimate{})
+			}
+			hist[s.Kind] = append(hist[s.Kind], w.Result(s.Kind).Estimate)
+			panes := hist[s.Kind]
+			if s.Panes > len(panes) {
+				return fmt.Errorf("chaos: window %d sliding %v composes %d panes, only %d emitted (seed %d)",
+					i, s.Kind, s.Panes, len(panes), h.cfg.Seed)
+			}
+			var wantV, wantVar float64
+			for _, p := range panes[len(panes)-s.Panes:] {
+				wantV += p.Value
+				wantVar += p.Variance
+			}
+			if !relClose(s.Estimate.Value, wantV) || !relClose(s.Estimate.Variance, wantVar) {
+				return fmt.Errorf("chaos: window %d sliding %v: %v (var %v) != pane recompute %v (var %v) over %d panes (seed %d, ops %v)",
+					i, s.Kind, s.Estimate.Value, s.Estimate.Variance, wantV, wantVar, s.Panes, h.cfg.Seed, h.rep.Ops)
+			}
+		}
+	}
+	return nil
+}
+
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

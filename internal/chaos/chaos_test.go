@@ -53,6 +53,19 @@ func TestChaosEventTimeSeed(t *testing.T) {
 	}
 }
 
+// TestChaosTopKSeed runs one fixed event-time schedule with the full query
+// breadth riding along: sliding windows over 3 panes, group-by top-3, and a
+// median quantile. The verdict recomputes every sliding estimate from the
+// emitted pane history (value and variance) and requires finite bounds on
+// every ranked group and quantile interval — under crashes, rescales, and
+// timestamp disorder.
+func TestChaosTopKSeed(t *testing.T) {
+	rep := runSeed(t, Config{Seed: 16, EventTime: true, Slide: 3, TopK: true})
+	if rep.Windows == 0 {
+		t.Fatal("no windows closed")
+	}
+}
+
 // TestChaosSeedFlag replays a single operator-chosen schedule
 // (-chaos.seed=N); it skips when the flag is unset.
 func TestChaosSeedFlag(t *testing.T) {

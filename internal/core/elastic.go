@@ -531,18 +531,13 @@ func (s *LiveSession) replayGap(p *samplingProcessor, desc NodeDesc, ck *memberC
 				}
 				if p.ew != nil {
 					p.ew.ingest(scratch)
-					switch {
-					case rec.Watermark.At.IsZero():
-						if rec.Watermark.From != "" {
-							p.wt.keepalive(rec.Watermark.From, now)
-						}
-					default:
-						// Fold the piggybacked watermark, but never announce
-						// (the dead member announced this chain when it first
-						// heard it) and never advance (replay rebuilds
-						// buffered state only).
-						p.wt.update(rec.Watermark, scratch.Source, now)
-					}
+					// Fold the piggybacked watermark lanewise — the same
+					// per-lane floor rule the live path applies, so replayed
+					// end-of-stream copies lift exactly the lanes they rode —
+					// but never announce (the dead member announced this
+					// chain when it first heard it) and never advance
+					// (replay rebuilds buffered state only).
+					p.wt.fold(rec.Watermark, scratch.Source, rec.Partition, now)
 				} else {
 					p.node.IngestBatch(scratch)
 				}

@@ -293,18 +293,160 @@ type sourceMark struct {
 	seen time.Time // arrival-clock instant of the last record (wall live, virtual sim)
 }
 
+// laneKey identifies one producer's record flow over one input-topic
+// partition at a node. The broker's only ordering guarantee is per-partition
+// FIFO, so a piggybacked watermark is a promise about the records still
+// queued BEHIND it on its own lane — and nothing else. Lanes, not
+// sub-streams, are therefore the unit the close bound must be floored by.
+type laneKey struct {
+	from string
+	lane int
+}
+
 // watermarkTracker derives a node's low watermark from the watermarks
-// piggybacked on arriving records: the minimum over every tracked
-// (producer, sub-stream) chain, excluding chains idle longer than the idle
-// timeout so one silent sensor cannot stall the whole tree (idle == 0
-// disables the exclusion). Not safe for concurrent use.
+// piggybacked on arriving records, as the minimum over two complementary
+// views of the same stamps:
+//
+//   - (producer, sub-stream) chains — the semantic view: the latest promise
+//     per chain, with expectation placeholders holding the minimum for
+//     producers the plan names before they are first heard;
+//   - (producer, lane) floors — the transport view: the latest stamp
+//     consumed per owned input partition. Per-src chains alone are unsound
+//     once a topic has more than one partition: a producer's stamps for
+//     sub-stream X ride X's key lane, so draining X's lane first can lift
+//     the chain minimum past windows whose data for sub-stream Y is still
+//     queued, unconsumed, on Y's lane. The floor for Y's lane — stuck at
+//     the last stamp actually consumed off it — is exactly what per-lane
+//     FIFO licenses, and holds the bound until that data is ingested.
+//
+// Floors exist for every known producer × owned lane (a lane the producer
+// never touches holds the bound as an alive-but-unpromising placeholder
+// until the idle timeout ages it out, or until the producer's terminal
+// end-of-stream broadcast covers it). They activate only when an ownedFn is
+// installed — single-FIFO transports (the simulator's network) need no
+// floors, and their behavior is unchanged. Chains and floors share the idle
+// and end-of-stream exemption rules. Not safe for concurrent use.
 type watermarkTracker struct {
 	idle   time.Duration
 	chains map[chainKey]*sourceMark
+
+	ownedFn func() []int // owned input partitions; nil disables lane floors
+	laneSet []int        // cached owned lanes (refreshed on unknown-lane sight)
+	lanes   map[laneKey]*sourceMark
+	known   map[string]bool // producers whose floors have been materialized
 }
 
 func newWatermarkTracker(idle time.Duration) *watermarkTracker {
-	return &watermarkTracker{idle: idle, chains: make(map[chainKey]*sourceMark)}
+	return &watermarkTracker{
+		idle:   idle,
+		chains: make(map[chainKey]*sourceMark),
+		lanes:  make(map[laneKey]*sourceMark),
+		known:  make(map[string]bool),
+	}
+}
+
+func containsLane(lanes []int, lane int) bool {
+	for _, l := range lanes {
+		if l == lane {
+			return true
+		}
+	}
+	return false
+}
+
+// refreshOwned installs the current owned-lane set: floors for lanes no
+// longer owned are dropped (their records now flow to another member, whose
+// own floors guard them) and missing floors for every known producer ×
+// owned lane are materialized as placeholders aged from now.
+func (t *watermarkTracker) refreshOwned(lanes []int, now time.Time) {
+	t.laneSet = lanes
+	for key := range t.lanes {
+		if !containsLane(t.laneSet, key.lane) {
+			delete(t.lanes, key)
+		}
+	}
+	for from := range t.known {
+		t.materialize(from, now)
+	}
+}
+
+func (t *watermarkTracker) materialize(from string, now time.Time) {
+	for _, l := range t.laneSet {
+		key := laneKey{from: from, lane: l}
+		if _, ok := t.lanes[key]; !ok {
+			t.lanes[key] = &sourceMark{seen: now}
+		}
+	}
+}
+
+// ensureFrom registers one producer into the floor universe, materializing
+// its per-lane placeholders across the owned set.
+func (t *watermarkTracker) ensureFrom(from string, now time.Time) {
+	if from == "" || t.known[from] {
+		return
+	}
+	t.known[from] = true
+	t.materialize(from, now)
+}
+
+// observeLane max-folds one consumed stamp into its (producer, lane) floor.
+// Producers stamp outbound records monotonically in production order (the
+// dataWatermark / outboundWatermark ladder), so per-lane FIFO guarantees
+// every record still queued behind this one on the same lane carries a
+// stamp at least this high — the floor is a sound per-lane close bound. A
+// zero instant refreshes liveness without promising anything.
+func (t *watermarkTracker) observeLane(from string, lane int, at, now time.Time) {
+	if len(t.laneSet) == 0 || from == "" {
+		return
+	}
+	t.ensureFrom(from, now)
+	key := laneKey{from: from, lane: lane}
+	m := t.lanes[key]
+	if m == nil {
+		m = &sourceMark{}
+		t.lanes[key] = m
+	}
+	if at.After(m.wm) {
+		m.wm = at
+	}
+	m.seen = now
+}
+
+// fold routes one record's piggybacked watermark into the tracker: the lane
+// floor first (the transport-level promise the stamp actually makes), then
+// the (producer, sub-stream) chain it semantically belongs to. End-of-stream
+// promises resolve the producer's chains outright — the producer's floors,
+// lifted lane by lane as its terminal broadcast copies are consumed, keep
+// the bound below any of its data still queued on other lanes. Reports
+// whether the stamp revealed a brand-new chain (callers announce those
+// upstream). Consuming a record off a lane the cached owned set does not
+// list re-reads the assignment — the cheap signal that a rebalance granted
+// this member new partitions.
+func (t *watermarkTracker) fold(wm mq.Watermark, src stream.SourceID, lane int, now time.Time) (isNew bool) {
+	if t.ownedFn != nil && !containsLane(t.laneSet, lane) {
+		if lanes := t.ownedFn(); lanes == nil {
+			t.ownedFn = nil // context cannot report ownership; floors stay off
+		} else {
+			if !containsLane(lanes, lane) {
+				lanes = append(lanes, lane) // mid-rebalance: trust consumption
+			}
+			t.refreshOwned(lanes, now)
+		}
+	}
+	switch {
+	case wm.At.IsZero():
+		if wm.From != "" {
+			t.observeLane(wm.From, lane, time.Time{}, now)
+			t.keepalive(wm.From, now)
+		}
+	case !wm.At.Before(eosHorizon):
+		t.observeLane(wm.From, lane, wm.At, now)
+		t.resolveEOS(wm.From, now)
+	default:
+		t.observeLane(wm.From, lane, wm.At, now)
+		isNew = t.update(wm, src, now)
+	}
+	return isNew
 }
 
 // expect registers a producer that is statically known (from the compiled
@@ -317,6 +459,7 @@ func newWatermarkTracker(idle time.Duration) *watermarkTracker {
 // speaks (an unused source slot, a shard member owning no partitions) ages
 // out through the idle timeout like any silent chain.
 func (t *watermarkTracker) expect(from string, now time.Time) {
+	t.ensureFrom(from, now)
 	key := chainKey{from: from}
 	if _, ok := t.chains[key]; !ok {
 		t.chains[key] = &sourceMark{seen: now}
@@ -330,6 +473,7 @@ func (t *watermarkTracker) expect(from string, now time.Time) {
 // producer's expectation placeholder, if any, is resolved: its real chains
 // now represent it.
 func (t *watermarkTracker) update(wm mq.Watermark, src stream.SourceID, now time.Time) (isNew bool) {
+	t.ensureFrom(wm.From, now)
 	key := chainKey{from: wm.From, src: src}
 	m := t.chains[key]
 	if m == nil {
@@ -345,6 +489,28 @@ func (t *watermarkTracker) update(wm mq.Watermark, src stream.SourceID, now time
 	return isNew
 }
 
+// resolveEOS resolves one producer's end of stream: every chain it owns is
+// raised to the end-of-stream watermark and its expectation placeholder is
+// dissolved. Folding the promise chain-by-chain instead would strand the
+// drain: a sign-off for a sub-stream the member has not heard yet creates a
+// chain, while the heard chains' stale marks pin the minimum below the
+// windows the final flush must close. Resolving wholesale is safe because
+// the producer's lane floors stay put — data still queued on another lane
+// keeps its floor (and so the bound) down until it is consumed there.
+func (t *watermarkTracker) resolveEOS(from string, now time.Time) {
+	t.ensureFrom(from, now)
+	delete(t.chains, chainKey{from: from})
+	for key, m := range t.chains {
+		if key.from != from {
+			continue
+		}
+		if eosWatermark.After(m.wm) {
+			m.wm = eosWatermark
+		}
+		m.seen = now
+	}
+}
+
 // keepalive refreshes the idle clock of every chain from one producer
 // without touching any watermark: the producer said "alive, nothing to
 // promise yet". A producer this tracker has never heard real watermarks
@@ -353,6 +519,7 @@ func (t *watermarkTracker) update(wm mq.Watermark, src stream.SourceID, now time
 // has not spoken, or a sibling's flush could close windows the producer
 // is still buffering data for.
 func (t *watermarkTracker) keepalive(from string, now time.Time) {
+	t.ensureFrom(from, now)
 	refreshed := false
 	for key, m := range t.chains {
 		if key.from == from {
@@ -391,6 +558,11 @@ func (t *watermarkTracker) allStale(now time.Time) bool {
 			return false
 		}
 	}
+	for _, m := range t.lanes {
+		if now.Sub(m.seen) <= t.idle || !m.wm.Before(eosHorizon) {
+			return false
+		}
+	}
 	return true
 }
 
@@ -401,15 +573,26 @@ func (t *watermarkTracker) allStale(now time.Time) bool {
 // with no opinion.
 func (t *watermarkTracker) watermarkState(now time.Time) (wm time.Time, blocked bool) {
 	var min time.Time
-	for _, m := range t.chains {
+	take := func(m *sourceMark) bool {
 		if t.idle > 0 && now.Sub(m.seen) > t.idle && m.wm.Before(eosHorizon) {
-			continue
+			return true // idle chain or floor: excluded from the minimum
 		}
 		if m.wm.IsZero() {
-			return time.Time{}, true // expected producer not yet heard from
+			return false // expected producer (or untouched lane) unheard
 		}
 		if min.IsZero() || m.wm.Before(min) {
 			min = m.wm
+		}
+		return true
+	}
+	for _, m := range t.chains {
+		if !take(m) {
+			return time.Time{}, true
+		}
+	}
+	for _, m := range t.lanes {
+		if !take(m) {
+			return time.Time{}, true
 		}
 	}
 	return min, false

@@ -85,6 +85,14 @@ type LiveConfig struct {
 	RootWork time.Duration
 	// Queries lists the root's aggregates (default SUM).
 	Queries []query.Kind
+	// Slide, when ≥ 2, composes sliding-window estimates from the last
+	// Slide tumbling panes at the root (pane composition): each emitted
+	// window additionally carries WindowResult.Sliding for the additive
+	// query kinds (SUM/COUNT), with variances added across panes so the
+	// composed bounds stay rigorous. Sim and live feed identical pane
+	// sequences under the same seed, so sliding estimates are covered by
+	// the cross-mode equivalence suite.
+	Slide int
 	// Confidence selects the error-bound level of every window result
 	// (default 95%). Adaptive runs steer the relative *bound* at this
 	// confidence toward the controller's target, so sim and live must
@@ -300,10 +308,15 @@ type samplingProcessor struct {
 	// the punctuation keepalives once shutdown starts — the end-of-stream
 	// cascade carries every promise that still matters, and a steady
 	// keepalive stream would hold the drain probe's idle check open
-	// forever.
-	ew      *eventWindows
-	wt      *watermarkTracker
-	quiesce *atomic.Bool
+	// forever. eosNotify broadcasts this member's own terminal end-of-stream
+	// record to every parent-topic partition (nil for processing-time mode
+	// and the root tier), sent once — eosSent — after the member's final
+	// forward, so every downstream lane floor gets its lifting copy.
+	ew        *eventWindows
+	wt        *watermarkTracker
+	quiesce   *atomic.Bool
+	eosNotify func()
+	eosSent   bool
 
 	// Adaptive runs only: control is the member's private standalone
 	// consumer on the plan's control topic, drained at each window
@@ -414,6 +427,12 @@ var (
 
 func (p *samplingProcessor) Init(ctx streams.ProcessorContext) error {
 	p.ctx = ctx
+	if p.wt != nil {
+		// The tracker's lane floors need the consumer's partition
+		// assignment — installed before recovery, so the offset-gap replay
+		// already classifies lanewise.
+		p.wt.ownedFn = func() []int { return ownedLanesOf(p.ctx) }
+	}
 	if p.recover != nil {
 		// Crash recovery runs here: Init is called synchronously by the
 		// runtime's Start, after the consumer has joined its group but
@@ -502,22 +521,31 @@ func (p *samplingProcessor) processEvent(msg streams.Message, now time.Time) {
 	// watermark may close the very window this record's items belong
 	// to, and they must land inside it, not be counted late.
 	p.ew.ingest(p.scratch)
-	switch {
-	case msg.Watermark.At.IsZero():
-		if msg.Watermark.From != "" {
-			// Liveness keepalive: refresh the chain's idle clocks,
-			// promise nothing.
-			p.wt.keepalive(msg.Watermark.From, now)
-		}
-	default:
-		if p.wt.update(msg.Watermark, p.scratch.Source, now) {
-			// First sight of this chain: announce it upstream before
-			// any record can lift the parent's minimum past windows
-			// the chain still holds data for.
-			p.announce(p.scratch.Source)
-		}
+	if p.wt.fold(msg.Watermark, p.scratch.Source, msg.Partition, now) {
+		// First sight of this chain: announce it upstream before any
+		// record can lift the parent's minimum past windows the chain
+		// still holds data for.
+		p.announce(p.scratch.Source)
 	}
 	p.advanceEventTime(now)
+}
+
+// ownedLanesOf lists the input-topic partitions the context's consumer
+// currently owns — the lane universe for the watermark tracker's per-lane
+// floors. Nil when the context cannot report ownership; the tracker then
+// leaves floors off and classification degrades to the per-chain minimum
+// alone (single-FIFO harness contexts, where that minimum is sound).
+func ownedLanesOf(ctx streams.ProcessorContext) []int {
+	or, ok := ctx.(streams.OffsetReader)
+	if !ok {
+		return nil
+	}
+	pos := or.SourceCommitted()
+	lanes := make([]int, len(pos))
+	for i, po := range pos {
+		lanes[i] = po.Partition
+	}
+	return lanes
 }
 
 // flushEmits forwards everything the member's encoder accumulated as one
@@ -640,7 +668,39 @@ func (p *samplingProcessor) drainAll(now time.Time) {
 		p.enc.add(src, heartbeat(src), out)
 	}
 	p.flushEmits()
+	p.signalEOS()
 	p.pending.Store(0)
+}
+
+// signalEOS broadcasts the member's terminal end-of-stream record to every
+// parent-topic partition, once, after its final forward. The keyed sign-offs
+// above cover only the lanes the member's sub-streams hash to; the parent's
+// per-lane watermark floors for this member lift lane by lane, each as its
+// copy is consumed, so every lane needs one. The broadcast runs synchronously
+// after flushEmits, so on every lane it appends behind the member's last data.
+func (p *samplingProcessor) signalEOS() {
+	if p.eosSent || p.eosNotify == nil {
+		return
+	}
+	p.eosSent = true
+	p.eosNotify()
+}
+
+// memberEOSBroadcast builds a member's terminal end-of-stream broadcast: one
+// zero-item record per parent-topic partition, keyed and originated by the
+// member itself, at the end-of-stream watermark — the interior-tier analogue
+// of Ingester.sendEOS, and the producer half of the lane-floor contract.
+func memberEOSBroadcast(prod transport.Producer, topic, id string, partitions int, bwc *metrics.BandwidthCounter) func() {
+	return func() {
+		payload := heartbeat(stream.SourceID(id)).Marshal()
+		wm := mq.Watermark{From: id, At: eosWatermark}
+		for part := 0; part < partitions; part++ {
+			bwc.Add(int64(len(payload)))
+			// The broker outlives the drain; a send can only fail once the
+			// session is past the point of caring about these records.
+			_, _ = prod.SendToWatermarked(topic, part, []byte(id), payload, wm)
+		}
+	}
 }
 
 // advanceEventTime closes every event window the member's current watermark
@@ -670,6 +730,11 @@ func (p *samplingProcessor) advanceEventTime(now time.Time) bool {
 		p.enc.add(src, heartbeat(src), out)
 	}
 	p.flushEmits()
+	if !out.At.Before(eosHorizon) {
+		// The member's own promise reached end-of-stream tier: cover every
+		// parent lane so the parent's floors for this member all lift.
+		p.signalEOS()
+	}
 	p.ckptDirty = true
 	return true
 }
@@ -788,6 +853,9 @@ type rootProcessor struct {
 	node *Node // processing-time Θ (nil in event-time mode)
 	ew   *eventWindows
 	wt   *watermarkTracker
+	// ctx reports the consumer's partition assignment for the tracker's
+	// lane floors (the root consumes, it never signs off itself).
+	ctx streams.ProcessorContext
 
 	id           string
 	work         time.Duration
@@ -803,7 +871,13 @@ var (
 	_ streams.BatchProcessor = (*rootProcessor)(nil)
 )
 
-func (p *rootProcessor) Init(streams.ProcessorContext) error { return nil }
+func (p *rootProcessor) Init(ctx streams.ProcessorContext) error {
+	p.ctx = ctx
+	if p.wt != nil {
+		p.wt.ownedFn = func() []int { return ownedLanesOf(p.ctx) }
+	}
+	return nil
+}
 
 func (p *rootProcessor) Process(msg streams.Message) error {
 	p.lastActivity.Store(time.Now().UnixNano())
@@ -855,14 +929,7 @@ func (p *rootProcessor) processLocked(msg streams.Message) int64 {
 	if p.ew != nil {
 		// Ingest before folding the watermark, mirroring the edge members.
 		p.ew.ingest(p.scratch)
-		switch {
-		case msg.Watermark.At.IsZero():
-			if msg.Watermark.From != "" {
-				p.wt.keepalive(msg.Watermark.From, now)
-			}
-		default:
-			p.wt.update(msg.Watermark, p.scratch.Source, now)
-		}
+		p.wt.fold(msg.Watermark, p.scratch.Source, msg.Partition, now)
 	} else {
 		p.node.IngestBatch(p.scratch)
 	}

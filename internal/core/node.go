@@ -173,6 +173,11 @@ type WindowResult struct {
 	SampleSize int64
 	// EstimatedInput is Σ ĉ — the estimated number of original items.
 	EstimatedInput float64
+	// Sliding holds sliding-window estimates composed from the last
+	// Config.Slide tumbling panes (pane composition, [10][11] in PAPER.md).
+	// Populated only when sliding is enabled; one entry per additive query
+	// kind (SUM/COUNT), in registration order.
+	Sliding []SlidingResult
 }
 
 // Result returns the window's answer for one query kind (zero Result if the
@@ -184,6 +189,17 @@ func (w WindowResult) Result(kind query.Kind) query.Result {
 		}
 	}
 	return query.Result{}
+}
+
+// SlidingResult returns the window's sliding estimate for one query kind
+// (zero result and false if sliding is off or the kind does not slide).
+func (w WindowResult) SlidingResult(kind query.Kind) (SlidingResult, bool) {
+	for _, s := range w.Sliding {
+		if s.Kind == kind {
+			return s, true
+		}
+	}
+	return SlidingResult{}, false
 }
 
 // Root is the datacenter node: it samples its input once more (the root

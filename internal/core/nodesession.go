@@ -294,6 +294,8 @@ func (n *NodeSession) buildEdgeGroup(desc NodeDesc, now time.Time) (*shardGroup,
 			mk = func() *Node { return n.plan.NewNodeShardCost(desc, shard, mb) }
 		}
 		sp.ew = newEventWindows(n.plan.Spec.Window, n.cfg.AllowedLateness, &n.late, mk)
+		sp.eosNotify = memberEOSBroadcast(n.bus.NewProducer(), desc.ParentTopic,
+			sp.id, n.plan.Partitions, sp.bwc)
 		sp.wt = newWatermarkTracker(n.cfg.IdleTimeout)
 		for _, from := range n.plan.ExpectedProducers(desc) {
 			sp.wt.expect(from, now)

@@ -109,17 +109,17 @@ var ErrDrainTimeout = errors.New("core: drain deadline exceeded; final result ma
 // emitting window results until closed. Construct with OpenLive; all
 // methods are safe for concurrent use.
 type LiveSession struct {
-	cfg    LiveConfig
-	plan   *Plan
-	bus    transport.Bus
+	cfg  LiveConfig
+	plan *Plan
+	bus  transport.Bus
 	// ownsBus: the session created its own in-memory bus and shuts it down
 	// at close; a caller-supplied bus (LiveConfig.Bus) is left running — it
 	// may serve other processes.
 	ownsBus bool
 	engine  *query.Engine
 
-	groups    []*shardGroup            // every consumer group, root last
-	groupByID map[string]*shardGroup   // node ID → its group (root included)
+	groups    []*shardGroup          // every consumer group, root last
+	groupByID map[string]*shardGroup // node ID → its group (root included)
 	rootGrp   *shardGroup
 	rootProcs []*rootProcessor
 	rootCosts []*dynamicCost
@@ -148,7 +148,7 @@ type LiveSession struct {
 	produced      atomic.Int64
 	rootProcessed atomic.Int64
 	decodeErrs    atomic.Int64
-	late          lateCounter // event-time mode: records past the lateness horizon
+	late          lateCounter  // event-time mode: records past the lateness horizon
 	lastActivity  atomic.Int64 // unix nanos of last root-side processing
 	startNanos    atomic.Int64 // run start: first ingest (open time until then)
 	started       atomic.Bool
@@ -167,6 +167,12 @@ type LiveSession struct {
 	windowsClosed atomic.Int64
 	ctlProducer   transport.Producer
 	ctlSeq        uint64
+	// sliding composes pane estimates at the root when LiveConfig.Slide ≥ 2
+	// (nil otherwise); driven only under windowMu by emitWindowLocked.
+	sliding *slidingState
+	// lastWindow publishes the most recently emitted window result for
+	// Snapshot (nil until the first non-empty window closes).
+	lastWindow atomic.Pointer[WindowResult]
 
 	// Windows() subscriptions.
 	subMu      sync.Mutex
@@ -245,6 +251,7 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 		drainCh:   make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	s.sliding = newSlidingState(cfg.Slide, plan.Spec.Window, cfg.Confidence, plan.Queries)
 	now := time.Now()
 	s.startNanos.Store(now.UnixNano())
 	s.lastActivity.Store(now.UnixNano())
@@ -315,6 +322,8 @@ func OpenLive(ctx context.Context, cfg LiveConfig) (*LiveSession, error) {
 				// identically from the plan's lineage, so a window's
 				// sampling is independent of how many windows preceded it.
 				sp.ew = newEventWindows(plan.Spec.Window, cfg.AllowedLateness, &s.late, mk)
+				sp.eosNotify = memberEOSBroadcast(s.bus.NewProducer(), desc.ParentTopic,
+					sp.id, plan.Partitions, sp.bwc)
 				sp.wt = newWatermarkTracker(cfg.IdleTimeout)
 				// Every producer the plan says can feed this node holds the
 				// watermark until heard from (or idled out) — sibling pumps
@@ -800,8 +809,13 @@ func (s *LiveSession) closeEventWindows(at, wm time.Time) {
 // emitWindowLocked records one closed window, steps the feedback loop, and
 // fans the result out to hooks and subscribers. Callers hold windowMu.
 func (s *LiveSession) emitWindowLocked(win WindowResult) {
+	if s.sliding != nil {
+		s.sliding.observe(&win)
+	}
 	s.res.Windows = append(s.res.Windows, win)
 	s.windowsClosed.Add(1)
+	last := win
+	s.lastWindow.Store(&last)
 	if s.cfg.Feedback != nil {
 		// §IV-B feedback step: observe the merged window, then fan the
 		// adjusted fraction out — directly to the colocated root
@@ -899,6 +913,12 @@ type LiveSnapshot struct {
 	// Adaptive reports whether a feedback controller is installed —
 	// Fraction/Target are meaningful gauges only when true.
 	Adaptive bool
+	// LastWindow is the most recently emitted window result — every
+	// registered query's estimate ± bound, including top-k groups, quantile
+	// intervals, and sliding composites. Nil until the first non-empty
+	// window closes. The ops /metrics exposition renders per-query gauges
+	// from it.
+	LastWindow *WindowResult
 }
 
 // Snapshot captures the deployment's telemetry mid-run: counters, latency,
@@ -908,24 +928,25 @@ type LiveSnapshot struct {
 func (s *LiveSession) Snapshot() LiveSnapshot {
 	now := time.Now()
 	snap := LiveSnapshot{
-		State:           s.State(),
-		Produced:        s.produced.Load(),
-		RootProcessed:   s.rootProcessed.Load(),
-		DecodeErrors:    s.decodeErrs.Load(),
-		LateDropped:     s.late.items.Load(),
+		State:            s.State(),
+		Produced:         s.produced.Load(),
+		RootProcessed:    s.rootProcessed.Load(),
+		DecodeErrors:     s.decodeErrs.Load(),
+		LateDropped:      s.late.items.Load(),
 		LateDroppedInput: s.late.input.load(),
-		Latency:         metrics.NewHistogram(),
-		Bandwidth:       s.res.Bandwidth.Snapshot(),
-		SubscriberDrops: s.subDrops.Load(),
-		Window:          s.cfg.Window,
-		MaxIngestLag:    s.cfg.MaxIngestLag,
-		EventTime:       s.cfg.EventTime,
-		Adaptive:        s.cfg.Feedback != nil,
-		Start:           time.Unix(0, s.startNanos.Load()),
-		LastActivity:    time.Unix(0, s.lastActivity.Load()),
+		Latency:          metrics.NewHistogram(),
+		Bandwidth:        s.res.Bandwidth.Snapshot(),
+		SubscriberDrops:  s.subDrops.Load(),
+		Window:           s.cfg.Window,
+		MaxIngestLag:     s.cfg.MaxIngestLag,
+		EventTime:        s.cfg.EventTime,
+		Adaptive:         s.cfg.Feedback != nil,
+		Start:            time.Unix(0, s.startNanos.Load()),
+		LastActivity:     time.Unix(0, s.lastActivity.Load()),
 	}
 	snap.WindowsClosed = int(s.windowsClosed.Load())
 	snap.CheckpointErrors = s.ckptErrs.Load()
+	snap.LastWindow = s.lastWindow.Load()
 	if s.cfg.Feedback != nil {
 		snap.Fraction = s.cfg.Feedback.Fraction()
 		snap.Target = s.cfg.Feedback.Target()

@@ -97,6 +97,11 @@ type SimConfig struct {
 	ChunksPerWindow int
 	// Queries lists the aggregates the root runs per window (default SUM).
 	Queries []query.Kind
+	// Slide, when ≥ 2, composes sliding-window estimates from the last
+	// Slide tumbling panes at the root (pane composition): each reported
+	// window additionally carries WindowResult.Sliding for the additive
+	// query kinds (SUM/COUNT), with variances added across panes.
+	Slide int
 	// Streaming makes edge nodes forward immediately instead of buffering
 	// a window: each arriving batch is sampled and shipped on the spot.
 	// This models the SRS and native baselines, which need no window at
@@ -663,9 +668,13 @@ func RunSim(cfg SimConfig) (*SimResult, error) {
 	// event-time tick, and the end-of-stream sweep. Only windows that
 	// aggregated at least one item are reported (the warm-up and drain
 	// windows at the edges of the run are empty by construction).
+	sliding := newSlidingState(cfg.Slide, spec.Window, cfg.Confidence, plan.Queries)
 	emitRootWindow := func(result WindowResult) {
 		if result.SampleSize == 0 {
 			return
+		}
+		if sliding != nil {
+			sliding.observe(&result)
 		}
 		res.Windows = append(res.Windows, result)
 		if cfg.Feedback != nil {

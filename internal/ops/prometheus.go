@@ -70,6 +70,33 @@ func writeMetrics(w io.Writer, ns string, snap core.LiveSnapshot, now time.Time)
 			snap.Target)
 	}
 
+	// Per-query gauges from the most recently closed window: every
+	// registered kind's estimate ± bound, sliding composites, and the
+	// window's sample size — the "result ± error" line the paper's root
+	// writes, as scrapable series.
+	if lw := snap.LastWindow; lw != nil {
+		e.header("query_estimate", "Latest window's estimate per registered query kind.", "gauge")
+		for _, r := range lw.Results {
+			e.sample("query_estimate", labels{{"kind", r.Kind.String()}}, r.Estimate.Value)
+		}
+		e.header("query_bound", "Latest window's confidence-interval half-width per query kind.", "gauge")
+		for _, r := range lw.Results {
+			e.sample("query_bound", labels{{"kind", r.Kind.String()}}, r.Bound())
+		}
+		if len(lw.Sliding) > 0 {
+			e.header("query_sliding_estimate", "Latest sliding-window estimate (pane composition) per additive query kind.", "gauge")
+			for _, s := range lw.Sliding {
+				e.sample("query_sliding_estimate", labels{{"kind", s.Kind.String()}}, s.Estimate.Value)
+			}
+			e.header("query_sliding_bound", "Latest sliding-window confidence-interval half-width per additive query kind.", "gauge")
+			for _, s := range lw.Sliding {
+				e.sample("query_sliding_bound", labels{{"kind", s.Kind.String()}}, s.Bound())
+			}
+		}
+		e.gauge("window_sample_size", "Items aggregated into the latest window (zeta over all strata).",
+			float64(lw.SampleSize))
+	}
+
 	// Per-topic bandwidth: produce-side bytes per link, the paper's
 	// network-bandwidth measurement.
 	e.header("bandwidth_bytes_total", "Bytes produced onto each link, keyed by destination topic.", "counter")

@@ -102,6 +102,13 @@ type GroupEstimate struct {
 // reproducibility; k <= 0 or k beyond the group count returns all groups.
 func TopK(theta []stream.Batch, k int) []GroupEstimate {
 	strata, sources := Strata(theta)
+	return topKGroups(strata, sources, k)
+}
+
+// topKGroups ranks already-stratified groups by estimated SUM; shared by the
+// standalone TopK helper and Engine.Run's TopKOf path so both answer
+// identically.
+func topKGroups(strata []*stats.Stratum, sources []stream.SourceID, k int) []GroupEstimate {
 	groups := make([]GroupEstimate, len(sources))
 	for i, src := range sources {
 		groups[i] = GroupEstimate{

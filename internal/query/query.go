@@ -13,25 +13,90 @@ import (
 	"github.com/approxiot/approxiot/internal/stream"
 )
 
-// Kind selects the aggregate a query computes.
+// Kind selects the aggregate a query computes. Beyond the three linear
+// queries, Kind carries parameterized aggregates — TopKOf(k) and
+// QuantileOf(q) — encoded in high bits so every []Kind plumbing through plan
+// compilation, window results, and the facade works unchanged.
 type Kind int
 
-// Supported linear queries (the paper defers joins/top-k to future work).
+// Supported linear queries (the paper defers joins/top-k to future work;
+// TopKOf and QuantileOf below implement that future work).
 const (
 	Sum Kind = iota + 1
 	Mean
 	Count
 )
 
+// Parameterized-kind encoding: top-k kinds live at topKBase+k, quantile
+// kinds at quantileBase+permille(q). The bases are far above any plain
+// enum value so the spaces never collide.
+const (
+	topKBase     Kind = 1 << 16
+	quantileBase Kind = 1 << 24
+)
+
+// TopKOf returns the Kind for a group-by top-k query: the k sub-streams
+// with the largest estimated SUM, each with its Eq. 11 error bound.
+// k is clamped to at least 1.
+func TopKOf(k int) Kind {
+	if k < 1 {
+		k = 1
+	}
+	return topKBase + Kind(k)
+}
+
+// QuantileOf returns the Kind for an approximate quantile query at q in
+// (0, 1). q is stored with permille resolution (rounded to 1/1000).
+func QuantileOf(q float64) Kind {
+	m := int(q*1000 + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	if m > 999 {
+		m = 999
+	}
+	return quantileBase + Kind(m)
+}
+
+// IsTopK reports whether the kind is a parameterized top-k query.
+func (k Kind) IsTopK() bool { return k >= topKBase && k < quantileBase }
+
+// K returns the k of a top-k kind, or 0 for other kinds.
+func (k Kind) K() int {
+	if !k.IsTopK() {
+		return 0
+	}
+	return int(k - topKBase)
+}
+
+// IsQuantile reports whether the kind is a parameterized quantile query.
+func (k Kind) IsQuantile() bool { return k >= quantileBase && k < quantileBase+1000 }
+
+// Q returns the quantile of a quantile kind in (0, 1), or 0 for other kinds.
+func (k Kind) Q() float64 {
+	if !k.IsQuantile() {
+		return 0
+	}
+	return float64(k-quantileBase) / 1000
+}
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
-	switch k {
-	case Sum:
+	switch {
+	case k == Sum:
 		return "SUM"
-	case Mean:
+	case k == Mean:
 		return "MEAN"
-	case Count:
+	case k == Count:
 		return "COUNT"
+	case k.IsTopK():
+		return fmt.Sprintf("TOP%d", k.K())
+	case k.IsQuantile():
+		m := int(k - quantileBase)
+		if m%10 == 0 {
+			return fmt.Sprintf("P%d", m/10)
+		}
+		return fmt.Sprintf("P%g", float64(m)/10)
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -48,6 +113,15 @@ type Result struct {
 	EstimatedInput float64
 	// PerSubstream holds the per-stratum estimates when requested.
 	PerSubstream map[stream.SourceID]stats.Estimate
+	// Groups holds the ranked group estimates of a top-k query (nil
+	// otherwise). Estimate is then the sum of the top-k group SUMs, with
+	// variances added across independent strata.
+	Groups []GroupEstimate
+	// Quantile holds the full order-statistic answer of a quantile query
+	// (nil otherwise). Estimate.Value mirrors Quantile.Value and
+	// Estimate.Variance is ((Hi−Lo)/4)² so Bound(TwoSigma) recovers the
+	// rank-interval half-width.
+	Quantile *QuantileResult
 }
 
 // Bound returns the half-width of the confidence interval.
@@ -122,13 +196,26 @@ func (e *Engine) Run(kind Kind, theta []stream.Batch) Result {
 		res.SampleSize += s.SampleCount()
 		res.EstimatedInput += s.EstimatedCount()
 	}
-	switch kind {
-	case Sum:
+	switch {
+	case kind == Sum:
 		res.Estimate = stats.Sum(strata)
-	case Mean:
+	case kind == Mean:
 		res.Estimate = stats.Mean(strata)
-	case Count:
+	case kind == Count:
 		res.Estimate = stats.Count(strata)
+	case kind.IsTopK():
+		res.Groups = topKGroups(strata, sources, kind.K())
+		// The headline estimate is the combined SUM of the top-k groups;
+		// strata are sampled independently so their variances add.
+		for _, g := range res.Groups {
+			res.Estimate.Value += g.Sum.Value
+			res.Estimate.Variance += g.Sum.Variance
+		}
+	case kind.IsQuantile():
+		qr := Quantile(theta, kind.Q())
+		res.Quantile = &qr
+		half := (qr.Hi - qr.Lo) / 2
+		res.Estimate = stats.Estimate{Value: qr.Value, Variance: half * half / 4}
 	default:
 		res.Estimate = stats.Estimate{}
 	}

@@ -367,7 +367,7 @@ func (r *Runtime) pump(ctx context.Context) {
 			if r.noBatch {
 				// Seed path: one dispatch per record, in order.
 				for _, rec := range recs {
-					msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark}
+					msg := Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark, Partition: rec.Partition}
 					for _, child := range r.topo.nodes[src].children {
 						if err := r.dispatch(child, msg); err != nil {
 							r.fail(err)
@@ -381,7 +381,7 @@ func (r *Runtime) pump(ctx context.Context) {
 				// per fetched batch, sinks append once per fetched batch.
 				msgs := r.msgScratch[:0]
 				for _, rec := range recs {
-					msgs = append(msgs, Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark})
+					msgs = append(msgs, Message{Key: rec.Key, Value: rec.Value, Ts: rec.Ts, Watermark: rec.Watermark, Partition: rec.Partition})
 				}
 				r.msgScratch = msgs
 				for _, child := range r.topo.nodes[src].children {

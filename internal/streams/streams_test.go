@@ -76,7 +76,7 @@ func TestSourceToSinkPassthrough(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	rt, err := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, err := NewRuntime(transport.WrapBroker(b), topo, "app")
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}
@@ -108,7 +108,7 @@ func TestProcessorTransformsAndForwards(t *testing.T) {
 		Processor("double", double, "src").
 		Sink("snk", "out", "double").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -126,7 +126,7 @@ func TestFanOutToMultipleChildren(t *testing.T) {
 		Sink("s1", "out1", "src").
 		Sink("s2", "out2", "src").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -155,7 +155,7 @@ func TestChainedProcessors(t *testing.T) {
 		Processor("p2", appendByte('2'), "p1").
 		Sink("snk", "out", "p2").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	rt.Start()
 	defer rt.Stop()
 
@@ -178,7 +178,7 @@ func TestProcessorErrorStopsRuntime(t *testing.T) {
 		Source("src", "in").
 		Processor("bad", failing, "src").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	rt.Start()
 
 	mq.NewProducer(b).Send("in", nil, []byte("x"))
@@ -222,7 +222,7 @@ func TestPunctuationFiresPeriodically(t *testing.T) {
 		Source("src", "in").
 		Processor("tick", func() Processor { return proc }, "src").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -242,7 +242,7 @@ func TestPunctuationCancel(t *testing.T) {
 		Source("src", "in").
 		Processor("tick", func() Processor { return proc }, "src").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -261,7 +261,7 @@ func TestPunctuationCancel(t *testing.T) {
 func TestStopIsIdempotentAndStopsPump(t *testing.T) {
 	b := buildBroker(t, "in")
 	topo, _ := NewTopology().Source("src", "in").Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	if err := rt.Start(); err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -281,7 +281,7 @@ func TestStopIsIdempotentAndStopsPump(t *testing.T) {
 func TestDoubleStartRejected(t *testing.T) {
 	b := buildBroker(t, "in")
 	topo, _ := NewTopology().Source("src", "in").Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app")
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app")
 	rt.Start()
 	defer rt.Stop()
 	if err := rt.Start(); err == nil {
@@ -295,8 +295,8 @@ func TestTwoRuntimesDistinctAppIDsBothSeeStream(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", out, "src").Build()
 		return topo
 	}
-	rtA, _ := NewRuntime(transport.WrapBroker(b),mkTopo("outA"), "appA")
-	rtB, _ := NewRuntime(transport.WrapBroker(b),mkTopo("outB"), "appB")
+	rtA, _ := NewRuntime(transport.WrapBroker(b), mkTopo("outA"), "appA")
+	rtB, _ := NewRuntime(transport.WrapBroker(b), mkTopo("outB"), "appB")
 	rtA.Start()
 	rtB.Start()
 	defer rtA.Stop()
@@ -320,8 +320,8 @@ func TestSharedAppIDSplitsPartitions(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
 		return topo
 	}
-	rt1, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
-	rt2, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
+	rt1, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared")
+	rt2, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared")
 	rt1.Start()
 	rt2.Start()
 	defer rt1.Stop()
@@ -348,8 +348,8 @@ func TestSharedAppIDMemberStopRebalances(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Sink("snk", "out", "src").Build()
 		return topo
 	}
-	rt1, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared", WithPollWait(time.Millisecond))
-	rt2, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt1, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared", WithPollWait(time.Millisecond))
+	rt2, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared", WithPollWait(time.Millisecond))
 	rt1.Start()
 	rt2.Start()
 	defer rt2.Stop()
@@ -441,7 +441,7 @@ func TestEndOfStreamFlushesFinalWindow(t *testing.T) {
 		Processor("window", func() Processor { return proc }, "src").
 		Sink("snk", "out", "window").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "app", WithPollWait(time.Millisecond))
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "app", WithPollWait(time.Millisecond))
 	rt.Start()
 	defer rt.Stop()
 
@@ -490,8 +490,8 @@ func TestStopAfterFailedStartDoesNotPanic(t *testing.T) {
 		Processor("fine", func() Processor { return ok }, "src").
 		Processor("bad", func() Processor { return &initFailProcessor{} }, "fine").
 		Build()
-	rt, _ := NewRuntime(transport.WrapBroker(b),topo, "shared")
-	survivor, _ := NewRuntime(transport.WrapBroker(b),func() *Topology {
+	rt, _ := NewRuntime(transport.WrapBroker(b), topo, "shared")
+	survivor, _ := NewRuntime(transport.WrapBroker(b), func() *Topology {
 		topo, _ := NewTopology().Source("src", "in").Build()
 		return topo
 	}(), "shared")
@@ -528,8 +528,8 @@ func TestStopBeforeStartReleasesGroupMembership(t *testing.T) {
 		topo, _ := NewTopology().Source("src", "in").Build()
 		return topo
 	}
-	never, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
-	survivor, _ := NewRuntime(transport.WrapBroker(b),mkTopo(), "shared")
+	never, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared")
+	survivor, _ := NewRuntime(transport.WrapBroker(b), mkTopo(), "shared")
 	if err := never.Stop(); err != nil {
 		t.Fatalf("Stop before Start: %v", err)
 	}

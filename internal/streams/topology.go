@@ -33,6 +33,12 @@ type Message struct {
 	// mq.Record; sinks piggyback it back onto the produced record, so
 	// watermarks ride the data path across every hop.
 	Watermark mq.Watermark
+	// Partition is the input-topic partition the source consumed this
+	// message from (0 for messages that never crossed the broker). Ordering
+	// guarantees are per partition, so processors that act on cross-record
+	// promises — an end-of-stream watermark above all — need to know which
+	// FIFO lane a message rode in on.
+	Partition int
 }
 
 // Processor is the low-level operator contract. Implementations are owned

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/stream"
+	"github.com/approxiot/approxiot/internal/xrand"
+)
+
+// Geospatial stratification, following "Decentralized Stratified Sampling for
+// Low-Latency Approximate Geospatial Data Stream Processing in Edge-Cloud
+// Architectures" (PAPERS.md): instead of strata keyed by a named source, the
+// stream is stratified by the spatial grid cell each reading originates from.
+// Because the whole pipeline keys strata by stream.SourceID — partition
+// hashing, per-stratum reservoirs, Eq. 8 weight lineage, group-by queries —
+// cell stratification is purely a keying decision at generation: every item's
+// Source becomes its cell ID, and the tree's machinery stratifies by cell
+// with no further changes. Top-k over cell strata then ranks spatial zones.
+
+// CellID maps a position to the stratum key of its grid cell at res degrees
+// per cell ("cell:163,-296"). Keys are stable across runs and resolutions
+// snap positions onto a fixed global grid, so two emitters in the same cell
+// share a stratum.
+func CellID(lat, lon, res float64) stream.SourceID {
+	if res <= 0 {
+		res = 0.25
+	}
+	return stream.SourceID(fmt.Sprintf("cell:%d,%d",
+		int(math.Floor(lat/res)), int(math.Floor(lon/res))))
+}
+
+// GeoSubstreamSpec configures one geographic emitter cluster — for the taxi
+// workload, one dispatch zone's worth of vehicles.
+type GeoSubstreamSpec struct {
+	// Name identifies the emitter; it is the stratum key unless the
+	// generator stratifies by cell.
+	Name stream.SourceID
+	// Lat/Lon is the cluster center in degrees.
+	Lat, Lon float64
+	// Scatter is the Gaussian position spread around the center, in
+	// degrees of standard deviation (0 pins every reading to the center).
+	Scatter float64
+	// Rate is the nominal arrival rate in items/second.
+	Rate float64
+	// Value draws item values.
+	Value ValueDist
+	// Modulate optionally scales Rate over time (nil = constant).
+	Modulate RateFunc
+}
+
+// GeoOption customizes a GeoGenerator.
+type GeoOption func(*GeoGenerator)
+
+// StratifyByCell keys every generated item's stratum by the spatial grid
+// cell containing its position (res degrees per cell) instead of the emitter
+// name. Each cell gets its own value RNG lineage, split from the root seed
+// by a hash of the cell key — re-salted per cell, so a cell's value sequence
+// is decorrelated from its neighbours' and independent of how other cells'
+// traffic interleaves.
+func StratifyByCell(res float64) GeoOption {
+	if res <= 0 {
+		res = 0.25
+	}
+	return func(g *GeoGenerator) { g.cellRes = res }
+}
+
+// GeoGenerator produces items from geographic emitter clusters, interval by
+// interval, with the same deterministic rate accounting as Generator
+// (fractional-item carry, midpoint-sampled modulation). It implements
+// Source.
+type GeoGenerator struct {
+	specs   []GeoSubstreamSpec
+	seed    uint64
+	cellRes float64 // 0 = stratify by emitter name
+
+	valRngs  []*xrand.Rand // per-emitter value lineage (name stratification)
+	posRngs  []*xrand.Rand // per-emitter position scatter
+	cellRngs map[stream.SourceID]*xrand.Rand
+	carry    []float64
+	start    time.Time
+	begun    bool
+}
+
+// NewGeo returns a generator over geographic emitter specs; each emitter
+// gets decorrelated value and position RNGs derived from seed.
+func NewGeo(seed uint64, specs []GeoSubstreamSpec, opts ...GeoOption) *GeoGenerator {
+	g := &GeoGenerator{
+		specs:    append([]GeoSubstreamSpec(nil), specs...),
+		seed:     seed,
+		valRngs:  make([]*xrand.Rand, len(specs)),
+		posRngs:  make([]*xrand.Rand, len(specs)),
+		cellRngs: make(map[stream.SourceID]*xrand.Rand),
+		carry:    make([]float64, len(specs)),
+	}
+	for i := range g.specs {
+		g.valRngs[i] = xrand.Split(seed, uint64(i))
+		g.posRngs[i] = xrand.Split(seed, uint64(i)+0x47454f) // "GEO" salt
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	return g
+}
+
+// fnv64 hashes a stratum key into the Split index that salts its RNG.
+func fnv64(s stream.SourceID) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// cellRng returns (lazily creating) the value RNG for one cell's lineage.
+func (g *GeoGenerator) cellRng(cell stream.SourceID) *xrand.Rand {
+	r, ok := g.cellRngs[cell]
+	if !ok {
+		r = xrand.Split(g.seed, fnv64(cell))
+		g.cellRngs[cell] = r
+	}
+	return r
+}
+
+// Substreams returns the emitter names in order. Under cell stratification
+// the realized strata are cells, discovered as positions are drawn.
+func (g *GeoGenerator) Substreams() []stream.SourceID {
+	out := make([]stream.SourceID, len(g.specs))
+	for i, s := range g.specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TotalRate returns the sum of nominal rates (items/second).
+func (g *GeoGenerator) TotalRate() float64 {
+	var r float64
+	for _, s := range g.specs {
+		r += s.Rate
+	}
+	return r
+}
+
+// Generate produces the items arriving in [from, from+dt), timestamps spread
+// evenly through each emitter's share of the interval. Items are grouped by
+// stratum key (stable, preserving per-stratum timestamp order) so the
+// runners' one-wire-message-per-run batching stays effective when many cells
+// interleave.
+func (g *GeoGenerator) Generate(from time.Time, dt time.Duration) []stream.Item {
+	if !g.begun {
+		g.start = from
+		g.begun = true
+	}
+	elapsed := from.Sub(g.start)
+	var items []stream.Item
+	for i, spec := range g.specs {
+		rate := spec.Rate
+		if spec.Modulate != nil {
+			rate *= avgModulation(spec.Modulate, elapsed, dt)
+		}
+		exact := rate*dt.Seconds() + g.carry[i]
+		n := int(exact)
+		g.carry[i] = exact - float64(n)
+		if n <= 0 {
+			continue
+		}
+		step := dt / time.Duration(n)
+		for k := 0; k < n; k++ {
+			lat, lon := spec.Lat, spec.Lon
+			if spec.Scatter > 0 {
+				lat += g.posRngs[i].Normal(0, spec.Scatter)
+				lon += g.posRngs[i].Normal(0, spec.Scatter)
+			}
+			src, rng := spec.Name, g.valRngs[i]
+			if g.cellRes > 0 {
+				src = CellID(lat, lon, g.cellRes)
+				rng = g.cellRng(src)
+			}
+			items = append(items, stream.Item{
+				Source: src,
+				Value:  spec.Value.Sample(rng),
+				Ts:     from.Add(time.Duration(k)*step + step/2),
+			})
+		}
+	}
+	if g.cellRes > 0 {
+		sort.SliceStable(items, func(a, b int) bool { return items[a].Source < items[b].Source })
+	}
+	return items
+}
+
+// nycZoneCenters places zone centers on NYC-ish coordinates: a dense
+// Manhattan spine plus outer boroughs, spiralling outward from Midtown so
+// the busiest zones cluster spatially the way taxi demand does.
+func nycZoneCenters(zones int) [][2]float64 {
+	const midtownLat, midtownLon = 40.7549, -73.9840
+	out := make([][2]float64, zones)
+	for i := range out {
+		// Archimedean spiral: radius grows ~0.02° per zone, angle by the
+		// golden angle so zones never line up on a ray.
+		r := 0.008 + 0.016*float64(i)
+		a := 2.399963 * float64(i)
+		out[i] = [2]float64{midtownLat + r*math.Sin(a), midtownLon + r*math.Cos(a)}
+	}
+	return out
+}
+
+// NYCTaxiGeo is the geospatial form of the NYCTaxi preset: zones emitter
+// clusters at NYC-ish coordinates with geometrically-skewed rates (busy
+// Midtown vs. quiet outskirts), heavy-tailed log-normal fares, a diurnal
+// demand cycle — stratified by spatial grid cell at cellRes degrees per
+// cell (StratifyByCell). baseRate is the busiest zone's items/second.
+func NYCTaxiGeo(seed uint64, zones int, baseRate, cellRes float64) *GeoGenerator {
+	if zones < 1 {
+		zones = 1
+	}
+	const rateSkew = 0.80
+	centers := nycZoneCenters(zones)
+	specs := make([]GeoSubstreamSpec, zones)
+	rate := baseRate
+	for i := range specs {
+		specs[i] = GeoSubstreamSpec{
+			Name:     stream.SourceID(fmt.Sprintf("zone-%02d", i)),
+			Lat:      centers[i][0],
+			Lon:      centers[i][1],
+			Scatter:  0.006,
+			Rate:     rate,
+			Value:    LogNormal{Mu: 2.4, Sigma: 0.55},
+			Modulate: Diurnal(19, 0.5),
+		}
+		rate *= rateSkew
+		if rate < 0.01 {
+			rate = 0.01
+		}
+	}
+	return NewGeo(seed, specs, StratifyByCell(cellRes))
+}

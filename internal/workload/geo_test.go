@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/approxiot/approxiot/internal/stream"
+)
+
+func geoSpecs() []GeoSubstreamSpec {
+	return []GeoSubstreamSpec{
+		{Name: "midtown", Lat: 40.7549, Lon: -73.9840, Scatter: 0.01, Rate: 500, Value: LogNormal{Mu: 2.4, Sigma: 0.55}},
+		{Name: "jfk", Lat: 40.6413, Lon: -73.7781, Scatter: 0.005, Rate: 200, Value: Gaussian{Mu: 52, Sigma: 6}},
+	}
+}
+
+func TestCellIDGrid(t *testing.T) {
+	// Same cell for nearby points, different for distant ones.
+	a := CellID(40.7549, -73.9840, 0.25)
+	b := CellID(40.7601, -73.9755, 0.25)
+	c := CellID(40.6413, -73.7781, 0.25)
+	if a != b {
+		t.Fatalf("nearby points split cells: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatalf("distant points share cell %s", a)
+	}
+	if !strings.HasPrefix(string(a), "cell:") {
+		t.Fatalf("cell key %q lacks prefix", a)
+	}
+	// Negative coordinates floor, not truncate: -0.1 must not share the
+	// 0.0 cell.
+	if CellID(-0.1, 0, 1) == CellID(0.1, 0, 1) {
+		t.Fatal("floor semantics broken across the equator")
+	}
+}
+
+func TestGeoGeneratorDeterministic(t *testing.T) {
+	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+	g1 := NewGeo(42, geoSpecs(), StratifyByCell(0.02))
+	g2 := NewGeo(42, geoSpecs(), StratifyByCell(0.02))
+	for w := 0; w < 5; w++ {
+		at := epoch.Add(time.Duration(w) * time.Second)
+		a := g1.Generate(at, time.Second)
+		b := g2.Generate(at, time.Second)
+		if len(a) != len(b) {
+			t.Fatalf("window %d: %d vs %d items", w, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("window %d item %d: %+v vs %+v", w, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGeoCellStratification(t *testing.T) {
+	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+	g := NewGeo(7, geoSpecs(), StratifyByCell(0.02))
+	items := g.Generate(epoch, time.Second)
+	if len(items) == 0 {
+		t.Fatal("no items generated")
+	}
+	cells := make(map[stream.SourceID]int)
+	for i, it := range items {
+		if !strings.HasPrefix(string(it.Source), "cell:") {
+			t.Fatalf("item source %q is not a cell key", it.Source)
+		}
+		cells[it.Source]++
+		if i > 0 && items[i].Source < items[i-1].Source {
+			t.Fatal("items not grouped by cell")
+		}
+	}
+	// Scattered emitters must straddle cell boundaries at this resolution.
+	if len(cells) < 3 {
+		t.Fatalf("only %d cells realized, want spread", len(cells))
+	}
+}
+
+func TestGeoNameStratificationDefault(t *testing.T) {
+	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+	g := NewGeo(7, geoSpecs())
+	items := g.Generate(epoch, time.Second)
+	for _, it := range items {
+		if it.Source != "midtown" && it.Source != "jfk" {
+			t.Fatalf("unexpected stratum %q without StratifyByCell", it.Source)
+		}
+	}
+	if got := g.Substreams(); len(got) != 2 || got[0] != "midtown" {
+		t.Fatalf("Substreams = %v", got)
+	}
+	if g.TotalRate() != 700 {
+		t.Fatalf("TotalRate = %g", g.TotalRate())
+	}
+}
+
+func TestGeoRateAccounting(t *testing.T) {
+	epoch := time.Date(2018, 7, 2, 0, 0, 0, 0, time.UTC)
+	g := NewGeo(3, geoSpecs(), StratifyByCell(0.02))
+	var n int
+	for w := 0; w < 10; w++ {
+		n += len(g.Generate(epoch.Add(time.Duration(w)*time.Second), time.Second))
+	}
+	// 700 items/s × 10 s, exact up to the final fractional carry.
+	if n < 6999 || n > 7000 {
+		t.Fatalf("generated %d items, want ~7000", n)
+	}
+}
+
+func TestNYCTaxiGeoPreset(t *testing.T) {
+	epoch := time.Date(2013, 1, 1, 0, 0, 0, 0, time.UTC)
+	g := NYCTaxiGeo(2013, 12, 150, 0.02)
+	items := g.Generate(epoch, time.Second)
+	if len(items) == 0 {
+		t.Fatal("preset generated nothing")
+	}
+	cells := make(map[stream.SourceID]bool)
+	for _, it := range items {
+		if !strings.HasPrefix(string(it.Source), "cell:") {
+			t.Fatalf("preset not cell-stratified: %q", it.Source)
+		}
+		if it.Value <= 0 {
+			t.Fatalf("non-positive fare %g", it.Value)
+		}
+		cells[it.Source] = true
+	}
+	if len(cells) < 4 {
+		t.Fatalf("only %d cells from 12 zones", len(cells))
+	}
+}
